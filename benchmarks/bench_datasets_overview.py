@@ -1,0 +1,50 @@
+"""Section 5.1.1 — dataset description table.
+
+Regenerates the paper's per-dataset profile (initial/final snapshot sizes,
+snapshot counts, totals, label classes, deletion presence) for the six
+simulated datasets, and asserts the dynamics-class facts the reproduction
+depends on: only the AS733 analogue deletes nodes, only Cora/DBLP carry
+labels, and every stream produces localised per-step change.
+"""
+
+from __future__ import annotations
+
+from common import DATASET_NAMES, bench_network, write_result
+from repro.analysis import DATASET_TABLE_HEADERS, summarize_network
+from repro.experiments import render_table
+
+
+def build_overview() -> tuple[str, dict]:
+    summaries = {
+        name: summarize_network(bench_network(name)) for name in DATASET_NAMES
+    }
+    rows = [summaries[name].as_row() for name in DATASET_NAMES]
+    text = render_table(
+        DATASET_TABLE_HEADERS,
+        rows,
+        title="Section 5.1.1: simulated dataset profiles",
+    )
+    return text, summaries
+
+
+def test_datasets_overview(benchmark):
+    text, summaries = benchmark.pedantic(build_overview, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("datasets_overview.txt", text)
+
+    # Dynamics classes match the paper's datasets.
+    assert summaries["as733-sim"].has_node_deletions
+    for name in ("elec-sim", "fbw-sim", "hepph-sim", "cora-sim", "dblp-sim"):
+        assert not summaries[name].has_node_deletions, name
+
+    assert summaries["cora-sim"].num_classes == 10   # paper: 10 fields
+    assert summaries["dblp-sim"].num_classes == 15   # paper: 15 fields
+    for name in ("as733-sim", "elec-sim", "fbw-sim", "hepph-sim"):
+        assert not summaries[name].has_labels, name
+
+    # Growth datasets grow; every dataset changes every few steps.
+    for name, summary in summaries.items():
+        assert summary.final_nodes >= summary.initial_nodes or (
+            name == "as733-sim"
+        )
+        assert summary.mean_changed_edges_per_step > 0

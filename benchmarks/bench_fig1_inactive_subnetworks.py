@@ -1,0 +1,68 @@
+"""Figure 1 d-f — inactive sub-network histograms.
+
+Paper shape to reproduce: partitioning the largest snapshot into ~50-node
+cells (scaled down here with the graphs), a substantial number of cells
+experience no change for >= 5 consecutive steps — the blind spot of
+most-affected-node DNE methods that motivates GloDyNE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_network, write_result
+from repro.analysis import inactive_subnetworks
+from repro.experiments import render_table
+
+DATASETS = ["elec-sim", "hepph-sim", "fbw-sim"]
+CELL_SIZE = 15  # scaled from the paper's ~50-node cells
+MIN_STREAK = 5
+
+
+def build_fig1_inactive() -> tuple[str, dict]:
+    sections = []
+    summary = {}
+    for dataset in DATASETS:
+        network = bench_network(dataset)
+        report = inactive_subnetworks(
+            network,
+            cell_size=CELL_SIZE,
+            min_streak=MIN_STREAK,
+            rng=np.random.default_rng(0),
+        )
+        rows = [
+            [str(length), str(count)]
+            for length, count in sorted(report.streak_histogram.items())
+        ]
+        if not rows:
+            rows = [["-", "0"]]
+        sections.append(
+            render_table(
+                ["quiet for # steps", "# inactive sub-networks"],
+                rows,
+                title=(
+                    f"Figure 1 d-f analogue: {dataset} "
+                    f"({report.num_cells} cells, {report.num_steps} steps, "
+                    f"{report.cells_with_streak} cells with a >= "
+                    f"{MIN_STREAK}-step quiet streak)"
+                ),
+            )
+        )
+        summary[dataset] = report
+    return "\n\n".join(sections), summary
+
+
+def test_fig1_inactive_subnetworks(benchmark):
+    text, summary = benchmark.pedantic(
+        build_fig1_inactive, rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_result("fig1_inactive_subnetworks.txt", text)
+
+    # Paper shape: every interaction dataset exhibits inactive
+    # sub-networks lasting >= 5 steps.
+    for dataset, report in summary.items():
+        assert report.total_streaks > 0, f"no quiet streaks on {dataset}"
+        assert report.inactive_fraction > 0.05, (
+            f"too few inactive cells on {dataset}"
+        )

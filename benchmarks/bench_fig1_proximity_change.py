@@ -1,0 +1,62 @@
+"""Figure 1 b-c — shortest-path modifications per changed edge.
+
+Paper shape to reproduce: between consecutive snapshots, the total
+all-pairs shortest-path modification divided by the number of changed
+edges is large (hundreds+ on Elec/HepPh-scale graphs) — a handful of edge
+events perturbs proximity globally via high-order propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_network, write_result
+from repro.analysis import proximity_change_profile
+from repro.experiments import render_table
+
+DATASETS = ["elec-sim", "hepph-sim", "fbw-sim"]
+
+
+def build_fig1_proximity() -> tuple[str, dict]:
+    rows = []
+    summary = {}
+    rng = np.random.default_rng(0)
+    for dataset in DATASETS:
+        network = bench_network(dataset)
+        profile = proximity_change_profile(network, max_sources=48, rng=rng)
+        changed = [p for p in profile if p.num_changed_edges > 0]
+        per_edge = [p.change_per_edge for p in changed]
+        initial = changed[0].change_per_edge if changed else 0.0
+        middle = changed[len(changed) // 2].change_per_edge if changed else 0.0
+        final = changed[-1].change_per_edge if changed else 0.0
+        mean = float(np.mean(per_edge)) if per_edge else 0.0
+        rows.append(
+            [
+                dataset,
+                f"{initial:.1f}",
+                f"{middle:.1f}",
+                f"{final:.1f}",
+                f"{mean:.1f}",
+            ]
+        )
+        summary[dataset] = mean
+    text = render_table(
+        ["dataset", "initial", "middle", "final", "mean"],
+        rows,
+        title="Figure 1c: Δsp per changed edge",
+    )
+    return text, summary
+
+
+def test_fig1_proximity_change(benchmark):
+    text, summary = benchmark.pedantic(
+        build_fig1_proximity, rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_result("fig1_proximity_change.txt", text)
+
+    # Paper shape: modification per edge is large — far above the 1.0 that
+    # purely local damage would produce. (The paper's absolute values,
+    # 82-21k, depend on |V|^2; our graphs are ~100x smaller.)
+    for dataset, mean in summary.items():
+        assert mean > 5.0, f"Δsp/edge suspiciously small on {dataset}"

@@ -1,0 +1,91 @@
+"""Figure 2 — effectiveness (LP AUC) vs efficiency (wall-clock) scatter.
+
+Paper shape to reproduce: GloDyNE sits at (or on the frontier of) the
+top-left corner — best or near-best AUC at the lowest cost among the
+Skip-Gram regime. The bench emits the scatter's coordinates as a table
+(one row per method per dataset) plus a Pareto summary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import DATASET_NAMES, METHOD_NAMES, collect_metric, write_result
+from repro.experiments import render_table
+
+
+# The substrate caveat (EXPERIMENTS.md deviation D2): pure-numpy SGNS has
+# a far larger per-pair constant than the BLAS matmuls driving BCGD /
+# DynGEM at toy sizes, so absolute seconds across *regimes* don't
+# reproduce at n ~ 10^2-10^3. The comparison our substrate preserves
+# faithfully is within the Skip-Gram regime — GloDyNE vs tNE share the
+# exact same walk + SGNS code and differ only in how much work they do.
+SKIPGRAM_REGIME = ["tNE", "GloDyNE"]
+
+
+def build_fig2() -> tuple[str, dict]:
+    rows = []
+    dominated_by_tne = 0
+    close_to_best = 0
+    evaluable = 0
+    for dataset in DATASET_NAMES:
+        points: dict[str, tuple[float, float]] = {}
+        for method in METHOD_NAMES:
+            auc = collect_metric(method, dataset, lambda r: r["lp"])
+            seconds = collect_metric(method, dataset, lambda r: r["time"])
+            if auc is None or seconds is None:
+                rows.append([dataset, method, "n/a", "n/a", ""])
+                continue
+            points[method] = (float(seconds.mean()), float(auc.mean()))
+        # Pareto frontier over all methods (reported, not asserted: D2).
+        for method, (seconds, auc) in points.items():
+            dominated = any(
+                other_s < seconds and other_a > auc
+                for other_m, (other_s, other_a) in points.items()
+                if other_m != method
+            )
+            rows.append(
+                [
+                    dataset,
+                    method,
+                    f"{seconds:.2f}s",
+                    f"{auc * 100:.2f}",
+                    "" if dominated else "pareto",
+                ]
+            )
+        if "GloDyNE" in points:
+            evaluable += 1
+            glodyne_s, glodyne_a = points["GloDyNE"]
+            best_auc = max(a for _, a in points.values())
+            if glodyne_a >= best_auc - 0.05:
+                close_to_best += 1
+            if "tNE" in points:
+                tne_s, tne_a = points["tNE"]
+                if tne_s < glodyne_s and tne_a > glodyne_a:
+                    dominated_by_tne += 1
+    text = render_table(
+        ["dataset", "method", "time", "LP AUC", "frontier"],
+        rows,
+        title="Figure 2: effectiveness vs efficiency (scatter coordinates)",
+    )
+    summary = {
+        "dominated_by_tne": dominated_by_tne,
+        "close_to_best": close_to_best,
+        "evaluable": evaluable,
+    }
+    return text, summary
+
+
+def test_fig2_effectiveness_efficiency(benchmark):
+    text, summary = benchmark.pedantic(build_fig2, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("fig2_effectiveness_efficiency.txt", text)
+
+    # Paper shape, restricted to the regime the substrate preserves
+    # (D2): within the Skip-Gram family GloDyNE is never dominated — it
+    # is always the cheaper of the two, so tNE can't be both faster and
+    # better.
+    assert summary["dominated_by_tne"] == 0
+    # And GloDyNE's effectiveness stays near the per-dataset best AUC on
+    # at least half the datasets (the 'top-left corner' effectiveness).
+    assert summary["close_to_best"] >= summary["evaluable"] / 2

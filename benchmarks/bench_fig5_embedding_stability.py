@@ -1,0 +1,97 @@
+"""Figure 5 — embedding-space stability across consecutive steps.
+
+The paper projects embeddings to 2-D with PCA over six consecutive steps:
+GloDyNE keeps both the relative *and absolute* positions, while
+SGNS-retrain's clouds rotate/flip between steps (the 'v' shape spins).
+
+Quantified here: for consecutive-step common nodes, compare the alignment
+residual with and without an optimal orthogonal registration
+(:func:`repro.ml.pca.procrustes_disparity`). A method that preserves
+absolute positions has a small translation-only residual, so allowing a
+rotation barely helps; a method that re-randomises the basis needs the
+rotation — the gap between the two residuals is the "rotation benefit".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_network, write_result
+from repro.core import GloDyNE, SGNSRetrain
+from repro.experiments import render_table
+from repro.ml import PCA, procrustes_disparity
+from repro.tasks import per_step_precision  # noqa: F401 (doc cross-ref)
+
+DATASET = "elec-sim"
+KWARGS = dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2)
+
+
+def rotation_benefit(embeddings_per_step, network) -> list[float]:
+    """Per consecutive-step pair: residual(no rotation) - residual(rotation)."""
+    benefits = []
+    for t in range(network.num_snapshots - 1):
+        common = sorted(
+            set(embeddings_per_step[t]) & set(embeddings_per_step[t + 1]),
+            key=repr,
+        )
+        if len(common) < 8:
+            continue
+        a = np.stack([embeddings_per_step[t][n] for n in common])
+        b = np.stack([embeddings_per_step[t + 1][n] for n in common])
+        # Project the *pair* into a common 2-D PCA basis (Figure 5's view).
+        pca = PCA(n_components=2).fit(np.vstack([a, b]))
+        a2, b2 = pca.transform(a), pca.transform(b)
+        without = procrustes_disparity(a2, b2, allow_rotation=False)
+        with_rot = procrustes_disparity(a2, b2, allow_rotation=True)
+        benefits.append(without - with_rot)
+    return benefits
+
+
+def build_fig5() -> tuple[str, dict]:
+    network = bench_network(DATASET)
+    glodyne = GloDyNE(alpha=0.1, seed=0, **KWARGS)
+    retrain = SGNSRetrain(seed=0, **KWARGS)
+    glodyne_embeddings = glodyne.fit(network)
+    retrain_embeddings = retrain.fit(network)
+
+    glodyne_benefit = rotation_benefit(glodyne_embeddings, network)
+    retrain_benefit = rotation_benefit(retrain_embeddings, network)
+
+    rows = [
+        [
+            str(t),
+            f"{glodyne_benefit[t]:.4f}",
+            f"{retrain_benefit[t]:.4f}",
+        ]
+        for t in range(len(glodyne_benefit))
+    ]
+    text = render_table(
+        ["step pair", "GloDyNE rotation benefit", "SGNS-retrain rotation benefit"],
+        rows,
+        title=(
+            "Figure 5: how much an optimal rotation improves consecutive-"
+            "step alignment (higher = absolute positions NOT preserved)"
+        ),
+    )
+    summary = {
+        "glodyne": float(np.mean(glodyne_benefit)),
+        "retrain": float(np.mean(retrain_benefit)),
+    }
+    text += (
+        f"\n\nmean rotation benefit: GloDyNE={summary['glodyne']:.4f}, "
+        f"SGNS-retrain={summary['retrain']:.4f}"
+    )
+    return text, summary
+
+
+def test_fig5_embedding_stability(benchmark):
+    text, summary = benchmark.pedantic(build_fig5, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("fig5_embedding_stability.txt", text)
+
+    # Paper shape: GloDyNE preserves absolute positions (rotation adds
+    # little), retrain does not (rotation helps a lot).
+    assert summary["glodyne"] < summary["retrain"], (
+        "GloDyNE should need less rotation than retrain"
+    )
+    assert summary["retrain"] > 2 * summary["glodyne"]

@@ -1,0 +1,78 @@
+"""Figure 6 — the free hyper-parameter α: effectiveness vs time.
+
+Paper shape to reproduce: GR MeanP@k rises with α and saturates well
+before α = 1.0 (selecting ~all nodes), while wall-clock grows steadily —
+i.e. a modest α already approximates SGNS-increment at a fraction of the
+cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import SEEDS, bench_network, write_result
+from repro import GloDyNE
+from repro.experiments import render_table, run_method
+from repro.tasks import graph_reconstruction_over_time
+
+DATASETS = ["as733-sim", "elec-sim"]
+ALPHAS = [0.01, 0.05, 0.1, 0.3, 0.5, 1.0]
+K_EVAL = 10
+KWARGS = dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2)
+
+
+def sweep_alpha(dataset: str) -> dict[float, tuple[float, float]]:
+    network = bench_network(dataset)
+    curve = {}
+    for alpha in ALPHAS:
+        scores, times = [], []
+        for seed in SEEDS:
+            method = GloDyNE(alpha=alpha, seed=seed, **KWARGS)
+            result = run_method(method, network)
+            scores.append(
+                graph_reconstruction_over_time(
+                    result.embeddings, network, [K_EVAL]
+                )[K_EVAL]
+            )
+            times.append(result.total_seconds)
+        curve[alpha] = (float(np.mean(scores)), float(np.mean(times)))
+    return curve
+
+
+def build_fig6() -> tuple[str, dict]:
+    sections = []
+    summary = {}
+    for dataset in DATASETS:
+        curve = sweep_alpha(dataset)
+        rows = [
+            [f"{alpha}", f"{score * 100:.2f}", f"{seconds:.2f}s"]
+            for alpha, (score, seconds) in curve.items()
+        ]
+        sections.append(
+            render_table(
+                ["alpha", f"MeanP@{K_EVAL} (%)", "time"],
+                rows,
+                title=f"Figure 6: alpha trade-off on {dataset}",
+            )
+        )
+        summary[dataset] = curve
+    return "\n\n".join(sections), summary
+
+
+def test_fig6_alpha_tradeoff(benchmark):
+    text, summary = benchmark.pedantic(build_fig6, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("fig6_alpha_tradeoff.txt", text)
+
+    for dataset, curve in summary.items():
+        smallest_alpha = ALPHAS[0]
+        mid_alpha = 0.1
+        full_alpha = 1.0
+        # Paper shape 1: effectiveness rises from the tiniest alpha.
+        assert curve[mid_alpha][0] > curve[smallest_alpha][0] - 0.02
+        # Paper shape 2: alpha = 0.1 already approximates alpha = 1.0
+        # ("increasing alpha to a certain level achieves a very
+        # competitive performance as alpha = 1.0").
+        assert curve[mid_alpha][0] > 0.85 * curve[full_alpha][0]
+        # Paper shape 3: alpha = 1.0 costs much more time than alpha = 0.1.
+        assert curve[full_alpha][1] > 1.5 * curve[mid_alpha][1]

@@ -1,0 +1,75 @@
+"""Table 3 — node classification micro/macro F1 on Cora/DBLP.
+
+Paper shape to reproduce: GloDyNE beats every baseline at all three train
+ratios, and Cora (clean labels) is easier than DBLP (noisy labels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import METHOD_NAMES, NC_RATIOS, collect_metric, write_result
+from repro.experiments import annotate_cell, render_table
+
+LABELED = ["cora-sim", "dblp-sim"]
+
+
+def build_table3() -> tuple[str, dict]:
+    sections = []
+    summary: dict = {}
+    for metric_name, metric_index in (("Micro-F1", 0), ("Macro-F1", 1)):
+        headers = [metric_name] + [
+            f"{d}@{r}" for d in LABELED for r in NC_RATIOS
+        ]
+        samples_by_column: dict[str, dict[str, np.ndarray | None]] = {}
+        for dataset in LABELED:
+            for ratio in NC_RATIOS:
+                column = f"{dataset}@{ratio}"
+                samples_by_column[column] = {
+                    method: collect_metric(
+                        method,
+                        dataset,
+                        lambda r, rr=ratio, i=metric_index: (
+                            r["nc"][rr].micro_f1 if i == 0 else r["nc"][rr].macro_f1
+                        ),
+                    )
+                    for method in METHOD_NAMES
+                }
+        formatted = {
+            column: annotate_cell(samples)
+            for column, samples in samples_by_column.items()
+        }
+        rows = [
+            [method] + [
+                formatted[f"{d}@{r}"][method]
+                for d in LABELED
+                for r in NC_RATIOS
+            ]
+            for method in METHOD_NAMES
+        ]
+        sections.append(
+            render_table(headers, rows, title=f"Table 3 section: {metric_name}")
+        )
+        if metric_index == 0:
+            for dataset in LABELED:
+                means = {}
+                for method in METHOD_NAMES:
+                    values = samples_by_column[f"{dataset}@0.7"][method]
+                    if values is not None:
+                        means[method] = float(values.mean())
+                summary[dataset] = means
+    return "\n\n".join(sections), summary
+
+
+def test_table3_node_classification(benchmark):
+    text, summary = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("table3_node_classification.txt", text)
+
+    for dataset in LABELED:
+        means = summary[dataset]
+        ranked = sorted(means, key=means.get, reverse=True)
+        # Paper shape: GloDyNE leads NC; require top-2 under noise.
+        assert "GloDyNE" in ranked[:2], f"GloDyNE not top-2 on {dataset}"
+    # Cora (clean labels) easier than DBLP (noisy labels) for GloDyNE.
+    assert summary["cora-sim"]["GloDyNE"] > summary["dblp-sim"]["GloDyNE"]

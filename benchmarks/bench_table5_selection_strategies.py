@@ -1,0 +1,104 @@
+"""Table 5 — node-selection strategies S1-S4 vs walk length l.
+
+Paper shape to reproduce: at a fixed α = 0.1, the GR performance ranking
+is S1 < S2 < S3 < S4 (matching selected-node diversity), and the gap
+shrinks as the walk length l grows (long walks explore globally no matter
+where they start).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import SEEDS, bench_network, write_result
+from repro import GloDyNE
+from repro.experiments import render_table, run_method
+from repro.tasks import graph_reconstruction_over_time
+
+STRATEGIES = ["s1", "s2", "s3", "s4"]
+WALK_LENGTHS = [3, 5, 10, 20, 40]
+DATASETS = ["as733-sim", "elec-sim"]
+K_EVAL = 10
+
+
+def run_strategy(dataset: str, strategy: str, walk_length: int) -> float:
+    network = bench_network(dataset)
+    scores = []
+    for seed in SEEDS:
+        method = GloDyNE(
+            dim=32,
+            alpha=0.1,
+            strategy=strategy,
+            num_walks=5,
+            walk_length=walk_length,
+            window_size=min(5, walk_length - 1),
+            epochs=2,
+            seed=seed,
+        )
+        result = run_method(method, network)
+        scores.append(
+            graph_reconstruction_over_time(
+                result.embeddings, network, [K_EVAL]
+            )[K_EVAL]
+        )
+    return float(np.mean(scores))
+
+
+def build_table5() -> tuple[str, dict]:
+    sections = []
+    summary: dict = {}
+    for dataset in DATASETS:
+        rows = []
+        table: dict[int, dict[str, float]] = {}
+        for walk_length in WALK_LENGTHS:
+            table[walk_length] = {
+                strategy: run_strategy(dataset, strategy, walk_length)
+                for strategy in STRATEGIES
+            }
+            rows.append(
+                [str(walk_length)]
+                + [f"{table[walk_length][s] * 100:.2f}" for s in STRATEGIES]
+            )
+        sections.append(
+            render_table(
+                ["l"] + [s.upper() for s in STRATEGIES],
+                rows,
+                title=f"Table 5: MeanP@{K_EVAL} (%) on {dataset}",
+            )
+        )
+        summary[dataset] = table
+    return "\n\n".join(sections), summary
+
+
+def test_table5_selection_strategies(benchmark):
+    text, summary = benchmark.pedantic(build_table5, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("table5_selection_strategies.txt", text)
+
+    for dataset, table in summary.items():
+        short = WALK_LENGTHS[0]
+        mid = 10
+        long = WALK_LENGTHS[-1]
+        # Paper shape 1: where walks are long enough to learn anything
+        # but short enough that start diversity matters (the mid regime),
+        # S4 is the best strategy. (At l=3 every strategy is ~noise at
+        # laptop scale — our graphs are 10-40x smaller than the paper's,
+        # so absolute short-l differences sit inside seed variance.)
+        s_mid = table[mid]
+        others_best = max(s_mid[s] for s in ("s1", "s2", "s3"))
+        assert s_mid["s4"] >= others_best - 0.01, (
+            f"S4 not leading at l={mid} on {dataset}: {s_mid}"
+        )
+        # Paper shape 2: strategies become less distinguishable as l
+        # grows — the relative spread collapses.
+        def relative_spread(at_l: int) -> float:
+            values = [table[at_l][s] for s in STRATEGIES]
+            return (max(values) - min(values)) / max(np.mean(values), 1e-9)
+
+        assert relative_spread(long) < relative_spread(short), (
+            f"strategy spread did not shrink with l on {dataset}"
+        )
+        # Paper shape 3: performance rises with walk length for every
+        # strategy.
+        for strategy in STRATEGIES:
+            assert table[long][strategy] > table[short][strategy]

@@ -1,0 +1,88 @@
+"""Compare GloDyNE against the paper's baselines on one dataset.
+
+Reproduces, at example scale, the flavour of Tables 1/2/4: every method
+embeds the same dynamic network; we report graph-reconstruction MeanP@10,
+link-prediction AUC, and wall-clock seconds side by side.
+
+Usage::
+
+    python examples/compare_methods.py [dataset]
+
+where ``dataset`` defaults to ``elec-sim`` (try ``as733-sim`` to see the
+n/a behaviour of DynLINE/tNE under node deletions).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    BCGDGlobal,
+    BCGDLocal,
+    DynGEM,
+    DynLINE,
+    DynTriad,
+    GloDyNE,
+    SGNSRetrain,
+    TNE,
+    load_dataset,
+)
+from repro.experiments import render_table, run_method
+from repro.tasks import (
+    graph_reconstruction_over_time,
+    link_prediction_over_time,
+)
+
+WALK_KWARGS = dict(num_walks=4, walk_length=15, window_size=4, epochs=2)
+
+
+def build_methods(seed: int) -> list:
+    return [
+        GloDyNE(dim=32, alpha=0.1, seed=seed, **WALK_KWARGS),
+        SGNSRetrain(dim=32, seed=seed, **WALK_KWARGS),
+        BCGDGlobal(dim=32, iterations=40, cycles=1, seed=seed),
+        BCGDLocal(dim=32, iterations=40, seed=seed),
+        DynGEM(dim=32, hidden_dim=64, epochs=15, warm_epochs=6, seed=seed),
+        DynLINE(dim=32, epochs=3, seed=seed),
+        DynTriad(dim=32, epochs=2, seed=seed),
+        TNE(dim=32, seed=seed, **WALK_KWARGS),
+    ]
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "elec-sim"
+    network = load_dataset(dataset, scale=0.5, seed=1, snapshots=8)
+    print(f"{network!r}\n")
+
+    rows = []
+    for method in build_methods(seed=0):
+        result = run_method(method, network)
+        if not result.ok:
+            rows.append([method.name, "n/a", "n/a", "n/a"])
+            continue
+        gr = graph_reconstruction_over_time(result.embeddings, network, [10])
+        lp = link_prediction_over_time(
+            result.embeddings, network, np.random.default_rng(0)
+        )
+        rows.append(
+            [
+                method.name,
+                f"{gr[10]:.3f}",
+                f"{lp:.3f}",
+                f"{result.total_seconds:.2f}s",
+            ]
+        )
+
+    print(
+        render_table(
+            ["method", "GR MeanP@10", "LP AUC", "embed time"],
+            rows,
+            title=f"method comparison on {dataset}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

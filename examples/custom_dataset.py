@@ -1,0 +1,83 @@
+"""Bring your own data: KONECT-style edge streams through the pipeline.
+
+The simulated datasets exist only because this environment is offline;
+real KONECT/SNAP downloads use the exact same machinery. This example
+writes a small edge stream to disk in the KONECT format, reads it back,
+builds snapshots with the paper's §5.1.1 recipe (cut-off timestamps +
+largest connected component), embeds it, and round-trips the snapshot
+representation too.
+
+Usage::
+
+    python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import DynamicNetwork, GloDyNE
+from repro.datasets import (
+    read_edge_stream,
+    write_edge_stream,
+    read_snapshots,
+    write_snapshots,
+)
+from repro.graph import EdgeEvent
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-example-"))
+
+    # --- a hand-written interaction log: (user, user, unix-day) ---------
+    events = [
+        EdgeEvent("alice", "bob", 0),
+        EdgeEvent("bob", "carol", 0),
+        EdgeEvent("carol", "alice", 1),
+        EdgeEvent("dave", "alice", 1),
+        EdgeEvent("dave", "erin", 2),
+        EdgeEvent("erin", "bob", 2),
+        EdgeEvent("frank", "erin", 3),
+        EdgeEvent("frank", "dave", 3),
+        EdgeEvent("grace", "frank", 4),
+        EdgeEvent("grace", "alice", 4),
+    ]
+    stream_path = workdir / "interactions.tsv"
+    write_edge_stream(stream_path, events)
+    print(f"wrote edge stream -> {stream_path}")
+
+    # --- the paper's snapshot recipe ------------------------------------
+    loaded = read_edge_stream(stream_path)
+    network = DynamicNetwork.from_edge_stream(
+        loaded,
+        cutoffs=[0, 1, 2, 3, 4],   # daily cut-offs, inclusive
+        name="hand-rolled",
+        restrict_to_lcc=True,
+    )
+    for t, snapshot in enumerate(network):
+        print(
+            f"  G^{t}: {snapshot.number_of_nodes()} nodes, "
+            f"{snapshot.number_of_edges()} edges"
+        )
+
+    # --- embed it --------------------------------------------------------
+    model = GloDyNE(
+        dim=8, alpha=0.5, num_walks=4, walk_length=8, window_size=3,
+        epochs=3, seed=0,
+    )
+    embeddings = model.fit(network)
+    final = embeddings[-1]
+    print(f"\nfinal-step embeddings for {sorted(final)}")
+
+    # --- snapshot-format round trip (AS733-style distribution) ----------
+    snapshot_path = workdir / "snapshots.txt"
+    write_snapshots(snapshot_path, network)
+    back = read_snapshots(snapshot_path, name="reloaded")
+    assert back.num_snapshots == network.num_snapshots
+    assert back[-1].edge_set() == network[-1].edge_set()
+    print(f"snapshot round-trip OK -> {snapshot_path}")
+
+
+if __name__ == "__main__":
+    main()

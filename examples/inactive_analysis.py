@@ -1,0 +1,84 @@
+"""Reproduce the paper's Figure 1 motivation on any dynamic network.
+
+Two measurements justify GloDyNE's design (paper Section 1, Figure 1):
+
+1. *proximity drift* — a handful of edge events moves the all-pairs
+   shortest-path structure by a large amount (changes propagate through
+   high-order proximity);
+2. *inactive sub-networks* — partition cells that receive no change for
+   many consecutive steps, which most-affected-node DNE methods never
+   revisit.
+
+Usage::
+
+    python examples/inactive_analysis.py [dataset]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import load_dataset
+from repro.analysis import (
+    inactive_subnetworks,
+    proximity_change_profile,
+    summarize_network,
+)
+from repro.experiments import render_table
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "fbw-sim"
+    network = load_dataset(dataset, scale=0.6, seed=1, snapshots=10)
+    summary = summarize_network(network)
+    print(
+        f"{summary.name}: {summary.num_snapshots} snapshots, "
+        f"{summary.final_nodes} nodes / {summary.final_edges} edges at T, "
+        f"{summary.mean_changed_edges_per_step:.1f} changed edges per step"
+    )
+
+    # --- Figure 1 b-c: shortest-path drift per changed edge -------------
+    rng = np.random.default_rng(0)
+    profile = proximity_change_profile(network, max_sources=48, rng=rng)
+    rows = [
+        [
+            str(t + 1),
+            str(p.num_changed_edges),
+            f"{p.total_change:.0f}",
+            f"{p.change_per_edge:.1f}",
+        ]
+        for t, p in enumerate(profile)
+    ]
+    print()
+    print(
+        render_table(
+            ["t", "changed edges", "Δsp total", "Δsp per edge"],
+            rows,
+            title="proximity drift between consecutive snapshots",
+        )
+    )
+
+    # --- Figure 1 d-f: inactive sub-networks ----------------------------
+    report = inactive_subnetworks(
+        network, cell_size=15, min_streak=5, rng=rng
+    )
+    print(
+        f"\npartitioned the largest snapshot into {report.num_cells} cells "
+        f"(~15 nodes each);\n{report.cells_with_streak} cells "
+        f"({report.inactive_fraction * 100:.0f}%) stayed changeless for "
+        f">= {report.min_streak} consecutive steps:"
+    )
+    for length, count in sorted(report.streak_histogram.items()):
+        bar = "#" * count
+        print(f"  quiet {length:2d} steps | {bar} {count}")
+    print(
+        "\nThese quiet cells are exactly what most-affected-node DNE "
+        "methods never refresh\n— and what GloDyNE's diverse selection "
+        "revisits every step."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Node classification on a labelled citation network (paper §5.2.3).
+
+Embeds a simulated Cora-style growing citation network with GloDyNE, then
+trains a one-vs-rest logistic regression on the node embeddings at each
+time step and reports micro/macro F1 for several train ratios — the
+structure of the paper's Table 3.
+
+Usage::
+
+    python examples/node_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GloDyNE, SGNSStatic, load_dataset
+from repro.experiments import render_table
+from repro.tasks import node_classification_over_time
+
+
+def main() -> None:
+    network = load_dataset("cora-sim", scale=0.6, seed=3, snapshots=8)
+    num_labels = len(set(network.labels.values()))
+    print(f"{network!r}")
+    print(f"labelled nodes: {len(network.labels)}, classes: {num_labels}\n")
+
+    methods = {
+        "GloDyNE": GloDyNE(
+            dim=32, alpha=0.1, num_walks=5, walk_length=20,
+            window_size=5, epochs=3, seed=0,
+        ),
+        "SGNS-static": SGNSStatic(
+            dim=32, num_walks=5, walk_length=20, window_size=5,
+            epochs=3, seed=0,
+        ),
+    }
+
+    rng = np.random.default_rng(0)
+    rows = []
+    for name, method in methods.items():
+        embeddings = method.fit(network)
+        for ratio in (0.5, 0.7, 0.9):
+            scores = node_classification_over_time(
+                embeddings, network, train_ratio=ratio, rng=rng,
+                min_labeled=20,
+            )
+            rows.append(
+                [
+                    name,
+                    f"{ratio:.1f}",
+                    f"{scores.micro_f1:.3f}",
+                    f"{scores.macro_f1:.3f}",
+                ]
+            )
+
+    print(
+        render_table(
+            ["method", "train ratio", "micro-F1", "macro-F1"],
+            rows,
+            title="node classification on cora-sim",
+        )
+    )
+    print(
+        "\nExpected shape: GloDyNE clearly above SGNS-static — stale\n"
+        "t=0 embeddings lose track of nodes that arrive later."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Streaming usage: feed snapshots one at a time and watch per-step cost.
+
+GloDyNE's streaming interface (``update``) is the deployment mode the
+paper motivates — promptly refresh embeddings as each snapshot lands. The
+example also inspects the internals exposed for observability: how many
+nodes were selected, the pair-corpus size, and the reservoir occupancy
+(accumulated-but-uncaptured topological change).
+
+Usage::
+
+    python examples/streaming_updates.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import GloDyNE, load_dataset
+from repro.experiments import render_table
+from repro.tasks import mean_precision_at_k
+
+
+def main() -> None:
+    network = load_dataset("fbw-sim", scale=0.6, seed=5, snapshots=10)
+    model = GloDyNE(
+        dim=32, alpha=0.1, num_walks=5, walk_length=20, window_size=5,
+        epochs=2, seed=0,
+    )
+
+    rows = []
+    for t, snapshot in enumerate(network):
+        started = time.perf_counter()
+        embeddings = model.update(snapshot)
+        elapsed = time.perf_counter() - started
+        precision = mean_precision_at_k(embeddings, snapshot, [10])[10]
+        trace = model.last_trace
+        rows.append(
+            [
+                str(t),
+                str(snapshot.number_of_nodes()),
+                str(trace.num_selected),
+                str(trace.num_pairs),
+                str(len(model.reservoir)),
+                f"{precision:.3f}",
+                f"{elapsed:.2f}s",
+            ]
+        )
+
+    print(
+        render_table(
+            ["t", "nodes", "selected", "pairs", "reservoir", "P@10", "time"],
+            rows,
+            title="streaming GloDyNE on fbw-sim",
+        )
+    )
+    print(
+        "\nNote the t=0 row: the offline stage walks from every node, so\n"
+        "it selects |V| nodes and costs the most; online steps only touch\n"
+        "α·|V| representatives yet keep MeanP@10 high."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup shim; all metadata lives in pyproject.toml.
+
+The offline build environment lacks the ``wheel`` package, so editable
+installs must go through the legacy ``setup.py develop`` path — which
+requires this file to exist.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""GloDyNE reproduction: global-topology-preserving dynamic network embedding.
+
+A complete, self-contained implementation of GloDyNE (Hou et al., IEEE
+TKDE 2020 / ICDE 2022 extended abstract) and its full evaluation stack:
+the multilevel graph partitioner, pure-numpy SGNS, six comparison
+baselines, three downstream tasks, and simulated analogues of the paper's
+six dynamic-network datasets.
+
+Quickstart::
+
+    from repro import GloDyNE, load_dataset
+    from repro.tasks import graph_reconstruction_over_time
+
+    network = load_dataset("elec-sim", seed=0)
+    model = GloDyNE(dim=64, alpha=0.1, seed=0)
+    embeddings = model.fit(network)            # one map per snapshot
+    scores = graph_reconstruction_over_time(embeddings, network, ks=[10])
+"""
+
+from repro.base import (
+    DynamicEmbeddingMethod,
+    EmbeddingMap,
+    UnsupportedDynamicsError,
+    embeddings_as_matrix,
+)
+from repro.baselines import BCGDGlobal, BCGDLocal, DynGEM, DynLINE, DynTriad, TNE
+from repro.core import (
+    GloDyNE,
+    GloDyNEConfig,
+    SGNSIncrement,
+    SGNSRetrain,
+    SGNSStatic,
+)
+from repro.datasets import list_datasets, load_dataset
+from repro.graph import DynamicNetwork, EdgeEvent, Graph
+from repro.partition import PartitionResult, partition_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCGDGlobal",
+    "BCGDLocal",
+    "DynGEM",
+    "DynLINE",
+    "DynTriad",
+    "DynamicEmbeddingMethod",
+    "DynamicNetwork",
+    "EdgeEvent",
+    "EmbeddingMap",
+    "GloDyNE",
+    "GloDyNEConfig",
+    "Graph",
+    "PartitionResult",
+    "SGNSIncrement",
+    "SGNSRetrain",
+    "SGNSStatic",
+    "TNE",
+    "UnsupportedDynamicsError",
+    "embeddings_as_matrix",
+    "list_datasets",
+    "load_dataset",
+    "partition_graph",
+]

@@ -1,0 +1,29 @@
+"""Figure 1 analyses: proximity drift and inactive sub-networks."""
+
+from repro.analysis.dataset_stats import (
+    DATASET_TABLE_HEADERS,
+    DatasetSummary,
+    summarize_network,
+)
+from repro.analysis.inactive import (
+    InactivityReport,
+    inactive_subnetworks,
+    quiet_streaks,
+)
+from repro.analysis.proximity import (
+    ProximityChange,
+    proximity_change_profile,
+    shortest_path_change,
+)
+
+__all__ = [
+    "DATASET_TABLE_HEADERS",
+    "DatasetSummary",
+    "InactivityReport",
+    "ProximityChange",
+    "inactive_subnetworks",
+    "proximity_change_profile",
+    "quiet_streaks",
+    "shortest_path_change",
+    "summarize_network",
+]

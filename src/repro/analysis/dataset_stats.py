@@ -1,0 +1,85 @@
+"""Dataset statistics in the style of the paper's Section 5.1.1.
+
+The paper characterises each dynamic network by its initial/final
+snapshot sizes, snapshot count, and (in Table 4's footer) total node/edge
+counts over all snapshots. This module computes the same profile plus the
+dynamics-class facts the reproduction cares about (deletions present?
+labels present? average per-step change volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.dynamic import DynamicNetwork
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One row of the §5.1.1 dataset description."""
+
+    name: str
+    num_snapshots: int
+    initial_nodes: int
+    initial_edges: int
+    final_nodes: int
+    final_edges: int
+    total_nodes: int
+    total_edges: int
+    has_labels: bool
+    num_classes: int
+    has_node_deletions: bool
+    has_edge_deletions: bool
+    mean_changed_edges_per_step: float
+
+    def as_row(self) -> list[str]:
+        """Render for a plain-text table."""
+        return [
+            self.name,
+            str(self.num_snapshots),
+            f"{self.initial_nodes}/{self.initial_edges}",
+            f"{self.final_nodes}/{self.final_edges}",
+            f"{self.total_nodes}/{self.total_edges}",
+            str(self.num_classes) if self.has_labels else "-",
+            "yes" if self.has_node_deletions else "no",
+            f"{self.mean_changed_edges_per_step:.1f}",
+        ]
+
+
+def summarize_network(network: DynamicNetwork) -> DatasetSummary:
+    """Compute the §5.1.1-style profile of a dynamic network."""
+    diffs = network.diffs()
+    changed = [d.num_changed_edges for d in diffs]
+    node_deletions = any(d.removed_nodes for d in diffs)
+    edge_deletions = any(d.removed_edges for d in diffs)
+    initial, final = network[0], network[-1]
+    labels = network.labels
+    return DatasetSummary(
+        name=network.name,
+        num_snapshots=network.num_snapshots,
+        initial_nodes=initial.number_of_nodes(),
+        initial_edges=initial.number_of_edges(),
+        final_nodes=final.number_of_nodes(),
+        final_edges=final.number_of_edges(),
+        total_nodes=network.total_nodes(),
+        total_edges=network.total_edges(),
+        has_labels=bool(labels),
+        num_classes=len(set(labels.values())) if labels else 0,
+        has_node_deletions=node_deletions,
+        has_edge_deletions=edge_deletions,
+        mean_changed_edges_per_step=float(np.mean(changed)) if changed else 0.0,
+    )
+
+
+DATASET_TABLE_HEADERS = [
+    "dataset",
+    "snapshots",
+    "initial n/e",
+    "final n/e",
+    "total n/e",
+    "classes",
+    "deletions",
+    "Δedges/step",
+]

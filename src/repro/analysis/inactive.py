@@ -1,0 +1,120 @@
+"""Inactive sub-network detection (Figure 1 d-f).
+
+The paper's second motivating measurement: partition the largest snapshot
+into ~50-node cells with METIS, then count how many cells experience *no
+change at all* for at least five consecutive time steps. Those streaks are
+what most-affected-node DNE methods never revisit — and why GloDyNE's
+diverse selection exists.
+
+A cell counts as changed at step t when any edge added or removed between
+t-1 and t has at least one endpoint inside the cell.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.graph.dynamic import DynamicNetwork
+from repro.partition.metis import partition_graph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class InactivityReport:
+    """Histogram of quiet-streak lengths over partition cells.
+
+    ``streak_histogram[L]`` counts maximal streaks of exactly L consecutive
+    changeless steps (only L >= min_streak are recorded), pooled over all
+    cells — the bars of Figure 1 d-f.
+    """
+
+    num_cells: int
+    num_steps: int
+    min_streak: int
+    streak_histogram: dict[int, int]
+    cells_with_streak: int
+
+    @property
+    def total_streaks(self) -> int:
+        return sum(self.streak_histogram.values())
+
+    @property
+    def inactive_fraction(self) -> float:
+        """Fraction of cells owning at least one long quiet streak."""
+        if self.num_cells == 0:
+            return 0.0
+        return self.cells_with_streak / self.num_cells
+
+
+def quiet_streaks(activity: list[bool]) -> list[int]:
+    """Lengths of maximal runs of ``False`` (inactive) in an activity trace."""
+    streaks: list[int] = []
+    run = 0
+    for active in activity:
+        if active:
+            if run:
+                streaks.append(run)
+            run = 0
+        else:
+            run += 1
+    if run:
+        streaks.append(run)
+    return streaks
+
+
+def inactive_subnetworks(
+    network: DynamicNetwork,
+    cell_size: int = 50,
+    min_streak: int = 5,
+    rng: np.random.Generator | None = None,
+) -> InactivityReport:
+    """Reproduce Figure 1 d-f for a dynamic network.
+
+    The *largest* snapshot is partitioned into cells of roughly
+    ``cell_size`` nodes; each cell's activity trace across all steps is
+    scanned for quiet streaks of at least ``min_streak`` steps.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    largest_index = int(
+        np.argmax([g.number_of_nodes() for g in network])
+    )
+    largest = network.snapshot(largest_index)
+    k = max(1, round(largest.number_of_nodes() / cell_size))
+    partition = partition_graph(largest, k=k, rng=rng)
+
+    cell_of: dict[Node, int] = partition.assignment
+    num_steps = network.num_snapshots - 1  # steps with a defined diff
+    activity = np.zeros((partition.k, num_steps), dtype=bool)
+    for t, diff in enumerate(network.diffs()):
+        touched: set[int] = set()
+        for edge in diff.added_edges | diff.removed_edges:
+            for endpoint in edge:
+                cell = cell_of.get(endpoint)
+                if cell is not None:
+                    touched.add(cell)
+        for cell in touched:
+            activity[cell, t] = True
+
+    histogram: Counter[int] = Counter()
+    cells_with_streak = 0
+    for cell in range(partition.k):
+        streaks = [
+            s for s in quiet_streaks(list(activity[cell])) if s >= min_streak
+        ]
+        if streaks:
+            cells_with_streak += 1
+        histogram.update(streaks)
+
+    return InactivityReport(
+        num_cells=partition.k,
+        num_steps=num_steps,
+        min_streak=min_streak,
+        streak_histogram=dict(sorted(histogram.items())),
+        cells_with_streak=cells_with_streak,
+    )

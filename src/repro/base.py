@@ -1,0 +1,70 @@
+"""Common interface for every dynamic-network-embedding method.
+
+All methods in this repository — GloDyNE, its ablation variants, and the
+six comparison baselines — implement the same streaming contract
+(Definition 4): consume snapshots one at a time and emit the latest
+embeddings ``Z^t`` for the *current* node set after each snapshot.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable
+
+import numpy as np
+
+from repro.graph.dynamic import DynamicNetwork
+from repro.graph.static import Graph
+
+Node = Hashable
+EmbeddingMap = dict[Node, np.ndarray]
+
+
+class DynamicEmbeddingMethod(abc.ABC):
+    """Streaming DNE interface: ``reset`` then ``update`` per snapshot.
+
+    Subclasses set ``name`` (used in benchmark tables) and, when they
+    cannot process node deletions (DynLINE and tNE in the paper report
+    ``n/a`` on AS733 for this reason), ``supports_node_deletion = False``.
+    """
+
+    name: str = "method"
+    supports_node_deletion: bool = True
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all state so the instance can embed a fresh network."""
+
+    @abc.abstractmethod
+    def update(self, snapshot: Graph) -> EmbeddingMap:
+        """Consume the next snapshot; return embeddings for its nodes."""
+
+    def fit(self, network: DynamicNetwork) -> list[EmbeddingMap]:
+        """Embed every snapshot in order; returns one map per snapshot."""
+        self.reset()
+        return [self.update(snapshot) for snapshot in network]
+
+    def check_deletions(self, previous: Graph | None, snapshot: Graph) -> None:
+        """Raise when a method that cannot handle deletions receives one."""
+        if self.supports_node_deletion or previous is None:
+            return
+        removed = previous.node_set() - snapshot.node_set()
+        if removed:
+            raise UnsupportedDynamicsError(
+                f"{self.name} cannot handle node deletions "
+                f"({len(removed)} nodes removed)"
+            )
+
+
+class UnsupportedDynamicsError(RuntimeError):
+    """A method received dynamics it cannot process (paper's n/a cells)."""
+
+
+def embeddings_as_matrix(
+    embeddings: EmbeddingMap, nodes: list[Node] | None = None
+) -> tuple[list[Node], np.ndarray]:
+    """Stack an embedding map into ``(nodes, matrix)`` with aligned rows."""
+    if nodes is None:
+        nodes = list(embeddings)
+    matrix = np.stack([embeddings[node] for node in nodes])
+    return nodes, matrix

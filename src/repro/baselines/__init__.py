@@ -1,0 +1,17 @@
+"""Comparison DNE baselines (Section 5.1.2 of the paper)."""
+
+from repro.baselines.bcgd import BCGDGlobal, BCGDLocal
+from repro.baselines.dyngem import DynGEM
+from repro.baselines.dynline import DynLINE
+from repro.baselines.dyntriad import DynTriad
+from repro.baselines.tne import TNE, orthogonal_procrustes_align
+
+__all__ = [
+    "BCGDGlobal",
+    "BCGDLocal",
+    "DynGEM",
+    "DynLINE",
+    "DynTriad",
+    "TNE",
+    "orthogonal_procrustes_align",
+]

@@ -1,0 +1,210 @@
+"""DynGEM baseline (Goyal et al., 2017): warm-started deep autoencoder.
+
+DynGEM embeds each snapshot with an autoencoder over adjacency rows, where
+the reconstruction loss up-weights observed edges by β (the SDNE trick — a
+zero in the adjacency row may be a missing observation, so getting the
+ones right matters more). At each time step the model is initialised from
+the previous step's weights (widened when the node set grew, à la
+Net2Net), so it converges in a few epochs.
+
+Our network is ``n -> hidden -> d -> hidden -> n`` with ReLU hidden
+activations and linear heads, trained by minibatch Adam in numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.base import DynamicEmbeddingMethod, EmbeddingMap
+from repro.graph.csr import CSRAdjacency
+from repro.graph.static import Graph
+from repro.ml.optim import Adam
+
+Node = Hashable
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class _AutoEncoder:
+    """Two-layer encoder/decoder MLP with β-weighted MSE reconstruction."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        embed_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.rng = rng
+        self.hidden_dim = hidden_dim
+        self.embed_dim = embed_dim
+        self.w1 = self._glorot(input_dim, hidden_dim)
+        self.b1 = np.zeros(hidden_dim)
+        self.w2 = self._glorot(hidden_dim, embed_dim)
+        self.b2 = np.zeros(embed_dim)
+        self.w3 = self._glorot(embed_dim, hidden_dim)
+        self.b3 = np.zeros(hidden_dim)
+        self.w4 = self._glorot(hidden_dim, input_dim)
+        self.b4 = np.zeros(input_dim)
+
+    def _glorot(self, fan_in: int, fan_out: int) -> np.ndarray:
+        scale = np.sqrt(6.0 / (fan_in + fan_out))
+        return self.rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+    @property
+    def input_dim(self) -> int:
+        return self.w1.shape[0]
+
+    def widen(self, new_input_dim: int) -> None:
+        """Net2Net-style widening when the node set grows.
+
+        New input columns/rows get small random weights; existing weights
+        are preserved, which is DynGEM's knowledge transfer.
+        """
+        old = self.input_dim
+        if new_input_dim <= old:
+            return
+        grow = new_input_dim - old
+        scale = np.sqrt(6.0 / (new_input_dim + self.hidden_dim))
+        self.w1 = np.vstack(
+            [self.w1, self.rng.uniform(-scale, scale, size=(grow, self.hidden_dim))]
+        )
+        self.w4 = np.hstack(
+            [self.w4, self.rng.uniform(-scale, scale, size=(self.hidden_dim, grow))]
+        )
+        self.b4 = np.concatenate([self.b4, np.zeros(grow)])
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        return _relu(x @ self.w1 + self.b1) @ self.w2 + self.b2
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, ...]:
+        h1 = _relu(x @ self.w1 + self.b1)
+        z = h1 @ self.w2 + self.b2
+        h2 = _relu(z @ self.w3 + self.b3)
+        out = h2 @ self.w4 + self.b4
+        return h1, z, h2, out
+
+    def train_batch(
+        self, x: np.ndarray, beta: float, optimizer: Adam, l2: float
+    ) -> float:
+        """One Adam step on a batch of adjacency rows; returns the loss."""
+        h1, z, h2, out = self.forward(x)
+        weight = np.where(x > 0, beta, 1.0)
+        diff = (out - x) * weight
+        n = x.shape[0]
+        loss = float((diff * diff).sum() / n)
+
+        grad_out = 2.0 * diff * weight / n
+        grad_w4 = h2.T @ grad_out + l2 * self.w4
+        grad_b4 = grad_out.sum(axis=0)
+        grad_h2 = grad_out @ self.w4.T
+        grad_h2[h2 <= 0] = 0.0
+        grad_w3 = z.T @ grad_h2 + l2 * self.w3
+        grad_b3 = grad_h2.sum(axis=0)
+        grad_z = grad_h2 @ self.w3.T
+        grad_w2 = h1.T @ grad_z + l2 * self.w2
+        grad_b2 = grad_z.sum(axis=0)
+        grad_h1 = grad_z @ self.w2.T
+        grad_h1[h1 <= 0] = 0.0
+        grad_w1 = x.T @ grad_h1 + l2 * self.w1
+        grad_b1 = grad_h1.sum(axis=0)
+
+        for param, grad in (
+            (self.w1, grad_w1),
+            (self.b1, grad_b1),
+            (self.w2, grad_w2),
+            (self.b2, grad_b2),
+            (self.w3, grad_w3),
+            (self.b3, grad_b3),
+            (self.w4, grad_w4),
+            (self.b4, grad_b4),
+        ):
+            optimizer.step(param, grad)
+        return loss
+
+
+class DynGEM(DynamicEmbeddingMethod):
+    """Warm-started autoencoder DNE (full retrain epochs on every step)."""
+
+    name = "DynGEM"
+    supports_node_deletion = True
+
+    def __init__(
+        self,
+        dim: int = 128,
+        hidden_dim: int = 256,
+        beta: float = 5.0,
+        epochs: int = 40,
+        warm_epochs: int = 15,
+        batch_size: int = 128,
+        lr: float = 1e-3,
+        l2: float = 1e-5,
+        seed: int | None = None,
+    ) -> None:
+        self.dim = int(dim)
+        self.hidden_dim = int(hidden_dim)
+        self.beta = float(beta)
+        self.epochs = int(epochs)
+        self.warm_epochs = int(warm_epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.l2 = float(l2)
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self._seed)
+        self.model: _AutoEncoder | None = None
+        # Global node ordering: the autoencoder's input dimension is the
+        # number of nodes ever seen, so adjacency rows stay aligned with
+        # model columns as the network grows.
+        self.node_order: list[Node] = []
+        self.node_index: dict[Node, int] = {}
+        self.time_step = 0
+
+    def _register_nodes(self, snapshot: Graph) -> None:
+        for node in snapshot.nodes():
+            if node not in self.node_index:
+                self.node_index[node] = len(self.node_order)
+                self.node_order.append(node)
+
+    def _adjacency_rows(self, snapshot: Graph) -> tuple[list[Node], np.ndarray]:
+        nodes = list(snapshot.nodes())
+        dim = len(self.node_order)
+        rows = np.zeros((len(nodes), dim), dtype=np.float64)
+        for i, node in enumerate(nodes):
+            for neighbor in snapshot.neighbors(node):
+                rows[i, self.node_index[neighbor]] = snapshot.edge_weight(
+                    node, neighbor
+                )
+        return nodes, rows
+
+    def update(self, snapshot: Graph) -> EmbeddingMap:
+        self._register_nodes(snapshot)
+        nodes, rows = self._adjacency_rows(snapshot)
+        input_dim = len(self.node_order)
+
+        if self.model is None:
+            self.model = _AutoEncoder(
+                input_dim, self.hidden_dim, self.dim, self.rng
+            )
+            epochs = self.epochs
+        else:
+            self.model.widen(input_dim)
+            epochs = self.warm_epochs  # knowledge transfer converges fast
+
+        optimizer = Adam(lr=self.lr)
+        n = rows.shape[0]
+        for _ in range(epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = rows[order[start: start + self.batch_size]]
+                self.model.train_batch(batch, self.beta, optimizer, self.l2)
+
+        embeddings = self.model.encode(rows)
+        self.time_step += 1
+        return {node: embeddings[i].copy() for i, node in enumerate(nodes)}

@@ -1,0 +1,114 @@
+"""DynLINE baseline (Du et al., IJCAI 2018): incremental LINE.
+
+LINE's second-order objective is exactly SGNS with the edge list as the
+pair corpus (each edge contributes a (u, v) and a (v, u) positive pair).
+The dynamic extension updates, at each step, only the embeddings of the
+*most affected* nodes — those incident to changed edges — plus new nodes,
+by re-sampling only the edges touching them.
+
+Like the original, the method has no mechanism for node deletions: the
+paper reports n/a for DynLINE on AS733, which we reproduce by raising
+:class:`repro.base.UnsupportedDynamicsError`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.base import DynamicEmbeddingMethod, EmbeddingMap
+from repro.graph.diff import diff_snapshots
+from repro.graph.static import Graph
+from repro.sgns.model import SGNSModel
+from repro.sgns.trainer import TrainConfig, train_on_corpus
+from repro.walks.corpus import PairCorpus
+
+Node = Hashable
+
+
+def _edge_corpus(
+    snapshot: Graph, nodes: list[Node], restrict_to: set[Node] | None
+) -> PairCorpus:
+    """Pair corpus from edges (both directions), optionally restricted to
+    edges incident to ``restrict_to``."""
+    index_of = {node: i for i, node in enumerate(nodes)}
+    centers: list[int] = []
+    contexts: list[int] = []
+    for u, v in snapshot.edges():
+        if restrict_to is not None and u not in restrict_to and v not in restrict_to:
+            continue
+        ui, vi = index_of[u], index_of[v]
+        centers.extend((ui, vi))
+        contexts.extend((vi, ui))
+    centers_arr = np.asarray(centers, dtype=np.int64)
+    contexts_arr = np.asarray(contexts, dtype=np.int64)
+    counts = np.zeros(len(nodes), dtype=np.int64)
+    if centers_arr.size:
+        np.add.at(counts, centers_arr, 1)
+    return PairCorpus(centers=centers_arr, contexts=contexts_arr, counts=counts)
+
+
+class DynLINE(DynamicEmbeddingMethod):
+    """Incremental LINE(2nd) with most-affected-node updates."""
+
+    name = "DynLINE"
+    supports_node_deletion = False
+
+    def __init__(
+        self,
+        dim: int = 128,
+        negative: int = 5,
+        epochs: int = 5,
+        lr: float = 0.025,
+        seed: int | None = None,
+    ) -> None:
+        self.dim = int(dim)
+        self.negative = int(negative)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self._seed)
+        self.model = SGNSModel(self.dim, rng=self.rng)
+        self.previous: Graph | None = None
+        self.time_step = 0
+
+    def _train_config(self) -> TrainConfig:
+        return TrainConfig(
+            negative=self.negative, epochs=self.epochs, lr=self.lr
+        )
+
+    def update(self, snapshot: Graph) -> EmbeddingMap:
+        self.check_deletions(self.previous, snapshot)
+        nodes = list(snapshot.nodes())
+
+        if self.previous is None:
+            affected: set[Node] | None = None  # offline: every edge
+        else:
+            diff = diff_snapshots(self.previous, snapshot)
+            affected = set(diff.changed_nodes) | set(diff.added_nodes)
+            if not affected:
+                # Quiet step: nothing to update, emit current state.
+                self.previous = snapshot.copy()
+                self.time_step += 1
+                return self._emit(nodes)
+
+        corpus = _edge_corpus(snapshot, nodes, affected)
+        self.model.ensure_nodes(nodes)
+        if corpus.num_pairs:
+            row_of = self.model.vocab.indices(nodes)
+            train_on_corpus(
+                self.model, corpus, row_of, self.rng, config=self._train_config()
+            )
+
+        self.previous = snapshot.copy()
+        self.time_step += 1
+        return self._emit(nodes)
+
+    def _emit(self, nodes: list[Node]) -> EmbeddingMap:
+        self.model.ensure_nodes(nodes)
+        matrix = self.model.embedding_matrix(nodes)
+        return dict(zip(nodes, matrix))

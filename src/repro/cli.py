@@ -1,0 +1,292 @@
+"""Command-line interface: embed, evaluate, and inspect dynamic networks.
+
+Usage::
+
+    python -m repro datasets
+    python -m repro embed --dataset elec-sim --method glodyne --out emb.npz
+    python -m repro evaluate --dataset elec-sim --method glodyne --task gr
+    python -m repro analyze --dataset fbw-sim
+
+The CLI wires together the same public APIs the examples use; it exists so
+a downstream user can reproduce a single cell of a paper table without
+writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    BCGDGlobal,
+    BCGDLocal,
+    DynGEM,
+    DynLINE,
+    DynTriad,
+    GloDyNE,
+    SGNSIncrement,
+    SGNSRetrain,
+    SGNSStatic,
+    TNE,
+)
+from repro.base import DynamicEmbeddingMethod
+from repro.datasets import list_datasets, load_dataset
+from repro.experiments import render_table, run_method
+from repro.tasks import (
+    graph_reconstruction_over_time,
+    link_prediction_over_time,
+    node_classification_over_time,
+)
+
+# Hyper-parameter presets: "paper" mirrors §5.1.2 (r=10, l=80, s=10, q=5,
+# 5 epochs), "quick" is a laptop-friendly smoke profile.
+PROFILES = {
+    "paper": dict(
+        walk=dict(num_walks=10, walk_length=80, window_size=10, epochs=5),
+        bcgd_iterations=100,
+        dyngem=dict(epochs=40, warm_epochs=15),
+    ),
+    "quick": dict(
+        walk=dict(num_walks=3, walk_length=12, window_size=4, epochs=2),
+        bcgd_iterations=30,
+        dyngem=dict(epochs=10, warm_epochs=4),
+    ),
+}
+
+
+def _builders(profile: dict) -> dict:
+    walk = profile["walk"]
+    iters = profile["bcgd_iterations"]
+    dyngem = profile["dyngem"]
+    return {
+        "glodyne": lambda dim, seed: GloDyNE(
+            dim=dim, alpha=0.1, seed=seed, **walk
+        ),
+        "sgns-static": lambda dim, seed: SGNSStatic(dim=dim, seed=seed, **walk),
+        "sgns-retrain": lambda dim, seed: SGNSRetrain(
+            dim=dim, seed=seed, **walk
+        ),
+        "sgns-increment": lambda dim, seed: SGNSIncrement(
+            dim=dim, seed=seed, **walk
+        ),
+        "bcgd-global": lambda dim, seed: BCGDGlobal(
+            dim=dim, iterations=iters, seed=seed
+        ),
+        "bcgd-local": lambda dim, seed: BCGDLocal(
+            dim=dim, iterations=iters, seed=seed
+        ),
+        "dyngem": lambda dim, seed: DynGEM(dim=dim, seed=seed, **dyngem),
+        "dynline": lambda dim, seed: DynLINE(dim=dim, seed=seed),
+        "dyntriad": lambda dim, seed: DynTriad(dim=dim, seed=seed),
+        "tne": lambda dim, seed: TNE(dim=dim, seed=seed, **walk),
+    }
+
+
+METHOD_NAMES = sorted(_builders(PROFILES["quick"]))
+
+
+def build_method(
+    name: str, dim: int, seed: int, profile: str = "quick"
+) -> DynamicEmbeddingMethod:
+    try:
+        builders = _builders(PROFILES[profile])
+    except KeyError:
+        raise SystemExit(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        ) from None
+    try:
+        return builders[name](dim, seed)
+    except KeyError:
+        raise SystemExit(
+            f"unknown method {name!r}; choose from {METHOD_NAMES}"
+        ) from None
+
+
+def cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    from repro.datasets import get_spec
+
+    for name in list_datasets():
+        spec = get_spec(name)
+        rows.append(
+            [
+                name,
+                spec.paper_dataset,
+                "yes" if spec.has_labels else "no",
+                "yes" if spec.has_deletions else "no",
+                str(spec.default_snapshots),
+                spec.description,
+            ]
+        )
+    print(
+        render_table(
+            ["name", "paper", "labels", "deletions", "snapshots", "description"],
+            rows,
+            title="registered simulated datasets",
+        )
+    )
+    return 0
+
+
+def cmd_embed(args: argparse.Namespace) -> int:
+    network = load_dataset(
+        args.dataset, scale=args.scale, seed=args.data_seed,
+        snapshots=args.snapshots,
+    )
+    method = build_method(args.method, args.dim, args.seed, args.profile)
+    started = time.perf_counter()
+    result = run_method(method, network)
+    elapsed = time.perf_counter() - started
+    if not result.ok:
+        print(f"n/a: {result.not_available}", file=sys.stderr)
+        return 1
+    print(
+        f"embedded {network.name}: {network.num_snapshots} snapshots "
+        f"in {elapsed:.2f}s ({result.total_seconds:.2f}s embedding time)"
+    )
+    if args.out:
+        final = result.embeddings[-1]
+        nodes = sorted(final, key=repr)
+        np.savez(
+            args.out,
+            nodes=np.array([str(n) for n in nodes]),
+            embeddings=np.stack([final[n] for n in nodes]),
+        )
+        print(f"wrote final-snapshot embeddings -> {args.out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    network = load_dataset(
+        args.dataset, scale=args.scale, seed=args.data_seed,
+        snapshots=args.snapshots,
+    )
+    method = build_method(args.method, args.dim, args.seed, args.profile)
+    result = run_method(method, network)
+    if not result.ok:
+        print(f"n/a: {result.not_available}", file=sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed)
+    rows = []
+    tasks = args.task.split(",")
+    if "gr" in tasks:
+        scores = graph_reconstruction_over_time(
+            result.embeddings, network, [1, 5, 10, 20, 40]
+        )
+        rows.extend(
+            [f"GR MeanP@{k}", f"{v * 100:.2f}%"] for k, v in scores.items()
+        )
+    if "lp" in tasks:
+        auc = link_prediction_over_time(result.embeddings, network, rng)
+        rows.append(["LP AUC", f"{auc * 100:.2f}%"])
+    if "nc" in tasks:
+        if not network.labels:
+            rows.append(["NC", "dataset has no labels"])
+        else:
+            for ratio in (0.5, 0.7, 0.9):
+                scores = node_classification_over_time(
+                    result.embeddings, network, ratio, rng, min_labeled=20
+                )
+                rows.append(
+                    [
+                        f"NC F1 @ {ratio}",
+                        f"micro {scores.micro_f1 * 100:.2f}% / "
+                        f"macro {scores.macro_f1 * 100:.2f}%",
+                    ]
+                )
+    rows.append(["embed time", f"{result.total_seconds:.2f}s"])
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.method} on {args.dataset}",
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import inactive_subnetworks, proximity_change_profile
+
+    network = load_dataset(
+        args.dataset, scale=args.scale, seed=args.data_seed,
+        snapshots=args.snapshots,
+    )
+    rng = np.random.default_rng(0)
+    report = inactive_subnetworks(
+        network, cell_size=args.cell_size, min_streak=5, rng=rng
+    )
+    print(
+        f"{network.name}: {report.num_cells} cells, "
+        f"{report.cells_with_streak} with a >=5-step quiet streak "
+        f"({report.inactive_fraction * 100:.0f}%)"
+    )
+    for length, count in sorted(report.streak_histogram.items()):
+        print(f"  quiet {length} steps: {count} sub-networks")
+    profile = proximity_change_profile(network, max_sources=32, rng=rng)
+    per_edge = [p.change_per_edge for p in profile if p.num_changed_edges]
+    if per_edge:
+        print(
+            f"Δsp per changed edge: mean {np.mean(per_edge):.1f}, "
+            f"max {np.max(per_edge):.1f}"
+        )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GloDyNE reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list simulated datasets")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="elec-sim")
+        p.add_argument("--method", default="glodyne")
+        p.add_argument("--dim", type=int, default=64)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--data-seed", type=int, default=0)
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("--snapshots", type=int, default=None)
+        p.add_argument(
+            "--profile", default="quick", choices=sorted(PROFILES),
+            help="hyper-parameter preset (paper = §5.1.2 settings)",
+        )
+
+    embed = sub.add_parser("embed", help="embed a dynamic network")
+    common(embed)
+    embed.add_argument("--out", default=None, help="write final Z^T as .npz")
+
+    evaluate = sub.add_parser("evaluate", help="embed + run downstream tasks")
+    common(evaluate)
+    evaluate.add_argument(
+        "--task", default="gr,lp", help="comma list from {gr,lp,nc}"
+    )
+
+    analyze = sub.add_parser("analyze", help="Figure 1 style analyses")
+    analyze.add_argument("--dataset", default="fbw-sim")
+    analyze.add_argument("--data-seed", type=int, default=0)
+    analyze.add_argument("--scale", type=float, default=0.5)
+    analyze.add_argument("--snapshots", type=int, default=None)
+    analyze.add_argument("--cell-size", type=int, default=15)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "embed": cmd_embed,
+        "evaluate": cmd_evaluate,
+        "analyze": cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""GloDyNE core: reservoir, scoring, selection strategies, Algorithm 1."""
+
+from repro.core.glodyne import GloDyNE, GloDyNEConfig, StepTrace
+from repro.core.persistence import load_checkpoint, save_checkpoint
+from repro.core.reservoir import Reservoir
+from repro.core.scoring import (
+    change_score,
+    cell_scores,
+    sample_representative,
+    softmax_probabilities,
+)
+from repro.core.selection import (
+    STRATEGIES,
+    SelectionContext,
+    get_strategy,
+    select_s1,
+    select_s2,
+    select_s3,
+    select_s4,
+    select_s4_uniform,
+)
+from repro.core.variants import SGNSIncrement, SGNSRetrain, SGNSStatic
+
+__all__ = [
+    "GloDyNE",
+    "GloDyNEConfig",
+    "Reservoir",
+    "STRATEGIES",
+    "SGNSIncrement",
+    "SGNSRetrain",
+    "SGNSStatic",
+    "SelectionContext",
+    "StepTrace",
+    "cell_scores",
+    "change_score",
+    "get_strategy",
+    "load_checkpoint",
+    "sample_representative",
+    "save_checkpoint",
+    "select_s1",
+    "select_s2",
+    "select_s3",
+    "select_s4",
+    "select_s4_uniform",
+    "softmax_probabilities",
+]

@@ -1,0 +1,123 @@
+"""Checkpointing for GloDyNE: save / restore mid-stream state.
+
+A deployed DNE service updates embeddings for months; being able to stop
+and resume without replaying every snapshot is table stakes. A checkpoint
+captures everything Eq. (11) threads through time: the SGNS matrices, the
+vocabulary, the reservoir, and the previous snapshot.
+
+The format is a single ``.npz`` (numpy archive); node ids are stored via
+a repr/eval-free JSON column so arbitrary str/int ids survive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.glodyne import GloDyNE, GloDyNEConfig
+from repro.graph.static import Graph
+
+FORMAT_VERSION = 1
+
+
+def _encode_nodes(nodes) -> np.ndarray:
+    return np.array([json.dumps(node) for node in nodes], dtype=object)
+
+
+def _decode_nodes(column: np.ndarray) -> list:
+    return [json.loads(item) for item in column]
+
+
+def save_checkpoint(model: GloDyNE, path: str | Path) -> None:
+    """Serialise a GloDyNE instance to ``path`` (.npz).
+
+    Only JSON-encodable node ids (str, int, float, tuples thereof as
+    lists) are supported — the same restriction as any on-disk format.
+    """
+    vocab_nodes = list(model.model.vocab)
+    previous_edges = (
+        list(model.previous.weighted_edges()) if model.previous else []
+    )
+    previous_nodes = list(model.previous.nodes()) if model.previous else []
+    reservoir = model.reservoir.as_dict()
+
+    config = model.config
+    config_json = json.dumps(
+        {
+            "dim": config.dim,
+            "alpha": config.alpha,
+            "num_walks": config.num_walks,
+            "walk_length": config.walk_length,
+            "window_size": config.window_size,
+            "negative": config.negative,
+            "epochs": config.epochs,
+            "lr": config.lr,
+            "min_lr": config.min_lr,
+            "batch_size": config.batch_size,
+            "partition_eps": config.partition_eps,
+            "strategy": config.strategy,
+            "weighted_changes": config.weighted_changes,
+        }
+    )
+
+    np.savez(
+        path,
+        format_version=np.array([FORMAT_VERSION]),
+        config=np.array([config_json], dtype=object),
+        time_step=np.array([model.time_step]),
+        vocab=_encode_nodes(vocab_nodes),
+        w_in=model.model.w_in.copy(),
+        w_out=model.model.w_out.copy(),
+        reservoir_nodes=_encode_nodes(reservoir.keys()),
+        reservoir_values=np.array(list(reservoir.values()), dtype=np.float64),
+        prev_nodes=_encode_nodes(previous_nodes),
+        prev_edge_u=_encode_nodes([u for u, _, _ in previous_edges]),
+        prev_edge_v=_encode_nodes([v for _, v, _ in previous_edges]),
+        prev_edge_w=np.array(
+            [w for _, _, w in previous_edges], dtype=np.float64
+        ),
+        allow_pickle=True,
+    )
+
+
+def load_checkpoint(path: str | Path, seed: int | None = None) -> GloDyNE:
+    """Restore a GloDyNE instance saved by :func:`save_checkpoint`.
+
+    ``seed`` reseeds the RNG for the *future* steps (the stream of past
+    randomness is not replayed).
+    """
+    archive = np.load(path, allow_pickle=True)
+    version = int(archive["format_version"][0])
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint format {version} != supported {FORMAT_VERSION}"
+        )
+    config = GloDyNEConfig(**json.loads(str(archive["config"][0])))
+    model = GloDyNE(config=config, seed=seed)
+
+    vocab_nodes = _decode_nodes(archive["vocab"])
+    model.model.ensure_nodes(vocab_nodes)
+    model.model._w_in[: len(vocab_nodes)] = archive["w_in"]
+    model.model._w_out[: len(vocab_nodes)] = archive["w_out"]
+
+    reservoir_nodes = _decode_nodes(archive["reservoir_nodes"])
+    reservoir_values = archive["reservoir_values"]
+    model.reservoir.accumulate(dict(zip(reservoir_nodes, reservoir_values)))
+
+    prev_nodes = _decode_nodes(archive["prev_nodes"])
+    if prev_nodes:
+        previous = Graph()
+        for node in prev_nodes:
+            previous.add_node(node)
+        for u, v, w in zip(
+            _decode_nodes(archive["prev_edge_u"]),
+            _decode_nodes(archive["prev_edge_v"]),
+            archive["prev_edge_w"],
+        ):
+            previous.add_edge(u, v, float(w))
+        model.previous = previous
+
+    model.time_step = int(archive["time_step"][0])
+    return model

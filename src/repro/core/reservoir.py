@@ -1,0 +1,61 @@
+"""The accumulated-change reservoir R^t (Eq. 3, Algorithm 1 lines 10 & 14).
+
+The reservoir remembers, per node, the number of incident edge changes that
+have *not yet* been absorbed into the embedding: every step adds the current
+|ΔE^t_i|, and nodes selected for walking are evicted (their changes are
+about to be captured). Footnote 2 of the paper explains why accumulation
+matters — a node with small changes every step for a long time has a large
+total topological drift that per-step methods ignore.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+Node = Hashable
+
+
+class Reservoir:
+    """Per-node accumulated topological-change counter."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self) -> None:
+        self._store: dict[Node, float] = {}
+
+    def accumulate(self, node_changes: Mapping[Node, float]) -> None:
+        """Apply line 10 of Algorithm 1: ``R^t_i = |ΔE^t_i| + R^{t-1}_i``."""
+        for node, change in node_changes.items():
+            if change:
+                self._store[node] = self._store.get(node, 0.0) + change
+
+    def evict(self, nodes: Iterable[Node]) -> None:
+        """Apply line 14: drop selected nodes (their drift is now captured)."""
+        for node in nodes:
+            self._store.pop(node, None)
+
+    def prune(self, alive_nodes: set[Node]) -> None:
+        """Drop reservoir entries for nodes no longer in the network."""
+        dead = [node for node in self._store if node not in alive_nodes]
+        for node in dead:
+            del self._store[node]
+
+    def get(self, node: Node) -> float:
+        """Accumulated change of ``node`` (0.0 when never changed)."""
+        return self._store.get(node, 0.0)
+
+    def nodes(self) -> list[Node]:
+        """Nodes currently holding unabsorbed changes."""
+        return list(self._store)
+
+    def as_dict(self) -> dict[Node, float]:
+        return dict(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._store

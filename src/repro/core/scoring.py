@@ -1,0 +1,83 @@
+"""Change scoring and per-cell selection probabilities (Eq. 3-4).
+
+The score of node *i* at time *t* is its accumulated topological change
+normalised by its previous degree — the paper's physics metaphor treats the
+degree as *inertia*: the same number of changed edges perturbs a hub far
+less than a leaf.
+
+    S(v^t_i) = (|ΔE^t_i| + R^{t-1}_i) / Deg(v^{t-1}_i)            (Eq. 3)
+
+Note that Algorithm 1 folds the numerator into the reservoir *before*
+scoring (line 10 precedes lines 11-13), so in code the numerator is simply
+the post-accumulation reservoir value R^t_i.
+
+Within each partition cell the representative is sampled from the softmax
+of scores (Eq. 4); the e^0 = 1 base guarantees a valid uniform distribution
+on fully inactive cells.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.reservoir import Reservoir
+from repro.graph.static import Graph
+
+Node = Hashable
+
+# Degree fallback for nodes absent from the previous snapshot (new nodes).
+# The paper is silent here; treating a brand-new node as inertia-1 gives it
+# the full weight of its accumulated changes, which matches the intent of
+# biasing selection toward topological novelty.
+NEW_NODE_DEGREE = 1.0
+
+
+def change_score(
+    node: Node,
+    reservoir: Reservoir,
+    previous: Graph | None,
+) -> float:
+    """S(v) of Eq. (3) using the post-accumulation reservoir as numerator."""
+    numerator = reservoir.get(node)
+    if numerator == 0.0:
+        return 0.0
+    if previous is not None and previous.has_node(node):
+        inertia = max(float(previous.degree(node)), 1.0)
+    else:
+        inertia = NEW_NODE_DEGREE
+    return numerator / inertia
+
+
+def cell_scores(
+    cell: Sequence[Node],
+    reservoir: Reservoir,
+    previous: Graph | None,
+) -> np.ndarray:
+    """Vector of S(v) over one partition cell."""
+    return np.array(
+        [change_score(node, reservoir, previous) for node in cell],
+        dtype=np.float64,
+    )
+
+
+def softmax_probabilities(scores: np.ndarray) -> np.ndarray:
+    """Eq. (4): P(v_i) = e^{S(v_i)} / Σ_j e^{S(v_j)} (max-shifted for safety)."""
+    if scores.size == 0:
+        raise ValueError("cannot build a distribution over an empty cell")
+    shifted = scores - scores.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def sample_representative(
+    cell: Sequence[Node],
+    reservoir: Reservoir,
+    previous: Graph | None,
+    rng: np.random.Generator,
+) -> Node:
+    """Draw one representative node from a cell per Eq. (4)."""
+    probabilities = softmax_probabilities(cell_scores(cell, reservoir, previous))
+    choice = rng.choice(len(cell), p=probabilities)
+    return cell[int(choice)]

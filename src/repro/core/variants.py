@@ -1,0 +1,124 @@
+"""Self-comparison variants of Section 5.3: SGNS-static / -retrain / -increment.
+
+These three baselines share GloDyNE's machinery and differ only in *when*
+and *from which nodes* the SGNS model is (re)trained:
+
+* **SGNS-static** — trains once on G^0 and reuses Z^0 forever
+  (Section 5.3.1). Nodes that appear later receive fresh random vectors:
+  the method genuinely knows nothing about them, and random vectors score
+  ~0 in downstream tasks, reproducing the paper's decay curves.
+* **SGNS-retrain** — a fresh DeepWalk per snapshot (the "naive DNE"
+  of Section 5.3.1); effective but slow and free to rotate/flip the
+  embedding space between steps (Figure 5's 'v'-shape rotation).
+* **SGNS-increment** — GloDyNE with ``V_sel = V_all`` (equivalently
+  α = 1.0 without partitioning; Section 5.3.2): the incremental upper
+  bound that GloDyNE approximates with a fraction of the work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.base import DynamicEmbeddingMethod, EmbeddingMap
+from repro.core.glodyne import GloDyNEConfig
+from repro.graph.csr import CSRAdjacency
+from repro.graph.static import Graph
+from repro.sgns.model import SGNSModel
+from repro.sgns.trainer import train_on_corpus
+from repro.walks.corpus import build_pair_corpus
+from repro.walks.random_walk import simulate_walks
+
+
+def _deepwalk_round(
+    model: SGNSModel,
+    snapshot: Graph,
+    config: GloDyNEConfig,
+    rng: np.random.Generator,
+) -> None:
+    """One full DeepWalk training round (walks from every node)."""
+    csr = CSRAdjacency.from_graph(snapshot)
+    walks = simulate_walks(
+        csr,
+        np.arange(csr.num_nodes),
+        config.num_walks,
+        config.walk_length,
+        rng,
+    )
+    corpus = build_pair_corpus(walks, config.window_size, csr.num_nodes)
+    model.ensure_nodes(csr.nodes)
+    row_of = model.vocab.indices(csr.nodes)
+    train_on_corpus(model, corpus, row_of, rng, config=config.train_config())
+
+
+class _VariantBase(DynamicEmbeddingMethod):
+    """Shared construction/reset for the three SGNS variants."""
+
+    def __init__(
+        self,
+        config: GloDyNEConfig | None = None,
+        seed: int | None = None,
+        **overrides,
+    ) -> None:
+        if config is not None and overrides:
+            raise ValueError("pass either a config object or keyword overrides")
+        self.config = config if config is not None else GloDyNEConfig(**overrides)
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        self.rng = np.random.default_rng(self._seed)
+        self.model: SGNSModel | None = None
+        self.time_step = 0
+
+    def _emit(self, snapshot: Graph) -> EmbeddingMap:
+        """Embeddings for the snapshot's nodes, random for unknown nodes."""
+        assert self.model is not None
+        result: EmbeddingMap = {}
+        for node in snapshot.nodes():
+            if node in self.model.vocab:
+                result[node] = self.model.embedding(node)
+            else:
+                # Unknown to the model: an uninformative vector (static
+                # variant after t=0). Same init scale as fresh SGNS rows.
+                result[node] = (
+                    self.rng.random(self.config.dim) - 0.5
+                ) / self.config.dim
+        return result
+
+
+class SGNSStatic(_VariantBase):
+    """Train at t = 0 only; reuse those embeddings at every later step."""
+
+    name = "SGNS-static"
+
+    def update(self, snapshot: Graph) -> EmbeddingMap:
+        if self.model is None:
+            self.model = SGNSModel(self.config.dim, rng=self.rng)
+            _deepwalk_round(self.model, snapshot, self.config, self.rng)
+        self.time_step += 1
+        return self._emit(snapshot)
+
+
+class SGNSRetrain(_VariantBase):
+    """Fresh DeepWalk per snapshot — the naive (slow) DNE solution."""
+
+    name = "SGNS-retrain"
+
+    def update(self, snapshot: Graph) -> EmbeddingMap:
+        self.model = SGNSModel(self.config.dim, rng=self.rng)
+        _deepwalk_round(self.model, snapshot, self.config, self.rng)
+        self.time_step += 1
+        return self._emit(snapshot)
+
+
+class SGNSIncrement(_VariantBase):
+    """Warm-started DeepWalk per snapshot (GloDyNE with V_sel = V_all)."""
+
+    name = "SGNS-increment"
+
+    def update(self, snapshot: Graph) -> EmbeddingMap:
+        if self.model is None:
+            self.model = SGNSModel(self.config.dim, rng=self.rng)
+        _deepwalk_round(self.model, snapshot, self.config, self.rng)
+        self.time_step += 1
+        return self._emit(snapshot)

@@ -1,0 +1,43 @@
+"""Simulated dynamic-network datasets and KONECT-style IO."""
+
+from repro.datasets.generators import (
+    coauthor_growth,
+    community_citation_growth,
+    interaction_stream,
+    preferential_attachment_graph,
+    router_churn,
+)
+from repro.datasets.io import (
+    read_edge_stream,
+    read_labels,
+    read_snapshots,
+    write_edge_stream,
+    write_labels,
+    write_snapshots,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    get_spec,
+    list_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "coauthor_growth",
+    "community_citation_growth",
+    "get_spec",
+    "interaction_stream",
+    "list_datasets",
+    "load_dataset",
+    "preferential_attachment_graph",
+    "read_edge_stream",
+    "read_labels",
+    "read_snapshots",
+    "router_churn",
+    "write_edge_stream",
+    "write_labels",
+    "write_snapshots",
+]

@@ -1,0 +1,117 @@
+"""Reading and writing dynamic-network data in KONECT-style formats.
+
+Real KONECT/SNAP downloads can be dropped into the same pipeline used by
+the simulated datasets: timestamped edge streams are whitespace-separated
+``u v timestamp`` lines (``%`` comments allowed), labels are ``node label``
+lines, and snapshot-given datasets use ``# snapshot <t>`` section headers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Hashable
+
+from repro.graph.dynamic import DynamicNetwork, EdgeEvent
+from repro.graph.static import Graph
+
+Node = Hashable
+
+
+def write_edge_stream(path: str | Path, events: list[EdgeEvent]) -> None:
+    """Write events as ``u v time [kind]`` lines (kind omitted for adds)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("% source target time [kind]\n")
+        for event in events:
+            suffix = "" if event.kind == "add" else f" {event.kind}"
+            handle.write(f"{event.u} {event.v} {event.time}{suffix}\n")
+
+
+def read_edge_stream(path: str | Path) -> list[EdgeEvent]:
+    """Parse a KONECT-style edge stream; node ids become ints when possible."""
+    events: list[EdgeEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("%", "#")):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise ValueError(f"malformed edge-stream line: {line!r}")
+            u, v = _coerce(parts[0]), _coerce(parts[1])
+            time = float(parts[2])
+            kind = parts[3] if len(parts) > 3 else "add"
+            events.append(EdgeEvent(u, v, time, kind))
+    return events
+
+
+def write_labels(path: str | Path, labels: dict[Node, object]) -> None:
+    """Write ``node label`` lines."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        handle.write("% node label\n")
+        for node, label in labels.items():
+            handle.write(f"{node} {label}\n")
+
+
+def read_labels(path: str | Path) -> dict[Node, object]:
+    """Parse ``node label`` lines (ints coerced on both columns)."""
+    labels: dict[Node, object] = {}
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("%", "#")):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed label line: {line!r}")
+            labels[_coerce(parts[0])] = _coerce(parts[1])
+    return labels
+
+
+def write_snapshots(path: str | Path, network: DynamicNetwork) -> None:
+    """Write a snapshot-given dynamic network (``# snapshot t`` sections)."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        handle.write(f"% dynamic network {network.name}\n")
+        for t, snapshot in enumerate(network):
+            handle.write(f"# snapshot {t}\n")
+            for node in snapshot.nodes():
+                if snapshot.degree(node) == 0:
+                    handle.write(f"{node}\n")  # isolated node line
+            for u, v, w in snapshot.weighted_edges():
+                handle.write(f"{u} {v} {w}\n")
+
+
+def read_snapshots(path: str | Path, name: str = "loaded") -> DynamicNetwork:
+    """Parse a snapshot-section file back into a :class:`DynamicNetwork`."""
+    snapshots: list[Graph] = []
+    current: Graph | None = None
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            if line.startswith("# snapshot"):
+                current = Graph()
+                snapshots.append(current)
+                continue
+            if current is None:
+                raise ValueError("edge data before any '# snapshot' header")
+            parts = line.split()
+            if len(parts) == 1:
+                current.add_node(_coerce(parts[0]))
+            elif len(parts) in (2, 3):
+                weight = float(parts[2]) if len(parts) == 3 else 1.0
+                current.add_edge(_coerce(parts[0]), _coerce(parts[1]), weight)
+            else:
+                raise ValueError(f"malformed snapshot line: {line!r}")
+    if not snapshots:
+        raise ValueError("file contains no snapshots")
+    return DynamicNetwork.from_snapshots(snapshots, name=name)
+
+
+def _coerce(token: str):
+    """Turn numeric-looking tokens into ints (KONECT ids are integers)."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

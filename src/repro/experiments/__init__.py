@@ -1,0 +1,17 @@
+"""Experiment harness shared by the benchmarks."""
+
+from repro.experiments.runner import RunResult, repeat_runs, run_method
+from repro.experiments.sweep import SweepPoint, SweepResult, run_sweep
+from repro.experiments.tables import annotate_cell, format_mean_std, render_table
+
+__all__ = [
+    "RunResult",
+    "SweepPoint",
+    "SweepResult",
+    "annotate_cell",
+    "format_mean_std",
+    "render_table",
+    "repeat_runs",
+    "run_method",
+    "run_sweep",
+]

@@ -1,0 +1,91 @@
+"""Experiment runner: execute a DNE method over a dynamic network.
+
+Collects per-step embeddings and wall-clock time (embedding only — the
+paper's Table 4 explicitly excludes downstream-task time), and converts
+the paper's "n/a" situations (node deletions for DynLINE/tNE, memory
+exhaustion for DynGEM) into a recorded reason rather than a crash.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.base import (
+    DynamicEmbeddingMethod,
+    EmbeddingMap,
+    UnsupportedDynamicsError,
+)
+from repro.graph.dynamic import DynamicNetwork
+
+
+@dataclass
+class RunResult:
+    """Outcome of embedding one dynamic network with one method."""
+
+    method_name: str
+    dataset_name: str
+    embeddings: list[EmbeddingMap] = field(default_factory=list)
+    step_seconds: list[float] = field(default_factory=list)
+    not_available: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.not_available is None
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock time over all time steps (Table 4 cell)."""
+        return float(sum(self.step_seconds))
+
+
+def run_method(
+    method: DynamicEmbeddingMethod,
+    network: DynamicNetwork,
+    keep_embeddings: bool = True,
+) -> RunResult:
+    """Stream every snapshot through ``method``, timing each update.
+
+    A method raising :class:`UnsupportedDynamicsError` (or ``MemoryError``)
+    yields a result with ``not_available`` set — the paper's n/a cells.
+    """
+    result = RunResult(method_name=method.name, dataset_name=network.name)
+    method.reset()
+    try:
+        for snapshot in network:
+            start = time.perf_counter()
+            embeddings = method.update(snapshot)
+            result.step_seconds.append(time.perf_counter() - start)
+            if keep_embeddings:
+                result.embeddings.append(embeddings)
+    except UnsupportedDynamicsError as exc:
+        result.not_available = str(exc)
+        result.embeddings = []
+    except MemoryError:
+        result.not_available = "out of memory"
+        result.embeddings = []
+    return result
+
+
+def repeat_runs(
+    method_factory: Callable[[int], DynamicEmbeddingMethod],
+    network: DynamicNetwork,
+    seeds: list[int],
+    evaluate: Callable[[RunResult], float],
+) -> np.ndarray | None:
+    """Run over several seeds and map each run through ``evaluate``.
+
+    ``method_factory(seed)`` must build a freshly seeded method instance.
+    Returns the per-seed scores, or ``None`` when the method is n/a on
+    this network.
+    """
+    scores: list[float] = []
+    for seed in seeds:
+        run = run_method(method_factory(seed), network)
+        if not run.ok:
+            return None
+        scores.append(evaluate(run))
+    return np.asarray(scores, dtype=np.float64)

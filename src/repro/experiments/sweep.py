@@ -1,0 +1,101 @@
+"""Hyper-parameter sweep utility used by the Figure 6 / Table 5 benches.
+
+A ``Sweep`` runs a method factory over the cartesian product of parameter
+grids, repeated over seeds, and evaluates each run with a user metric —
+the generic machinery behind "vary α", "vary l", "vary strategy".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.base import DynamicEmbeddingMethod
+from repro.experiments.runner import RunResult, run_method
+from repro.graph.dynamic import DynamicNetwork
+
+
+@dataclass
+class SweepPoint:
+    """One grid point's outcome."""
+
+    params: dict
+    scores: np.ndarray          # per-seed metric values
+    seconds: np.ndarray         # per-seed embedding wall-clock
+
+    @property
+    def mean_score(self) -> float:
+        return float(self.scores.mean())
+
+    @property
+    def mean_seconds(self) -> float:
+        return float(self.seconds.mean())
+
+
+@dataclass
+class SweepResult:
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def best(self) -> SweepPoint:
+        """Grid point with the highest mean score."""
+        if not self.points:
+            raise ValueError("sweep produced no points")
+        return max(self.points, key=lambda p: p.mean_score)
+
+    def by_param(self, name: str) -> dict:
+        """Map a single swept parameter's values to their points.
+
+        Only meaningful when ``name`` uniquely identifies points (a 1-D
+        sweep); raises otherwise.
+        """
+        mapping: dict = {}
+        for point in self.points:
+            key = point.params[name]
+            if key in mapping:
+                raise ValueError(
+                    f"parameter {name!r} does not uniquely identify points"
+                )
+            mapping[key] = point
+        return mapping
+
+
+def run_sweep(
+    factory: Callable[..., DynamicEmbeddingMethod],
+    network: DynamicNetwork,
+    grid: dict[str, list],
+    seeds: list[int],
+    metric: Callable[[RunResult, DynamicNetwork], float],
+) -> SweepResult:
+    """Run ``factory(seed=..., **params)`` over the grid x seeds.
+
+    ``metric(run, network)`` maps a completed run to a scalar score
+    (higher = better). Runs that report n/a raise — sweeps are meant for
+    methods known to support the target network.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one parameter")
+    names = sorted(grid)
+    result = SweepResult()
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, values))
+        scores, seconds = [], []
+        for seed in seeds:
+            method = factory(seed=seed, **params)
+            run = run_method(method, network)
+            if not run.ok:
+                raise RuntimeError(
+                    f"sweep point {params} n/a: {run.not_available}"
+                )
+            scores.append(metric(run, network))
+            seconds.append(run.total_seconds)
+        result.points.append(
+            SweepPoint(
+                params=params,
+                scores=np.asarray(scores),
+                seconds=np.asarray(seconds),
+            )
+        )
+    return result

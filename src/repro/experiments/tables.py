@@ -1,0 +1,70 @@
+"""Plain-text table rendering in the paper's style (mean±std + daggers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.stats import best_two_marker
+
+
+def format_mean_std(
+    values: np.ndarray | list[float] | None,
+    scale: float = 100.0,
+    decimals: int = 2,
+) -> str:
+    """``12.34±0.56`` formatting; ``n/a`` for missing results.
+
+    ``scale=100`` converts decimals to the paper's percentage convention.
+    """
+    if values is None:
+        return "n/a"
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return "n/a"
+    mean = arr.mean() * scale
+    std = arr.std(ddof=1) * scale if arr.size > 1 else 0.0
+    return f"{mean:.{decimals}f}±{std:.{decimals}f}"
+
+
+def annotate_cell(
+    samples_by_method: dict[str, np.ndarray | None],
+) -> dict[str, str]:
+    """Format one table column: mean±std per method, dagger on the winner."""
+    available = {
+        name: np.asarray(values)
+        for name, values in samples_by_method.items()
+        if values is not None and len(np.asarray(values)) > 0
+    }
+    formatted = {
+        name: format_mean_std(values)
+        for name, values in samples_by_method.items()
+    }
+    if len(available) >= 2:
+        best, marker = best_two_marker(available)
+        if marker:
+            formatted[best] = formatted[best] + marker
+    return formatted
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Column-aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

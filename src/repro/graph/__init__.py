@@ -1,0 +1,32 @@
+"""Dynamic-graph substrate: snapshots, CSR views, diffs, components."""
+
+from repro.graph.components import (
+    bfs_distances,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.csr import CSRAdjacency
+from repro.graph.diff import (
+    SnapshotDiff,
+    diff_snapshots,
+    node_change_count,
+    weighted_node_changes,
+)
+from repro.graph.dynamic import DynamicNetwork, EdgeEvent
+from repro.graph.static import Graph
+
+__all__ = [
+    "CSRAdjacency",
+    "DynamicNetwork",
+    "EdgeEvent",
+    "Graph",
+    "SnapshotDiff",
+    "bfs_distances",
+    "connected_components",
+    "diff_snapshots",
+    "is_connected",
+    "largest_connected_component",
+    "node_change_count",
+    "weighted_node_changes",
+]

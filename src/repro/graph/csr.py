@@ -1,0 +1,146 @@
+"""Compressed-sparse-row adjacency view for numeric hot loops.
+
+The adjacency-map :class:`repro.graph.static.Graph` is convenient for
+mutation while replaying edge streams, but random walks (millions of
+transitions) and multilevel partitioning want flat arrays. ``CSRAdjacency``
+freezes a snapshot into numpy CSR arrays plus a stable node <-> index map.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.graph.static import Graph
+
+Node = Hashable
+
+
+class CSRAdjacency:
+    """Immutable CSR adjacency of an undirected (optionally weighted) graph.
+
+    Attributes
+    ----------
+    nodes:
+        ``nodes[i]`` is the original node id of index ``i``. Order is the
+        insertion order of the source graph, making the mapping deterministic.
+    indptr, indices, weights:
+        Standard CSR arrays; the neighbours of index ``i`` are
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index_of",
+        "indptr",
+        "indices",
+        "weights",
+        "_cumulative",
+        "_uniform",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        self.nodes: list[Node] = list(nodes)
+        self.index_of: dict[Node, int] = {n: i for i, n in enumerate(self.nodes)}
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self._uniform = bool(
+            self.weights.size == 0 or np.allclose(self.weights, self.weights[0])
+        )
+        # Per-node cumulative weights for O(log deg) weighted transition
+        # sampling (Eq. 5); built lazily because unweighted graphs never
+        # need it.
+        self._cumulative: np.ndarray | None = None
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRAdjacency":
+        """Freeze ``graph`` into CSR form (nodes in graph iteration order)."""
+        nodes = list(graph.nodes())
+        index_of = {n: i for i, n in enumerate(nodes)}
+        degrees = np.fromiter(
+            (graph.degree(n) for n in nodes), dtype=np.int64, count=len(nodes)
+        )
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        weights = np.empty(int(indptr[-1]), dtype=np.float64)
+        cursor = indptr[:-1].copy()
+        for u_idx, u in enumerate(nodes):
+            for v, w in graph._adj[u].items():  # noqa: SLF001 - perf-critical
+                pos = cursor[u_idx]
+                indices[pos] = index_of[v]
+                weights[pos] = w
+                cursor[u_idx] += 1
+        return cls(nodes, indptr, indices, weights)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (CSR stores both directions)."""
+        loops = int(np.sum(self.indices == self._row_of_entries()))
+        return (int(self.indices.size) + loops) // 2
+
+    def _row_of_entries(self) -> np.ndarray:
+        """Row index for every CSR entry (used to detect self-loops)."""
+        return np.repeat(np.arange(self.num_nodes), np.diff(self.indptr))
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Unweighted degree per node index."""
+        return np.diff(self.indptr)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when all edge weights are equal (fast uniform-walk path)."""
+        return self._uniform
+
+    def neighbors(self, idx: int) -> np.ndarray:
+        """Neighbour indices of node index ``idx`` (zero-copy slice)."""
+        return self.indices[self.indptr[idx]: self.indptr[idx + 1]]
+
+    def neighbor_weights(self, idx: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`neighbors`."""
+        return self.weights[self.indptr[idx]: self.indptr[idx + 1]]
+
+    def cumulative_weights(self) -> np.ndarray:
+        """Per-row cumulative edge weights for inverse-CDF sampling."""
+        if self._cumulative is None:
+            cumulative = np.cumsum(self.weights)
+            # Convert the global cumsum into per-row cumsums by subtracting
+            # the running total at each row start.
+            starts = self.indptr[:-1]
+            offsets = np.zeros_like(cumulative)
+            row_base = np.concatenate(([0.0], cumulative))[starts]
+            offsets = np.repeat(row_base, np.diff(self.indptr))
+            self._cumulative = cumulative - offsets
+        return self._cumulative
+
+    def to_scipy(self):
+        """Export as ``scipy.sparse.csr_matrix`` (symmetric adjacency)."""
+        from scipy.sparse import csr_matrix
+
+        n = self.num_nodes
+        return csr_matrix((self.weights, self.indices, self.indptr), shape=(n, n))
+
+    def adjacency_dense(self) -> np.ndarray:
+        """Dense adjacency matrix — only for small graphs (tests, baselines)."""
+        n = self.num_nodes
+        dense = np.zeros((n, n), dtype=np.float64)
+        rows = self._row_of_entries()
+        dense[rows, self.indices] = self.weights
+        return dense
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CSRAdjacency(nodes={self.num_nodes}, entries={self.indices.size})"

@@ -1,0 +1,130 @@
+"""Snapshot-to-snapshot differences (the edge stream ΔE^t).
+
+Algorithm 1 line 9 reads the edge stream between consecutive snapshots "or
+obtains it by differences between G^{t-1} and G^t if not given". This module
+is that fallback, and it also exposes the per-node change counts |ΔE^t_i|
+that feed the change score of Eq. (3):
+
+    |ΔE^t_i| = |N(v^t_i) ∪ N(v^{t-1}_i)  -  N(v^t_i) ∩ N(v^{t-1}_i)|
+
+i.e. the symmetric difference of the node's neighbour sets across the two
+snapshots. Footnote 3 of the paper defines a weighted generalisation, which
+:func:`weighted_node_changes` implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.graph.static import Graph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """Difference between two consecutive snapshots ``previous`` -> ``current``.
+
+    ``added_edges``/``removed_edges`` hold each undirected edge once as a
+    ``frozenset`` pair; ``node_changes`` maps every touched node to its
+    |ΔE_i| count (symmetric-difference size of its neighbourhoods).
+    """
+
+    added_nodes: frozenset[Node]
+    removed_nodes: frozenset[Node]
+    added_edges: frozenset[frozenset]
+    removed_edges: frozenset[frozenset]
+    node_changes: dict[Node, int] = field(hash=False, default_factory=dict)
+
+    @property
+    def num_changed_edges(self) -> int:
+        """|ΔE^t| — total number of added plus removed edges."""
+        return len(self.added_edges) + len(self.removed_edges)
+
+    @property
+    def changed_nodes(self) -> set[Node]:
+        """Nodes incident to at least one added or removed edge."""
+        return {node for node, count in self.node_changes.items() if count > 0}
+
+    def is_empty(self) -> bool:
+        return (
+            not self.added_nodes
+            and not self.removed_nodes
+            and not self.added_edges
+            and not self.removed_edges
+        )
+
+
+def diff_snapshots(previous: Graph, current: Graph) -> SnapshotDiff:
+    """Compute :class:`SnapshotDiff` between two snapshots.
+
+    Node changes count the neighbour-set symmetric difference per node,
+    which equals the number of changed edges incident to that node; both
+    endpoints of a changed edge are credited (as in Eq. (3)).
+    """
+    prev_nodes = previous.node_set()
+    curr_nodes = current.node_set()
+    added_nodes = frozenset(curr_nodes - prev_nodes)
+    removed_nodes = frozenset(prev_nodes - curr_nodes)
+
+    prev_edges = previous.edge_set()
+    curr_edges = current.edge_set()
+    added_edges = frozenset(curr_edges - prev_edges)
+    removed_edges = frozenset(prev_edges - curr_edges)
+
+    node_changes: dict[Node, int] = {}
+    for edge in added_edges | removed_edges:
+        for endpoint in edge:
+            node_changes[endpoint] = node_changes.get(endpoint, 0) + 1
+        if len(edge) == 1:  # self-loop frozenset collapses to one element
+            (endpoint,) = edge
+            node_changes[endpoint] += 1
+
+    return SnapshotDiff(
+        added_nodes=added_nodes,
+        removed_nodes=removed_nodes,
+        added_edges=added_edges,
+        removed_edges=removed_edges,
+        node_changes=node_changes,
+    )
+
+
+def node_change_count(previous: Graph, current: Graph, node: Node) -> int:
+    """|ΔE_i| for a single node — neighbour-set symmetric difference size.
+
+    Equivalent to the per-node entries of :func:`diff_snapshots` but usable
+    standalone (tests, the scoring module's reference implementation).
+    """
+    prev_nbrs = previous.neighbor_set(node)
+    curr_nbrs = current.neighbor_set(node)
+    return len(prev_nbrs.symmetric_difference(curr_nbrs))
+
+
+def weighted_node_changes(previous: Graph, current: Graph) -> dict[Node, float]:
+    """Weighted |ΔE_i| per footnote 3 of the paper.
+
+    For every node ``i``::
+
+        sum_{j in N(v^t_i)}               |w^t_ij - w^{t-1}_ij|
+      + sum_{j in N(v^{t-1}_i) - N(v^t_i)} |w^{t-1}_ij|
+
+    The first term covers weight changes (including new edges, whose
+    previous weight is 0); the second covers edges deleted at ``t``.
+    """
+    changes: dict[Node, float] = {}
+    nodes = previous.node_set() | current.node_set()
+    for node in nodes:
+        curr_nbrs = current.neighbor_set(node)
+        prev_nbrs = previous.neighbor_set(node)
+        total = 0.0
+        for neighbor in curr_nbrs:
+            total += abs(
+                current.edge_weight(node, neighbor)
+                - previous.edge_weight(node, neighbor)
+            )
+        for neighbor in prev_nbrs - curr_nbrs:
+            total += abs(previous.edge_weight(node, neighbor))
+        if total > 0.0:
+            changes[node] = total
+    return changes

@@ -1,0 +1,221 @@
+"""Static undirected graph used as the snapshot representation.
+
+The paper (Definition 1-2) treats every snapshot of a dynamic network as a
+static, undirected, unweighted graph; edge weights are nevertheless supported
+because Eq. (3)'s footnote defines a weighted variant of the change score and
+Eq. (5) defines weighted random-walk transitions.
+
+``Graph`` is a thin adjacency-map structure (dict of dicts) optimised for the
+operations the pipeline needs: edge insertion/removal while replaying an edge
+stream, neighbour-set queries for the change score, and a one-shot export to
+:class:`repro.graph.csr.CSRAdjacency` for the hot loops (random walks,
+partitioning).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Node = Hashable
+Edge = tuple[Node, Node]
+WeightedEdge = tuple[Node, Node, float]
+
+
+class Graph:
+    """An undirected, optionally weighted graph over hashable node ids.
+
+    Parallel edges are not supported; re-adding an existing edge overwrites
+    its weight. Self-loops are allowed but discouraged (random walks treat
+    them as ordinary transitions).
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self) -> None:
+        self._adj: dict[Node, dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge | WeightedEdge]) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` or ``(u, v, w)``."""
+        graph = cls()
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                graph.add_edge(u, v)
+            else:
+                u, v, w = edge  # type: ignore[misc]
+                graph.add_edge(u, v, w)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Convert a ``networkx`` graph (weights read from ``weight`` attr)."""
+        graph = cls()
+        for node in nx_graph.nodes():
+            graph.add_node(node)
+        for u, v, data in nx_graph.edges(data=True):
+            graph.add_edge(u, v, float(data.get("weight", 1.0)))
+        return graph
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self._adj)
+        nx_graph.add_weighted_edges_from(
+            (u, v, w) for u, v, w in self.weighted_edges()
+        )
+        return nx_graph
+
+    def copy(self) -> "Graph":
+        """Return a deep copy (adjacency maps are duplicated)."""
+        clone = Graph()
+        clone._adj = {node: dict(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node (no-op if present)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Insert or overwrite the undirected edge ``(u, v)``."""
+        self._adj.setdefault(u, {})[v] = weight
+        self._adj.setdefault(v, {})[u] = weight
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete the edge ``(u, v)``; raises ``KeyError`` if absent."""
+        del self._adj[u][v]
+        if u != v:
+            del self._adj[v][u]
+
+    def discard_edge(self, u: Node, v: Node) -> bool:
+        """Delete the edge if present. Returns True when an edge was removed."""
+        if u in self._adj and v in self._adj[u]:
+            self.remove_edge(u, v)
+            return True
+        return False
+
+    def remove_node(self, node: Node) -> None:
+        """Delete a node and all incident edges; ``KeyError`` if absent."""
+        for neighbor in list(self._adj[node]):
+            if neighbor != node:
+                del self._adj[neighbor][node]
+        del self._adj[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterate over the neighbours of ``node``."""
+        return iter(self._adj[node])
+
+    def neighbor_set(self, node: Node) -> set[Node]:
+        """Neighbour set ``N(v)``; empty set for unknown nodes.
+
+        Unknown nodes return an empty set (rather than raising) because the
+        change score Eq. (3) compares neighbourhoods across snapshots in
+        which a node may not yet / no longer exist.
+        """
+        nbrs = self._adj.get(node)
+        return set(nbrs) if nbrs is not None else set()
+
+    def edge_weight(self, u: Node, v: Node, default: float = 0.0) -> float:
+        """Weight of the edge ``(u, v)``; ``default`` when absent."""
+        nbrs = self._adj.get(u)
+        if nbrs is None:
+            return default
+        return nbrs.get(v, default)
+
+    def degree(self, node: Node) -> int:
+        """Number of incident edges (self-loop counts once)."""
+        return len(self._adj[node])
+
+    def weighted_degree(self, node: Node) -> float:
+        """Sum of incident edge weights."""
+        return float(sum(self._adj[node].values()))
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def node_set(self) -> set[Node]:
+        return set(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each undirected edge once as ``(u, v)``."""
+        seen: set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen or v == u:
+                    yield (u, v)
+            seen.add(u)
+
+    def weighted_edges(self) -> Iterator[WeightedEdge]:
+        """Iterate each undirected edge once as ``(u, v, weight)``."""
+        seen: set[Node] = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if v not in seen or v == u:
+                    yield (u, v, w)
+            seen.add(u)
+
+    def edge_set(self) -> set[frozenset]:
+        """Edges as a set of ``frozenset({u, v})`` for order-free comparison."""
+        return {frozenset((u, v)) for u, v in self.edges()}
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Induced subgraph on ``nodes`` (nodes absent from self are ignored)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph()
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for neighbor, weight in self._adj[node].items():
+                if neighbor in keep:
+                    sub.add_edge(node, neighbor, weight)
+        return sub
+
+    # ------------------------------------------------------------------
+    # dunder / stats
+    # ------------------------------------------------------------------
+    def number_of_nodes(self) -> int:
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        loops = sum(1 for node, nbrs in self._adj.items() if node in nbrs)
+        return (sum(len(nbrs) for nbrs in self._adj.values()) + loops) // 2
+
+    def total_edge_weight(self) -> float:
+        """Sum of weights over undirected edges (each edge counted once)."""
+        return float(sum(w for _, _, w in self.weighted_edges()))
+
+    def is_unweighted(self, tolerance: float = 1e-12) -> bool:
+        """True when every edge weight equals 1 (within ``tolerance``)."""
+        return all(abs(w - 1.0) <= tolerance for _, _, w in self.weighted_edges())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Graph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )

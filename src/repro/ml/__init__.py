@@ -1,0 +1,27 @@
+"""Minimal ML substrate: metrics, logistic regression, PCA, t-tests."""
+
+from repro.ml.logreg import LogisticRegression, OneVsRestLogisticRegression
+from repro.ml.metrics import (
+    cosine_similarity_matrix,
+    f1_scores,
+    precision_at_k,
+    roc_auc_score,
+    top_k_neighbors,
+)
+from repro.ml.pca import PCA, procrustes_disparity
+from repro.ml.stats import TTestResult, best_two_marker, two_sample_ttest
+
+__all__ = [
+    "LogisticRegression",
+    "OneVsRestLogisticRegression",
+    "PCA",
+    "TTestResult",
+    "best_two_marker",
+    "cosine_similarity_matrix",
+    "f1_scores",
+    "precision_at_k",
+    "procrustes_disparity",
+    "roc_auc_score",
+    "top_k_neighbors",
+    "two_sample_ttest",
+]

@@ -1,0 +1,49 @@
+"""Adam optimiser for the numpy baselines (DynGEM's autoencoder, BCGD).
+
+Kingma & Ba (2015) with bias correction. Parameters are updated in place;
+each parameter array owns its own moment state, keyed by identity, so one
+``Adam`` instance can drive a whole model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Stateful Adam: call ``step(param, grad)`` for every parameter array."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._state: dict[int, tuple[np.ndarray, np.ndarray, int]] = {}
+
+    def step(self, param: np.ndarray, grad: np.ndarray) -> None:
+        """Apply one Adam update to ``param`` in place."""
+        if param.shape != grad.shape:
+            raise ValueError("parameter and gradient shapes differ")
+        key = id(param)
+        m, v, t = self._state.get(
+            key, (np.zeros_like(param), np.zeros_like(param), 0)
+        )
+        t += 1
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self._state[key] = (m, v, t)
+
+    def forget(self, param: np.ndarray) -> None:
+        """Drop the moment state of a parameter (after reshaping/growing)."""
+        self._state.pop(id(param), None)

@@ -1,0 +1,78 @@
+"""Principal component analysis via SVD (Figure 5's 128 -> 2 projection)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Minimal PCA: fit on centred data, project onto top components.
+
+    Component signs are fixed so the largest-magnitude loading of every
+    component is positive — keeps projections deterministic across runs,
+    which the Figure 5 stability analysis relies on.
+    """
+
+    def __init__(self, n_components: int = 2) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = int(n_components)
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be 2-D")
+        k = min(self.n_components, *data.shape)
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        components = vt[:k]
+        # Deterministic sign convention.
+        for row in components:
+            pivot = np.argmax(np.abs(row))
+            if row[pivot] < 0:
+                row *= -1.0
+        self.components_ = components
+        total_var = float((singular_values**2).sum())
+        if total_var > 0:
+            self.explained_variance_ratio_ = singular_values[:k] ** 2 / total_var
+        else:
+            self.explained_variance_ratio_ = np.zeros(k)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA is not fitted")
+        return (np.asarray(data, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+
+def procrustes_disparity(
+    reference: np.ndarray, target: np.ndarray, allow_rotation: bool
+) -> float:
+    """Normalised alignment residual between two point clouds.
+
+    With ``allow_rotation`` the optimal orthogonal map (Procrustes) is
+    applied first; without it, only translation is removed. Comparing the
+    two residuals quantifies Figure 5's observation: SGNS-retrain needs a
+    rotation to align consecutive embeddings, GloDyNE does not.
+    """
+    a = np.asarray(reference, dtype=np.float64)
+    b = np.asarray(target, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("point clouds must have identical shapes")
+    a = a - a.mean(axis=0)
+    b = b - b.mean(axis=0)
+    scale = np.linalg.norm(a)
+    if scale == 0:
+        raise ValueError("reference cloud has zero variance")
+    if allow_rotation:
+        u, _, vt = np.linalg.svd(b.T @ a)
+        rotation = u @ vt
+        b = b @ rotation
+    return float(np.linalg.norm(a - b) ** 2 / scale**2)

@@ -1,0 +1,63 @@
+"""Statistical significance testing for result tables.
+
+The paper applies a two-tailed, two-sample Student's t-test to the best two
+results of every table cell and marks the winner with † (p < 0.05) or
+‡ (p < 0.01). This module reproduces that exact annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    statistic: float
+    p_value: float
+
+    @property
+    def marker(self) -> str:
+        """Paper's significance markers: '‡' p<0.01, '†' p<0.05, '' else."""
+        if self.p_value < 0.01:
+            return "‡"
+        if self.p_value < 0.05:
+            return "†"
+        return ""
+
+
+def two_sample_ttest(
+    sample_a: np.ndarray, sample_b: np.ndarray, equal_var: bool = True
+) -> TTestResult:
+    """Two-tailed two-sample t-test (Student's by default, as in the paper)."""
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("each sample needs at least two observations")
+    statistic, p_value = stats.ttest_ind(a, b, equal_var=equal_var)
+    if np.isnan(p_value):  # identical constant samples
+        return TTestResult(statistic=0.0, p_value=1.0)
+    return TTestResult(statistic=float(statistic), p_value=float(p_value))
+
+
+def best_two_marker(samples_by_method: dict[str, np.ndarray]) -> tuple[str, str]:
+    """(best method, significance marker) for one table cell.
+
+    ``samples_by_method`` maps method name to its per-run scores (higher is
+    better). The marker annotates whether the best significantly beats the
+    second best, mirroring the paper's Table 1-3 daggers.
+    """
+    if len(samples_by_method) < 2:
+        name = next(iter(samples_by_method), "")
+        return name, ""
+    means = {name: float(np.mean(v)) for name, v in samples_by_method.items()}
+    ranked = sorted(means, key=means.get, reverse=True)
+    best, second = ranked[0], ranked[1]
+    best_scores = np.asarray(samples_by_method[best])
+    second_scores = np.asarray(samples_by_method[second])
+    if best_scores.size < 2 or second_scores.size < 2:
+        return best, ""
+    result = two_sample_ttest(best_scores, second_scores)
+    return best, result.marker

@@ -1,0 +1,9 @@
+"""METIS-substitute multilevel (K, ε)-balanced k-way graph partitioner."""
+
+from repro.partition.metis import (
+    PartitionResult,
+    partition_graph,
+    validate_partition,
+)
+
+__all__ = ["PartitionResult", "partition_graph", "validate_partition"]

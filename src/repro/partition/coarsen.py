@@ -1,0 +1,63 @@
+"""Coarse-graph construction (the coarsening phase of the multilevel scheme).
+
+Given a fine graph and a fine->coarse vertex map, builds the coarse graph:
+vertex weights add up, parallel edges merge by summing weights, and
+intra-coarse-vertex edges disappear (they can never be cut again).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.level import LevelGraph
+
+
+def build_coarse_graph(
+    fine: LevelGraph,
+    coarse_of: np.ndarray,
+    num_coarse: int,
+) -> LevelGraph:
+    """Contract ``fine`` according to ``coarse_of`` (length = fine vertices)."""
+    # Vertex weights: scatter-add of fine weights.
+    vweights = np.zeros(num_coarse, dtype=np.int64)
+    np.add.at(vweights, coarse_of, fine.vweights)
+
+    # Edge list in coarse ids, dropping collapsed self-loops.
+    rows = np.repeat(
+        np.arange(fine.num_nodes, dtype=np.int64), np.diff(fine.indptr)
+    )
+    coarse_rows = coarse_of[rows]
+    coarse_cols = coarse_of[fine.indices]
+    keep = coarse_rows != coarse_cols
+    coarse_rows = coarse_rows[keep]
+    coarse_cols = coarse_cols[keep]
+    wgts = fine.eweights[keep]
+
+    if coarse_rows.size == 0:
+        return LevelGraph(
+            indptr=np.zeros(num_coarse + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            eweights=np.empty(0, dtype=np.float64),
+            vweights=vweights,
+        )
+
+    # Merge duplicate (row, col) pairs by summing weights: sort + reduceat.
+    keys = coarse_rows * num_coarse + coarse_cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    wgts = wgts[order]
+    boundaries = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+    merged_keys = keys[boundaries]
+    merged_wgts = np.add.reduceat(wgts, boundaries)
+    merged_rows = merged_keys // num_coarse
+    merged_cols = merged_keys % num_coarse
+
+    indptr = np.zeros(num_coarse + 1, dtype=np.int64)
+    np.add.at(indptr, merged_rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return LevelGraph(
+        indptr=indptr,
+        indices=merged_cols,
+        eweights=merged_wgts,
+        vweights=vweights,
+    )

@@ -1,0 +1,15 @@
+"""Pure-numpy Skip-Gram Negative Sampling (the gensim substitute)."""
+
+from repro.sgns.model import SGNSModel, log_sigmoid, sigmoid
+from repro.sgns.trainer import TrainConfig, build_noise_table, train_on_corpus
+from repro.sgns.vocab import Vocabulary
+
+__all__ = [
+    "SGNSModel",
+    "TrainConfig",
+    "Vocabulary",
+    "build_noise_table",
+    "log_sigmoid",
+    "sigmoid",
+    "train_on_corpus",
+]

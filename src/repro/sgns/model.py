@@ -1,0 +1,180 @@
+"""Skip-Gram Negative Sampling model (Eq. 7-10) in vectorised numpy.
+
+The model holds two embedding matrices — ``W_in`` (the node embeddings Z)
+and ``W_out`` (context embeddings) — following word2vec. Initialisation
+matches word2vec's conventions: ``W_in ~ U(-0.5/d, 0.5/d)``, ``W_out = 0``;
+this makes the very first gradient steps stable.
+
+Incremental learning (the heart of GloDyNE Step 4): the matrices are grown
+in place when new nodes appear, old rows are *reused verbatim* as the next
+step's initialisation — the implicit smoothing the paper credits for the
+absolute-position stability of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sgns.vocab import Vocabulary
+
+Node = Hashable
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    expx = np.exp(x[~positive])
+    out[~positive] = expx / (1.0 + expx)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """log σ(x) computed without overflow."""
+    return -np.logaddexp(0.0, -x)
+
+
+class SGNSModel:
+    """SGNS parameter container with growable vocabulary.
+
+    Matrices are over-allocated (capacity doubling) so that per-snapshot
+    growth is amortised O(1) per new node.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError("embedding dimensionality must be >= 1")
+        self.dim = int(dim)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.vocab = Vocabulary()
+        capacity = 16
+        self._w_in = np.zeros((capacity, self.dim), dtype=np.float64)
+        self._w_out = np.zeros((capacity, self.dim), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # vocabulary / storage management
+    # ------------------------------------------------------------------
+    def ensure_nodes(self, nodes: Iterable[Node]) -> None:
+        """Register nodes, growing and initialising new rows."""
+        start = len(self.vocab)
+        self.vocab.add_many(nodes)
+        end = len(self.vocab)
+        if end == start:
+            return
+        self._grow_to(end)
+        # word2vec init: inputs small-uniform, outputs zero.
+        self._w_in[start:end] = (
+            self.rng.random((end - start, self.dim)) - 0.5
+        ) / self.dim
+        self._w_out[start:end] = 0.0
+
+    def _grow_to(self, size: int) -> None:
+        capacity = self._w_in.shape[0]
+        if size <= capacity:
+            return
+        while capacity < size:
+            capacity *= 2
+        for name in ("_w_in", "_w_out"):
+            old = getattr(self, name)
+            new = np.zeros((capacity, self.dim), dtype=np.float64)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    @property
+    def w_in(self) -> np.ndarray:
+        """Active slice of the input/embedding matrix (|vocab| x d)."""
+        return self._w_in[: len(self.vocab)]
+
+    @property
+    def w_out(self) -> np.ndarray:
+        """Active slice of the output/context matrix (|vocab| x d)."""
+        return self._w_out[: len(self.vocab)]
+
+    # ------------------------------------------------------------------
+    # embedding access
+    # ------------------------------------------------------------------
+    def embedding(self, node: Node) -> np.ndarray:
+        """Embedding vector Z_i (a copy) for one node."""
+        return self._w_in[self.vocab.index(node)].copy()
+
+    def embedding_matrix(self, nodes: Sequence[Node]) -> np.ndarray:
+        """Z^t for an ordered node sequence — Eq. (11)'s index operator."""
+        rows = self.vocab.indices(nodes)
+        return self._w_in[rows].copy()
+
+    def pull_rows_toward(
+        self, rows: np.ndarray, target: np.ndarray, strength: float
+    ) -> None:
+        """Move embedding rows a fraction of the way toward ``target``.
+
+        Used by temporal-smoothness baselines (DynTriad): note that fancy
+        indexing on :attr:`w_in` returns a copy, so in-place pulls must go
+        through this method.
+        """
+        if not (0.0 <= strength <= 1.0):
+            raise ValueError("strength must lie in [0, 1]")
+        self._w_in[rows] += strength * (target - self._w_in[rows])
+
+    def copy(self) -> "SGNSModel":
+        """Deep copy (used by the retrain/static variant baselines)."""
+        clone = SGNSModel(self.dim, rng=self.rng)
+        clone.vocab = self.vocab.copy()
+        clone._w_in = self._w_in.copy()
+        clone._w_out = self._w_out.copy()
+        return clone
+
+    # ------------------------------------------------------------------
+    # vectorised SGD on a batch of (center, context) pairs
+    # ------------------------------------------------------------------
+    def train_batch(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        negatives: np.ndarray,
+        lr: float,
+        compute_loss: bool = False,
+    ) -> float:
+        """One SGD step over a pair batch with pre-drawn negatives.
+
+        Maximises Eq. (9): ``log σ(Z_i·Z_j) + Σ_q log σ(-Z_i·Z_j')`` for
+        every positive pair ``(centers[b], contexts[b])`` against
+        ``negatives[b, :]``. Gradients are scattered with ``np.add.at`` so
+        duplicate rows inside one batch accumulate correctly.
+
+        Returns the mean negative log-likelihood of the batch when
+        ``compute_loss`` is set (0.0 otherwise).
+        """
+        w_in, w_out = self._w_in, self._w_out
+        h = w_in[centers]                      # (B, d)
+        u_pos = w_out[contexts]                # (B, d)
+        u_neg = w_out[negatives]               # (B, q, d)
+
+        pos_score = np.einsum("bd,bd->b", h, u_pos)
+        neg_score = np.einsum("bd,bqd->bq", h, u_neg)
+
+        g_pos = sigmoid(pos_score) - 1.0       # d(-logσ(x))/dx = σ(x)-1
+        g_neg = sigmoid(neg_score)             # d(-logσ(-x))/dx = σ(x)
+
+        grad_h = g_pos[:, None] * u_pos + np.einsum("bq,bqd->bd", g_neg, u_neg)
+        grad_pos = g_pos[:, None] * h
+        grad_neg = g_neg[:, :, None] * h[:, None, :]
+
+        np.add.at(w_in, centers, -lr * grad_h)
+        np.add.at(w_out, contexts, -lr * grad_pos)
+        np.add.at(
+            w_out,
+            negatives.ravel(),
+            (-lr * grad_neg).reshape(-1, self.dim),
+        )
+
+        if compute_loss:
+            loss = -log_sigmoid(pos_score).sum() - log_sigmoid(-neg_score).sum()
+            return float(loss / max(1, centers.size))
+        return 0.0

@@ -1,0 +1,123 @@
+"""SGNS training loop: negative tables, learning-rate schedule, epochs.
+
+Implements the Eq. (10) objective — sum over all positive pairs of the
+Eq. (9) per-pair loss with ``q`` negatives drawn from the unigram
+distribution of the *current* corpus D^t raised to the word2vec 3/4 power.
+The learning rate decays linearly over the scheduled number of pair visits,
+as in word2vec/gensim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sgns.model import SGNSModel
+from repro.walks.alias import AliasTable
+from repro.walks.corpus import PairCorpus
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one SGNS training round.
+
+    Defaults mirror word2vec/gensim conventions used by the paper: 5
+    negatives per positive (paper Section 5.1.2), initial lr 0.025, 5
+    epochs, unigram^0.75 noise.
+    """
+
+    negative: int = 5
+    epochs: int = 5
+    lr: float = 0.025
+    min_lr: float = 1e-4
+    batch_size: int = 2048
+    noise_power: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.negative < 1:
+            raise ValueError("negative must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not (0 < self.min_lr <= self.lr):
+            raise ValueError("need 0 < min_lr <= lr")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+def build_noise_table(
+    counts: np.ndarray, power: float = 0.75
+) -> tuple[AliasTable, np.ndarray]:
+    """Unigram^power negative-sampling table over corpus occurrence counts.
+
+    Returns the alias table plus the array mapping table positions to node
+    indices (only nodes with non-zero count participate, matching the
+    paper's "drawn from a unigram distribution P_{D^t}").
+    """
+    present = np.flatnonzero(counts > 0)
+    if present.size == 0:
+        raise ValueError("corpus has no occurrences to build a noise table")
+    weights = counts[present].astype(np.float64) ** power
+    return AliasTable(weights), present
+
+
+def train_on_corpus(
+    model: SGNSModel,
+    corpus: PairCorpus,
+    row_of: np.ndarray,
+    rng: np.random.Generator,
+    config: TrainConfig | None = None,
+    compute_loss: bool = False,
+) -> float:
+    """Train ``model`` on a pair corpus; returns mean loss of the last epoch.
+
+    Parameters
+    ----------
+    model:
+        The (possibly warm-started) SGNS model. All rows referenced via
+        ``row_of`` must already exist (call ``ensure_nodes`` first).
+    corpus:
+        Positive pairs in *snapshot-local* node indices.
+    row_of:
+        Translation array: ``row_of[snapshot_index] = model_row``. This is
+        what lets one global incremental model train on per-snapshot
+        corpora.
+    """
+    if config is None:
+        config = TrainConfig()
+    if corpus.num_pairs == 0:
+        return 0.0
+
+    noise_table, noise_nodes = build_noise_table(corpus.counts, config.noise_power)
+    noise_rows = row_of[noise_nodes]
+
+    centers = row_of[corpus.centers]
+    contexts = row_of[corpus.contexts]
+
+    total_visits = corpus.num_pairs * config.epochs
+    visited = 0
+    last_epoch_loss = 0.0
+    for epoch in range(config.epochs):
+        order = rng.permutation(corpus.num_pairs)
+        losses: list[float] = []
+        want_loss = compute_loss and epoch == config.epochs - 1
+        for start in range(0, corpus.num_pairs, config.batch_size):
+            batch = order[start: start + config.batch_size]
+            progress = visited / total_visits
+            lr = max(config.min_lr, config.lr * (1.0 - progress))
+            negatives = noise_rows[
+                noise_table.sample(rng, size=(batch.size, config.negative))
+            ]
+            loss = model.train_batch(
+                centers[batch],
+                contexts[batch],
+                negatives,
+                lr,
+                compute_loss=want_loss,
+            )
+            if want_loss:
+                losses.append(loss * batch.size)
+            visited += batch.size
+        if want_loss and losses:
+            last_epoch_loss = sum(losses) / corpus.num_pairs
+    return last_epoch_loss

@@ -1,0 +1,70 @@
+"""Vocabulary: stable node-id <-> embedding-row mapping with incremental growth.
+
+The incremental learning paradigm (Eq. 11) keeps one SGNS model alive across
+all time steps: nodes seen at any snapshot own a row in the embedding
+matrices forever. New nodes are appended; deleted nodes keep their rows (the
+paper extracts Z^t for the *current* node set "via an index operator", which
+is exactly :meth:`Vocabulary.indices`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+Node = Hashable
+
+
+class Vocabulary:
+    """Append-only node registry."""
+
+    __slots__ = ("_index_of", "_nodes")
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self._index_of: dict[Node, int] = {}
+        self._nodes: list[Node] = []
+        self.add_many(nodes)
+
+    def add(self, node: Node) -> int:
+        """Register ``node`` (idempotent); returns its row index."""
+        idx = self._index_of.get(node)
+        if idx is None:
+            idx = len(self._nodes)
+            self._index_of[node] = idx
+            self._nodes.append(node)
+        return idx
+
+    def add_many(self, nodes: Iterable[Node]) -> list[int]:
+        """Register many nodes; returns their row indices in input order."""
+        return [self.add(node) for node in nodes]
+
+    def index(self, node: Node) -> int:
+        """Row index of a known node; ``KeyError`` for unknown nodes."""
+        return self._index_of[node]
+
+    def indices(self, nodes: Sequence[Node]) -> np.ndarray:
+        """Row indices for a node sequence (the Eq. 11 'index operator')."""
+        return np.fromiter(
+            (self._index_of[node] for node in nodes),
+            dtype=np.int64,
+            count=len(nodes),
+        )
+
+    def node(self, idx: int) -> Node:
+        return self._nodes[idx]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index_of
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def copy(self) -> "Vocabulary":
+        clone = Vocabulary()
+        clone._index_of = dict(self._index_of)
+        clone._nodes = list(self._nodes)
+        return clone

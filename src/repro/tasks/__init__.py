@@ -1,0 +1,33 @@
+"""Downstream evaluation tasks: GR (P@k), LP (AUC), NC (F1)."""
+
+from repro.tasks.graph_reconstruction import (
+    graph_reconstruction_over_time,
+    mean_precision_at_k,
+    per_step_precision,
+)
+from repro.tasks.link_prediction import (
+    LinkPredictionSet,
+    build_link_prediction_set,
+    link_prediction_auc,
+    link_prediction_over_time,
+    score_pairs,
+)
+from repro.tasks.node_classification import (
+    ClassificationScores,
+    node_classification_f1,
+    node_classification_over_time,
+)
+
+__all__ = [
+    "ClassificationScores",
+    "LinkPredictionSet",
+    "build_link_prediction_set",
+    "graph_reconstruction_over_time",
+    "link_prediction_auc",
+    "link_prediction_over_time",
+    "mean_precision_at_k",
+    "node_classification_f1",
+    "node_classification_over_time",
+    "per_step_precision",
+    "score_pairs",
+]

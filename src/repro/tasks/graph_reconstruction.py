@@ -1,0 +1,97 @@
+"""Graph reconstruction (Section 5.2.1) — the global-topology probe.
+
+For every node, the top-k most cosine-similar nodes in embedding space are
+compared against the node's true neighbours:
+
+    P@k(v) = |Q(v)@k ∩ N(v)| / min(k, |N(v)|)
+
+and MeanP@k averages over all nodes of the snapshot. There is no training
+set — the metric directly asks how much of the original topology survives
+in the embedding, which is why the paper uses it to demonstrate global
+topology preservation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.base import EmbeddingMap, embeddings_as_matrix
+from repro.graph.dynamic import DynamicNetwork
+from repro.graph.static import Graph
+from repro.ml.metrics import top_k_neighbors
+
+Node = Hashable
+
+
+def mean_precision_at_k(
+    embeddings: EmbeddingMap,
+    graph: Graph,
+    ks: Sequence[int],
+) -> dict[int, float]:
+    """MeanP@k of one snapshot for every k in ``ks``.
+
+    Nodes without embeddings are scored 0 for every k (they cannot be
+    queried), keeping denominators comparable across methods; isolated
+    nodes (no neighbours) are skipped as P@k is undefined for them.
+    """
+    if not ks:
+        raise ValueError("ks must be non-empty")
+    nodes = [node for node in graph.nodes() if graph.degree(node) > 0]
+    if not nodes:
+        raise ValueError("graph has no non-isolated nodes")
+    known = [node for node in nodes if node in embeddings]
+    missing = len(nodes) - len(known)
+
+    max_k = max(ks)
+    totals = {k: 0.0 for k in ks}
+    if known:
+        _, matrix = embeddings_as_matrix(embeddings, known)
+        ranked = top_k_neighbors(matrix, k=max_k, exclude_self=True)
+        index_to_node = dict(enumerate(known))
+        for i, node in enumerate(known):
+            neighbors = graph.neighbor_set(node)
+            neighbors.discard(node)
+            if not neighbors:
+                continue
+            retrieved = [index_to_node[j] for j in ranked[i]]
+            hits_prefix = np.cumsum(
+                [1 if candidate in neighbors else 0 for candidate in retrieved]
+            )
+            for k in ks:
+                kk = min(k, len(retrieved))
+                hits = int(hits_prefix[kk - 1]) if kk > 0 else 0
+                totals[k] += hits / min(k, len(neighbors))
+
+    denominator = len(known) + missing
+    return {k: totals[k] / denominator for k in ks}
+
+
+def graph_reconstruction_over_time(
+    embeddings_per_step: list[EmbeddingMap],
+    network: DynamicNetwork,
+    ks: Sequence[int],
+) -> dict[int, float]:
+    """Mean of MeanP@k over all time steps (Table 1 cell definition)."""
+    if len(embeddings_per_step) != network.num_snapshots:
+        raise ValueError("one embedding map per snapshot is required")
+    sums = {k: 0.0 for k in ks}
+    for embeddings, snapshot in zip(embeddings_per_step, network):
+        step_scores = mean_precision_at_k(embeddings, snapshot, ks)
+        for k in ks:
+            sums[k] += step_scores[k]
+    steps = network.num_snapshots
+    return {k: sums[k] / steps for k in ks}
+
+
+def per_step_precision(
+    embeddings_per_step: list[EmbeddingMap],
+    network: DynamicNetwork,
+    k: int,
+) -> list[float]:
+    """MeanP@k at every time step (Figures 3-4 curves)."""
+    return [
+        mean_precision_at_k(embeddings, snapshot, [k])[k]
+        for embeddings, snapshot in zip(embeddings_per_step, network)
+    ]

@@ -1,0 +1,202 @@
+"""Dynamic link prediction (Section 5.2.2).
+
+Embeddings obtained at time ``t`` predict the edges of time ``t + 1``. The
+test set follows the paper:
+
+* the *changed* edges between t and t+1 — added edges are positives (they
+  exist at t+1), deleted edges are negatives (they no longer exist);
+* extra edges sampled from snapshot t+1 (positives) or random non-edges of
+  snapshot t+1 (negatives) top up whichever side is smaller, so positives
+  and negatives are balanced.
+
+Scores are cosine similarities of the endpoint embeddings; the metric is
+ROC-AUC. Pairs with an endpoint unknown at time t are skipped — a method
+cannot be asked about a node it has never seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.base import EmbeddingMap
+from repro.graph.diff import diff_snapshots
+from repro.graph.dynamic import DynamicNetwork
+from repro.graph.static import Graph
+from repro.ml.metrics import roc_auc_score
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class LinkPredictionSet:
+    """A balanced test set of node pairs with existence labels at t+1."""
+
+    pairs: list[tuple[Node, Node]]
+    labels: np.ndarray  # 1 = edge exists at t+1
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+
+def _sample_existing_edges(
+    graph: Graph, count: int, exclude: set[frozenset], rng: np.random.Generator
+) -> list[tuple[Node, Node]]:
+    edges = [
+        (u, v) for u, v in graph.edges() if frozenset((u, v)) not in exclude
+    ]
+    if not edges or count <= 0:
+        return []
+    picks = rng.choice(len(edges), size=min(count, len(edges)), replace=False)
+    return [edges[int(i)] for i in picks]
+
+
+def _sample_non_edges(
+    graph: Graph, count: int, exclude: set[frozenset], rng: np.random.Generator
+) -> list[tuple[Node, Node]]:
+    nodes = sorted(graph.node_set(), key=repr)
+    if len(nodes) < 2 or count <= 0:
+        return []
+    result: list[tuple[Node, Node]] = []
+    attempts = 0
+    max_attempts = 50 * count + 100
+    while len(result) < count and attempts < max_attempts:
+        attempts += 1
+        i, j = rng.integers(0, len(nodes), size=2)
+        if i == j:
+            continue
+        u, v = nodes[int(i)], nodes[int(j)]
+        key = frozenset((u, v))
+        if key in exclude or graph.has_edge(u, v):
+            continue
+        exclude.add(key)
+        result.append((u, v))
+    return result
+
+
+def build_link_prediction_set(
+    previous: Graph,
+    current: Graph,
+    rng: np.random.Generator,
+) -> LinkPredictionSet:
+    """Balanced changed-edge test set for predicting ``current`` from t.
+
+    Pairs are restricted to nodes that exist at time t: no method can be
+    asked about a node it has never observed, and keeping unknown-node
+    pairs would silently unbalance the set once they are filtered at
+    scoring time (on fast-growing networks most added edges touch brand-
+    new nodes).
+    """
+    diff = diff_snapshots(previous, current)
+    known = previous.node_set()
+
+    def is_known(edge) -> bool:
+        return all(endpoint in known for endpoint in edge)
+
+    positives: list[tuple[Node, Node]] = [
+        tuple(edge) for edge in diff.added_edges if is_known(edge)
+    ]
+    negatives: list[tuple[Node, Node]] = [
+        tuple(edge) for edge in diff.removed_edges if is_known(edge)
+    ]
+    used = {frozenset(p) for p in positives} | {frozenset(n) for n in negatives}
+
+    # The evaluable part of t+1: its subgraph on nodes known at t.
+    evaluable = current.subgraph(known & current.node_set())
+
+    if len(positives) < len(negatives):
+        positives.extend(
+            _sample_existing_edges(
+                evaluable, len(negatives) - len(positives), used, rng
+            )
+        )
+    elif len(negatives) < len(positives):
+        negatives.extend(
+            _sample_non_edges(
+                evaluable, len(positives) - len(negatives), used, rng
+            )
+        )
+    # Quiet steps (no changed edges among known nodes) still get a usable
+    # set: balanced samples of existing edges vs non-edges.
+    if not positives:
+        positives = _sample_existing_edges(
+            evaluable, max(len(negatives), 10), used, rng
+        )
+    if not negatives:
+        negatives = _sample_non_edges(
+            evaluable, len(positives), used, rng
+        )
+
+    pairs = positives + negatives
+    labels = np.concatenate(
+        [np.ones(len(positives)), np.zeros(len(negatives))]
+    ).astype(np.int64)
+    return LinkPredictionSet(pairs=pairs, labels=labels)
+
+
+def score_pairs(
+    embeddings: EmbeddingMap, pairs: list[tuple[Node, Node]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cosine scores for pairs with both endpoints known.
+
+    Returns ``(scores, keep_mask)`` where ``keep_mask`` marks scoreable
+    pairs.
+    """
+    scores = np.zeros(len(pairs), dtype=np.float64)
+    keep = np.zeros(len(pairs), dtype=bool)
+    for i, (u, v) in enumerate(pairs):
+        if u not in embeddings or v not in embeddings:
+            continue
+        a, b = embeddings[u], embeddings[v]
+        norm = np.linalg.norm(a) * np.linalg.norm(b)
+        scores[i] = float(a @ b / norm) if norm > 0 else 0.0
+        keep[i] = True
+    return scores, keep
+
+
+def link_prediction_auc(
+    embeddings_t: EmbeddingMap,
+    previous: Graph,
+    current: Graph,
+    rng: np.random.Generator,
+) -> float:
+    """AUC of predicting snapshot t+1's edges from Z^t."""
+    test_set = build_link_prediction_set(previous, current, rng)
+    scores, keep = score_pairs(embeddings_t, test_set.pairs)
+    labels = test_set.labels[keep]
+    if labels.size == 0 or labels.min() == labels.max():
+        raise ValueError("test set lost a class after filtering unknown nodes")
+    return roc_auc_score(labels, scores[keep])
+
+
+def link_prediction_over_time(
+    embeddings_per_step: list[EmbeddingMap],
+    network: DynamicNetwork,
+    rng: np.random.Generator,
+) -> float:
+    """Mean AUC over all prediction steps t -> t+1 (Table 2 cell).
+
+    Steps whose test set degenerates (e.g. a step where every candidate
+    pair became unscoreable) are skipped; at least one step must remain.
+    """
+    if network.num_snapshots < 2:
+        raise ValueError("link prediction needs at least two snapshots")
+    aucs = []
+    for t in range(network.num_snapshots - 1):
+        try:
+            aucs.append(
+                link_prediction_auc(
+                    embeddings_per_step[t],
+                    network.snapshot(t),
+                    network.snapshot(t + 1),
+                    rng,
+                )
+            )
+        except ValueError:
+            continue
+    if not aucs:
+        raise ValueError("no time step produced a valid LP test set")
+    return float(np.mean(aucs))

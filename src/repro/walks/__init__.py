@@ -1,0 +1,17 @@
+"""Random-walk engine: alias sampling, truncated walks, pair corpus."""
+
+from repro.walks.alias import AliasTable
+from repro.walks.biased import simulate_biased_walks
+from repro.walks.corpus import PairCorpus, build_pair_corpus, corpus_from_graph_walks
+from repro.walks.random_walk import TRUNCATED, simulate_walks, walk_node_ids
+
+__all__ = [
+    "AliasTable",
+    "PairCorpus",
+    "TRUNCATED",
+    "build_pair_corpus",
+    "corpus_from_graph_walks",
+    "simulate_biased_walks",
+    "simulate_walks",
+    "walk_node_ids",
+]

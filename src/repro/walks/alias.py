@@ -1,0 +1,65 @@
+"""Alias method for O(1) sampling from a discrete distribution.
+
+Used for the SGNS negative-sampling table (unigram^0.75 distribution, which
+is static within a training round) and available to the walk engine for
+weighted graphs. Construction is O(n); each draw is O(1).
+
+Reference: Walker (1977); the two-array formulation follows Vose (1991).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AliasTable:
+    """Pre-processed discrete distribution supporting O(1) draws."""
+
+    __slots__ = ("probability", "alias", "n")
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+
+        n = weights.size
+        scaled = weights * (n / total)
+        probability = np.ones(n, dtype=np.float64)
+        alias = np.arange(n, dtype=np.int64)
+
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            probability[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Remaining entries are 1.0 within float error.
+        for i in small + large:
+            probability[i] = 1.0
+
+        self.probability = probability
+        self.alias = alias
+        self.n = n
+
+    def sample(self, rng: np.random.Generator, size: int | tuple[int, ...] = 1) -> np.ndarray:
+        """Draw ``size`` independent indices from the distribution."""
+        idx = rng.integers(0, self.n, size=size)
+        coin = rng.random(size=size)
+        take_alias = coin >= self.probability[idx]
+        result = np.where(take_alias, self.alias[idx], idx)
+        return result
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """Draw a single index (scalar convenience wrapper)."""
+        return int(self.sample(rng, size=1)[0])

@@ -1,0 +1,108 @@
+"""Sliding-window positive-pair corpus D^t (Step 4 preamble, Eq. 6).
+
+A window of size ``s + 1 + s`` slides along every walk; each (context,
+center) pair within the window becomes a positive sample, so pairs encode
+1st..s-th order proximity of the centre node (paper Section 4.1.4).
+
+The builder is vectorised: for every offset ``1 <= o <= s`` it pairs
+``walk[:, :-o]`` with ``walk[:, o:]`` in both directions, then filters out
+pairs touching truncated (``-1``) positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.walks.random_walk import TRUNCATED
+
+
+@dataclass(frozen=True)
+class PairCorpus:
+    """Positive skip-gram pairs plus per-node occurrence counts.
+
+    ``centers[k]`` co-occurs with ``contexts[k]``; both are node indices in
+    the snapshot's CSR ordering. ``counts`` is indexed by node index and
+    counts corpus occurrences (used for the unigram^0.75 negative table).
+    """
+
+    centers: np.ndarray
+    contexts: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.centers.size)
+
+    def shuffled(self, rng: np.random.Generator) -> "PairCorpus":
+        """Return a copy with pairs in random order (SGD epoch shuffling)."""
+        order = rng.permutation(self.centers.size)
+        return PairCorpus(self.centers[order], self.contexts[order], self.counts)
+
+
+def build_pair_corpus(
+    walks: np.ndarray,
+    window_size: int,
+    num_nodes: int,
+) -> PairCorpus:
+    """Build the positive-pair corpus from an index-walk matrix.
+
+    Parameters
+    ----------
+    walks:
+        ``(n_walks, walk_length)`` int64 matrix from
+        :func:`repro.walks.random_walk.simulate_walks`; ``-1`` marks
+        truncated positions.
+    window_size:
+        The paper's ``s`` (default 10): pairs are formed for offsets
+        1..s in both directions.
+    num_nodes:
+        Size of the snapshot vocabulary — bounds the ``counts`` array.
+    """
+    if window_size < 1:
+        raise ValueError("window_size must be >= 1")
+    if walks.ndim != 2:
+        raise ValueError("walks must be a 2-D matrix")
+
+    center_chunks: list[np.ndarray] = []
+    context_chunks: list[np.ndarray] = []
+    walk_length = walks.shape[1]
+    for offset in range(1, min(window_size, walk_length - 1) + 1):
+        left = walks[:, :-offset].ravel()
+        right = walks[:, offset:].ravel()
+        valid = (left != TRUNCATED) & (right != TRUNCATED)
+        left = left[valid]
+        right = right[valid]
+        # Both directions: (center=left, context=right) and the mirror.
+        center_chunks.append(left)
+        context_chunks.append(right)
+        center_chunks.append(right)
+        context_chunks.append(left)
+
+    if center_chunks:
+        centers = np.concatenate(center_chunks)
+        contexts = np.concatenate(context_chunks)
+    else:
+        centers = np.empty(0, dtype=np.int64)
+        contexts = np.empty(0, dtype=np.int64)
+
+    counts = np.zeros(num_nodes, dtype=np.int64)
+    if centers.size:
+        np.add.at(counts, centers, 1)
+    return PairCorpus(centers=centers, contexts=contexts, counts=counts)
+
+
+def corpus_from_graph_walks(
+    csr,
+    start_indices,
+    num_walks: int,
+    walk_length: int,
+    window_size: int,
+    rng: np.random.Generator,
+) -> PairCorpus:
+    """Convenience: simulate walks then build the pair corpus in one call."""
+    from repro.walks.random_walk import simulate_walks
+
+    walks = simulate_walks(csr, start_indices, num_walks, walk_length, rng)
+    return build_pair_corpus(walks, window_size, csr.num_nodes)

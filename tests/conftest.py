@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graph import DynamicNetwork, Graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """Smallest non-trivial graph: a 3-cycle."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 6-node path 0-1-2-3-4-5 (the paper's Figure 1a topology)."""
+    return Graph.from_edges([(i, i + 1) for i in range(5)])
+
+
+@pytest.fixture
+def two_cliques() -> Graph:
+    """Two 4-cliques joined by one bridge edge — an obvious 2-partition."""
+    graph = Graph()
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                graph.add_edge(base + i, base + j)
+    graph.add_edge(0, 4)
+    return graph
+
+
+@pytest.fixture
+def karate_like(rng: np.random.Generator) -> Graph:
+    """A ~40-node two-community graph for partition/walk tests."""
+    graph = Graph()
+    for community, base in enumerate((0, 20)):
+        nodes = list(range(base, base + 20))
+        for i, u in enumerate(nodes):
+            graph.add_edge(u, nodes[(i + 1) % 20])  # ring backbone
+        for _ in range(40):
+            i, j = rng.integers(0, 20, size=2)
+            if i != j:
+                graph.add_edge(nodes[int(i)], nodes[int(j)])
+    graph.add_edge(0, 20)
+    graph.add_edge(5, 25)
+    return graph
+
+
+@pytest.fixture
+def tiny_network() -> DynamicNetwork:
+    """5-snapshot simulated interaction network, small enough for fast tests."""
+    return load_dataset("elec-sim", scale=0.25, seed=7, snapshots=5)
+
+
+@pytest.fixture
+def labeled_network() -> DynamicNetwork:
+    """Small labelled citation network for NC tests."""
+    return load_dataset("cora-sim", scale=0.3, seed=7, snapshots=5)
+
+
+@pytest.fixture
+def churn_network() -> DynamicNetwork:
+    """Small network WITH node deletions (AS733 analogue)."""
+    return load_dataset("as733-sim", scale=0.3, seed=7, snapshots=5)

@@ -1,0 +1,131 @@
+"""Tests for the Figure 1 analyses (proximity drift, inactive cells)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    inactive_subnetworks,
+    proximity_change_profile,
+    quiet_streaks,
+    shortest_path_change,
+)
+from repro.graph import DynamicNetwork, Graph
+
+
+class TestShortestPathChange:
+    def test_figure_1a_magnitude(self):
+        """The paper's Figure 1a: one new edge on a 6-path shifts many
+        pairwise proximities — Δsp per edge is large."""
+        path = Graph.from_edges([(i, i + 1) for i in range(1, 6)])  # 1..6
+        closed = path.copy()
+        closed.add_edge(1, 6)
+        change = shortest_path_change(path, closed)
+        assert change.num_changed_edges == 1
+        # Ordered pairs: (1,6) drops by 4, (2,6)&(1,5) by 2, (1,4)/(3,6)...
+        assert change.total_change >= 2 * (4 + 2 + 2)
+        assert change.change_per_edge == change.total_change
+
+    def test_no_change(self, triangle):
+        change = shortest_path_change(triangle, triangle.copy())
+        assert change.total_change == 0.0
+        assert change.change_per_edge == 0.0
+
+    def test_sampled_estimate_close(self, karate_like, rng):
+        modified = karate_like.copy()
+        modified.add_edge(3, 23)
+        modified.add_edge(8, 31)
+        exact = shortest_path_change(karate_like, modified)
+        estimate = shortest_path_change(
+            karate_like, modified, max_sources=20, rng=rng
+        )
+        assert estimate.sampled
+        assert estimate.total_change == pytest.approx(
+            exact.total_change, rel=0.5
+        )
+
+    def test_profile_length(self, tiny_network, rng):
+        profile = proximity_change_profile(tiny_network, max_sources=16, rng=rng)
+        assert len(profile) == tiny_network.num_snapshots - 1
+
+
+class TestQuietStreaks:
+    def test_basic_runs(self):
+        activity = [True, False, False, True, False, False, False]
+        assert quiet_streaks(activity) == [2, 3]
+
+    def test_all_quiet(self):
+        assert quiet_streaks([False] * 4) == [4]
+
+    def test_all_active(self):
+        assert quiet_streaks([True] * 4) == []
+
+    def test_empty(self):
+        assert quiet_streaks([]) == []
+
+
+class TestInactiveSubnetworks:
+    def test_quiet_community_detected(self):
+        """A two-community network where community B never changes must
+        report an inactive sub-network streak covering all steps."""
+        rng = np.random.default_rng(0)
+        base = Graph()
+        for offset in (0, 50):
+            nodes = list(range(offset, offset + 50))
+            for i, u in enumerate(nodes):
+                base.add_edge(u, nodes[(i + 1) % 50])
+            for _ in range(60):
+                i, j = rng.integers(0, 50, size=2)
+                if i != j:
+                    base.add_edge(nodes[int(i)], nodes[int(j)])
+        base.add_edge(0, 50)
+
+        snapshots = [base.copy()]
+        current = base
+        for t in range(8):
+            current = current.copy()
+            # Changes only ever hit community A (nodes < 50).
+            u, v = rng.integers(0, 50, size=2)
+            if u != v:
+                current.add_edge(int(u), int(v) if u != v else int(v) + 1)
+            snapshots.append(current.copy())
+        network = DynamicNetwork(snapshots)
+
+        report = inactive_subnetworks(
+            network, cell_size=25, min_streak=5, rng=np.random.default_rng(1)
+        )
+        assert report.num_cells == 4
+        assert report.cells_with_streak >= 1
+        assert max(report.streak_histogram, default=0) >= 5
+
+    def test_fully_active_network_no_streaks(self):
+        """A network where every cell changes every step has no streaks."""
+        rng = np.random.default_rng(2)
+        snapshots = []
+        base = Graph.from_edges([(i, (i + 1) % 20) for i in range(20)])
+        current = base
+        for t in range(7):
+            current = current.copy()
+            for node in range(0, 20, 2):  # touch everything, everywhere
+                current.add_edge(node, (node + 7 + t) % 20)
+            snapshots.append(current.copy())
+        network = DynamicNetwork(snapshots)
+        report = inactive_subnetworks(
+            network, cell_size=5, min_streak=5, rng=rng
+        )
+        assert report.total_streaks == 0
+        assert report.inactive_fraction == 0.0
+
+    def test_simulated_datasets_have_inactive_cells(self):
+        """The motivating claim (Fig 1 d-f): our simulated streams must
+        exhibit inactive sub-networks, just like the real datasets."""
+        from repro.datasets import load_dataset
+
+        network = load_dataset("fbw-sim", scale=0.6, seed=0, snapshots=12)
+        report = inactive_subnetworks(
+            network, cell_size=15, min_streak=5,
+            rng=np.random.default_rng(0),
+        )
+        assert report.total_streaks > 0
+        assert report.inactive_fraction > 0.1

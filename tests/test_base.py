@@ -1,0 +1,82 @@
+"""Tests for the shared DynamicEmbeddingMethod contract helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.base import (
+    DynamicEmbeddingMethod,
+    UnsupportedDynamicsError,
+    embeddings_as_matrix,
+)
+from repro.graph import Graph
+
+
+class Recorder(DynamicEmbeddingMethod):
+    """Minimal concrete method for contract testing."""
+
+    name = "recorder"
+
+    def __init__(self, supports_deletion: bool = True) -> None:
+        self.supports_node_deletion = supports_deletion
+        self.reset()
+
+    def reset(self) -> None:
+        self.snapshots_seen = 0
+
+    def update(self, snapshot: Graph):
+        self.snapshots_seen += 1
+        return {node: np.zeros(2) for node in snapshot.nodes()}
+
+
+class TestFitContract:
+    def test_fit_resets_then_streams(self, tiny_network):
+        method = Recorder()
+        method.snapshots_seen = 99
+        results = method.fit(tiny_network)
+        assert method.snapshots_seen == tiny_network.num_snapshots
+        assert len(results) == tiny_network.num_snapshots
+
+
+class TestCheckDeletions:
+    def test_supported_method_ignores(self):
+        method = Recorder(supports_deletion=True)
+        previous = Graph.from_edges([(0, 1), (1, 2)])
+        current = Graph.from_edges([(0, 1)])
+        method.check_deletions(previous, current)  # no raise
+
+    def test_unsupported_method_raises(self):
+        method = Recorder(supports_deletion=False)
+        previous = Graph.from_edges([(0, 1), (1, 2)])
+        current = Graph.from_edges([(0, 1)])
+        with pytest.raises(UnsupportedDynamicsError):
+            method.check_deletions(previous, current)
+
+    def test_no_previous_is_fine(self):
+        method = Recorder(supports_deletion=False)
+        method.check_deletions(None, Graph.from_edges([(0, 1)]))
+
+    def test_growth_is_fine(self):
+        method = Recorder(supports_deletion=False)
+        previous = Graph.from_edges([(0, 1)])
+        current = Graph.from_edges([(0, 1), (1, 2)])
+        method.check_deletions(previous, current)
+
+
+class TestEmbeddingsAsMatrix:
+    def test_row_alignment(self):
+        embeddings = {"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])}
+        nodes, matrix = embeddings_as_matrix(embeddings, ["b", "a"])
+        assert nodes == ["b", "a"]
+        np.testing.assert_array_equal(matrix[0], [3.0, 4.0])
+
+    def test_default_order_is_map_order(self):
+        embeddings = {"x": np.zeros(2), "y": np.ones(2)}
+        nodes, matrix = embeddings_as_matrix(embeddings)
+        assert nodes == ["x", "y"]
+        assert matrix.shape == (2, 2)
+
+    def test_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            embeddings_as_matrix({"a": np.zeros(2)}, ["a", "ghost"])

@@ -1,0 +1,240 @@
+"""Tests for the six comparison baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.base import UnsupportedDynamicsError
+from repro.baselines import (
+    BCGDGlobal,
+    BCGDLocal,
+    DynGEM,
+    DynLINE,
+    DynTriad,
+    TNE,
+    orthogonal_procrustes_align,
+)
+from repro.tasks import mean_precision_at_k
+
+
+def all_baselines(seed: int = 0) -> list:
+    return [
+        BCGDGlobal(dim=16, iterations=40, seed=seed),
+        BCGDLocal(dim=16, iterations=40, seed=seed),
+        DynGEM(dim=16, hidden_dim=32, epochs=15, warm_epochs=5, seed=seed),
+        DynLINE(dim=16, epochs=3, seed=seed),
+        DynTriad(dim=16, epochs=3, seed=seed),
+        TNE(dim=16, num_walks=3, walk_length=10, window_size=3, epochs=2,
+            seed=seed),
+    ]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("method", all_baselines(), ids=lambda m: m.name)
+    def test_covers_snapshot_nodes(self, method, tiny_network):
+        embeddings = method.fit(tiny_network)
+        assert len(embeddings) == tiny_network.num_snapshots
+        for step, snapshot in zip(embeddings, tiny_network):
+            assert set(step) == snapshot.node_set()
+
+    @pytest.mark.parametrize("method", all_baselines(), ids=lambda m: m.name)
+    def test_embedding_dimension(self, method, tiny_network):
+        embeddings = method.update(tiny_network[0])
+        assert all(vec.shape == (16,) for vec in embeddings.values())
+
+    @pytest.mark.parametrize("method", all_baselines(), ids=lambda m: m.name)
+    def test_reset_allows_reuse(self, method, tiny_network):
+        method.fit(tiny_network)
+        method.reset()
+        embeddings = method.update(tiny_network[0])
+        assert set(embeddings) == tiny_network[0].node_set()
+
+
+class TestDeletionSupport:
+    def test_dynline_rejects_deletions(self, churn_network):
+        method = DynLINE(dim=8, seed=0)
+        with pytest.raises(UnsupportedDynamicsError):
+            method.fit(churn_network)
+
+    def test_tne_rejects_deletions(self, churn_network):
+        method = TNE(dim=8, num_walks=2, walk_length=8, window_size=2,
+                     epochs=1, seed=0)
+        with pytest.raises(UnsupportedDynamicsError):
+            method.fit(churn_network)
+
+    @pytest.mark.parametrize(
+        "method",
+        [
+            BCGDGlobal(dim=8, iterations=10, seed=0),
+            BCGDLocal(dim=8, iterations=10, seed=0),
+            DynGEM(dim=8, hidden_dim=16, epochs=5, warm_epochs=2, seed=0),
+            DynTriad(dim=8, epochs=1, seed=0),
+        ],
+        ids=lambda m: m.name,
+    )
+    def test_others_accept_deletions(self, method, churn_network):
+        embeddings = method.fit(churn_network)
+        assert len(embeddings) == churn_network.num_snapshots
+
+
+class TestBCGD:
+    def test_local_reconstructs_structure(self, two_cliques):
+        from repro.graph import DynamicNetwork
+
+        network = DynamicNetwork([two_cliques])
+        method = BCGDLocal(dim=8, iterations=150, lr=0.05, seed=0)
+        embeddings = method.fit(network)[0]
+        scores = mean_precision_at_k(embeddings, two_cliques, [3])
+        assert scores[3] > 0.7
+
+    def test_local_temporal_warm_start(self, tiny_network):
+        method = BCGDLocal(dim=8, iterations=30, seed=0)
+        first = method.update(tiny_network[0])
+        second = method.update(tiny_network[1])
+        common = list(
+            tiny_network[0].node_set() & tiny_network[1].node_set()
+        )
+        cosines = [
+            first[n] @ second[n]
+            / (np.linalg.norm(first[n]) * np.linalg.norm(second[n]) + 1e-12)
+            for n in common
+        ]
+        assert np.mean(cosines) > 0.5  # regularised toward previous step
+
+    def test_global_keeps_history(self, tiny_network):
+        method = BCGDGlobal(dim=8, iterations=20, cycles=1, seed=0)
+        method.update(tiny_network[0])
+        method.update(tiny_network[1])
+        assert len(method.history) == 2
+        assert len(method.z_history) == 2
+
+
+class TestDynGEM:
+    def test_autoencoder_loss_decreases(self, karate_like, rng):
+        from repro.baselines.dyngem import _AutoEncoder
+        from repro.ml.optim import Adam
+        from repro.graph import CSRAdjacency
+
+        dense = CSRAdjacency.from_graph(karate_like).adjacency_dense()
+        model = _AutoEncoder(dense.shape[0], 32, 8, rng)
+        optimizer = Adam(lr=1e-3)
+        first = model.train_batch(dense, beta=5.0, optimizer=optimizer, l2=0.0)
+        for _ in range(200):
+            last = model.train_batch(dense, 5.0, optimizer, 0.0)
+        assert last < first * 0.5
+
+    def test_widening_preserves_old_weights(self, rng):
+        from repro.baselines.dyngem import _AutoEncoder
+
+        model = _AutoEncoder(10, 8, 4, rng)
+        w1_before = model.w1.copy()
+        model.widen(15)
+        assert model.w1.shape == (15, 8)
+        np.testing.assert_array_equal(model.w1[:10], w1_before)
+        assert model.w4.shape == (8, 15)
+
+    def test_embeddings_reflect_communities(self, two_cliques):
+        from repro.graph import DynamicNetwork
+
+        network = DynamicNetwork([two_cliques])
+        method = DynGEM(
+            dim=4, hidden_dim=16, epochs=150, batch_size=8, seed=0
+        )
+        embeddings = method.fit(network)[0]
+        a = np.mean([embeddings[n] for n in range(4)], axis=0)
+        b = np.mean([embeddings[n] for n in range(4, 8)], axis=0)
+        within_a = np.mean(
+            [np.linalg.norm(embeddings[n] - a) for n in range(4)]
+        )
+        between = np.linalg.norm(a - b)
+        assert between > within_a
+
+
+class TestDynLINE:
+    def test_quiet_step_is_cheap_noop(self, triangle):
+        method = DynLINE(dim=8, seed=0)
+        first = method.update(triangle)
+        second = method.update(triangle.copy())  # identical snapshot
+        for node in triangle.nodes():
+            np.testing.assert_array_equal(first[node], second[node])
+
+    def test_only_affected_nodes_move(self, karate_like):
+        method = DynLINE(dim=8, epochs=2, seed=0)
+        first = method.update(karate_like)
+        changed = karate_like.copy()
+        changed.add_edge(0, 30)  # touches nodes 0 and 30 only
+        second = method.update(changed)
+        # Nodes far from the change with no corpus membership stay put.
+        far_nodes = [
+            n for n in karate_like.nodes()
+            if n not in (0, 30)
+            and not changed.has_edge(n, 0)
+            and not changed.has_edge(n, 30)
+        ]
+        unmoved = sum(
+            np.allclose(first[n], second[n]) for n in far_nodes
+        )
+        assert unmoved == len(far_nodes)
+
+
+class TestDynTriad:
+    def test_open_triad_sampling(self, rng):
+        from repro.baselines.dyntriad import _sample_open_triads
+        from repro.graph import Graph
+
+        # Path 0-1-2: the only open triad is (0, 2) centred at 1.
+        path = Graph.from_edges([(0, 1), (1, 2)])
+        nodes = list(path.nodes())
+        index_of = {n: i for i, n in enumerate(nodes)}
+        pairs = _sample_open_triads(path, nodes, index_of, 5, rng)
+        assert pairs  # found at least one
+        for a, b in pairs:
+            assert {nodes[a], nodes[b]} == {0, 2}
+
+    def test_smoothness_pulls_toward_previous(self, tiny_network):
+        strong = DynTriad(dim=8, epochs=2, smoothness=0.9, seed=0)
+        weak = DynTriad(dim=8, epochs=2, smoothness=0.0, seed=0)
+        for method in (strong, weak):
+            method.update(tiny_network[0])
+        prev_strong = {n: v.copy() for n, v in strong.memory.items()}
+        prev_weak = {n: v.copy() for n, v in weak.memory.items()}
+        second_strong = strong.update(tiny_network[1])
+        second_weak = weak.update(tiny_network[1])
+        common = [
+            n for n in tiny_network[0].nodes() if n in second_strong
+        ]
+        drift_strong = np.mean(
+            [np.linalg.norm(second_strong[n] - prev_strong[n]) for n in common]
+        )
+        drift_weak = np.mean(
+            [np.linalg.norm(second_weak[n] - prev_weak[n]) for n in common]
+        )
+        assert drift_strong < drift_weak
+
+
+class TestTNE:
+    def test_procrustes_align_recovers_rotation(self, rng):
+        source = rng.normal(size=(30, 6))
+        random_matrix = rng.normal(size=(6, 6))
+        q, _ = np.linalg.qr(random_matrix)
+        target = source @ q
+        rotation = orthogonal_procrustes_align(source, target)
+        np.testing.assert_allclose(source @ rotation, target, atol=1e-8)
+
+    def test_alignment_keeps_trajectory_smooth(self, tiny_network):
+        aligned = TNE(dim=8, num_walks=3, walk_length=10, window_size=3,
+                      epochs=2, decay=0.5, seed=0)
+        first = aligned.update(tiny_network[0])
+        second = aligned.update(tiny_network[1])
+        common = list(tiny_network[0].node_set() & tiny_network[1].node_set())
+        cosines = [
+            first[n] @ second[n]
+            / (np.linalg.norm(first[n]) * np.linalg.norm(second[n]) + 1e-12)
+            for n in common
+        ]
+        assert np.mean(cosines) > 0.3
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ValueError):
+            TNE(decay=1.0)

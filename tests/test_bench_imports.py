@@ -1,0 +1,55 @@
+"""Guard against benchmark bit-rot: every bench module must import.
+
+The benchmarks are heavy to *run*, but importing them is cheap and
+catches broken imports / renamed APIs long before a full bench session.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+BENCH_MODULES = sorted(p for p in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _bench_path():
+    """Make ``import common`` resolvable, as benchmarks/conftest.py does."""
+    sys.path.insert(0, str(BENCH_DIR))
+    yield
+    sys.path.remove(str(BENCH_DIR))
+
+
+def test_bench_suite_is_complete():
+    """One bench per paper table/figure plus the extras (DESIGN.md §5)."""
+    names = {p.stem for p in BENCH_MODULES}
+    expected = {
+        "bench_table1_graph_reconstruction",
+        "bench_table2_link_prediction",
+        "bench_table3_node_classification",
+        "bench_table4_wall_clock",
+        "bench_table5_selection_strategies",
+        "bench_fig1_proximity_change",
+        "bench_fig1_inactive_subnetworks",
+        "bench_fig2_effectiveness_efficiency",
+        "bench_fig3_static_vs_retrain",
+        "bench_fig4_increment_vs_retrain",
+        "bench_fig5_embedding_stability",
+        "bench_fig6_alpha_tradeoff",
+        "bench_datasets_overview",
+        "bench_ablation_reservoir",
+    }
+    assert expected <= names
+
+
+@pytest.mark.parametrize("path", BENCH_MODULES, ids=lambda p: p.stem)
+def test_bench_module_imports(path: Path):
+    spec = importlib.util.spec_from_file_location(f"_bench_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    # Every bench exposes at least one test_* entry point for pytest.
+    assert any(name.startswith("test_") for name in dir(module))

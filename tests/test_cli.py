@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+COMMON = ["--scale", "0.25", "--snapshots", "4", "--dim", "8"]
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("as733-sim", "elec-sim", "cora-sim"):
+            assert name in out
+
+
+class TestEmbed:
+    def test_embed_runs(self, capsys):
+        assert main(["embed", "--dataset", "elec-sim", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "embedded elec-sim" in out
+
+    def test_embed_writes_npz(self, tmp_path, capsys):
+        out_file = tmp_path / "emb.npz"
+        code = main(
+            ["embed", "--dataset", "elec-sim", *COMMON, "--out", str(out_file)]
+        )
+        assert code == 0
+        data = np.load(out_file)
+        assert data["embeddings"].shape[1] == 8
+        assert data["nodes"].shape[0] == data["embeddings"].shape[0]
+
+    def test_na_method_exits_nonzero(self, capsys):
+        # DynLINE on the deletion dataset must surface the paper's n/a.
+        code = main(
+            ["embed", "--dataset", "as733-sim", "--method", "dynline", *COMMON]
+        )
+        assert code == 1
+        assert "n/a" in capsys.readouterr().err
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["embed", "--method", "fancy-new-method", *COMMON])
+
+
+class TestEvaluate:
+    def test_gr_and_lp(self, capsys):
+        code = main(
+            ["evaluate", "--dataset", "elec-sim", "--task", "gr,lp", *COMMON]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GR MeanP@10" in out
+        assert "LP AUC" in out
+
+    def test_nc_on_labeled(self, capsys):
+        code = main(
+            ["evaluate", "--dataset", "cora-sim", "--task", "nc", *COMMON]
+        )
+        assert code == 0
+        assert "NC F1 @ 0.5" in capsys.readouterr().out
+
+    def test_nc_on_unlabeled_reports(self, capsys):
+        code = main(
+            ["evaluate", "--dataset", "elec-sim", "--task", "nc", *COMMON]
+        )
+        assert code == 0
+        assert "no labels" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_runs(self, capsys):
+        code = main(
+            [
+                "analyze", "--dataset", "fbw-sim", "--scale", "0.25",
+                "--snapshots", "6", "--cell-size", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cells" in out

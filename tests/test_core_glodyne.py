@@ -1,0 +1,174 @@
+"""Unit + integration tests for the GloDyNE algorithm (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GloDyNE, GloDyNEConfig
+from repro.graph import Graph
+from repro.tasks import mean_precision_at_k
+
+
+def small_config(**overrides) -> dict:
+    """Fast hyper-parameters for tests."""
+    defaults = dict(
+        dim=16, alpha=0.2, num_walks=3, walk_length=10,
+        window_size=3, epochs=2,
+    )
+    defaults.update(overrides)
+    return defaults
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = GloDyNEConfig()
+        assert config.dim == 128
+        assert config.num_walks == 10
+        assert config.walk_length == 80
+        assert config.window_size == 10
+        assert config.negative == 5
+        assert config.alpha == 0.1
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            GloDyNEConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            GloDyNEConfig(alpha=1.5)
+
+    def test_walk_length_minimum(self):
+        with pytest.raises(ValueError):
+            GloDyNEConfig(walk_length=1)
+
+    def test_config_xor_overrides(self):
+        with pytest.raises(ValueError):
+            GloDyNE(config=GloDyNEConfig(), dim=8)
+
+
+class TestOfflineStage:
+    def test_t0_covers_all_nodes(self, karate_like):
+        model = GloDyNE(**small_config(), seed=0)
+        embeddings = model.update(karate_like)
+        assert set(embeddings) == karate_like.node_set()
+        assert model.last_trace.num_selected == karate_like.number_of_nodes()
+
+    def test_embedding_dimension(self, karate_like):
+        model = GloDyNE(**small_config(dim=24), seed=0)
+        embeddings = model.update(karate_like)
+        assert all(vec.shape == (24,) for vec in embeddings.values())
+
+    def test_empty_snapshot_rejected(self):
+        model = GloDyNE(**small_config(), seed=0)
+        with pytest.raises(ValueError):
+            model.update(Graph())
+
+
+class TestOnlineStage:
+    def test_selects_alpha_fraction(self, tiny_network):
+        model = GloDyNE(**small_config(alpha=0.1), seed=0)
+        model.update(tiny_network[0])
+        model.update(tiny_network[1])
+        n = tiny_network[1].number_of_nodes()
+        assert model.last_trace.num_selected == max(1, round(0.1 * n))
+
+    def test_new_nodes_get_embeddings(self, tiny_network):
+        model = GloDyNE(**small_config(), seed=0)
+        model.update(tiny_network[0])
+        embeddings = model.update(tiny_network[1])
+        new_nodes = tiny_network[1].node_set() - tiny_network[0].node_set()
+        for node in new_nodes:
+            assert node in embeddings
+
+    def test_deleted_nodes_absent_from_output(self, churn_network):
+        model = GloDyNE(**small_config(), seed=0)
+        previous = None
+        for snapshot in churn_network:
+            embeddings = model.update(snapshot)
+            assert set(embeddings) == snapshot.node_set()
+            previous = snapshot
+
+    def test_selected_nodes_evicted_from_reservoir(self, tiny_network):
+        model = GloDyNE(**small_config(), seed=0)
+        model.update(tiny_network[0])
+        model.update(tiny_network[1])
+        for node in model.last_trace.selected_nodes:
+            assert node not in model.reservoir
+
+    def test_unselected_changes_accumulate(self, tiny_network):
+        """Changed-but-unselected nodes must stay in the reservoir."""
+        model = GloDyNE(**small_config(alpha=0.05), seed=0)
+        model.update(tiny_network[0])
+        diff = tiny_network.diff(1)
+        model.update(tiny_network[1])
+        selected = set(model.last_trace.selected_nodes)
+        alive = tiny_network[1].node_set()
+        leftover = {
+            node
+            for node in diff.changed_nodes
+            if node not in selected and node in alive
+        }
+        for node in leftover:
+            assert model.reservoir.get(node) > 0
+
+    def test_incremental_stability(self, tiny_network):
+        """Warm-start property: embeddings of untouched nodes move little
+        between steps relative to their norm (Figure 5's smoothing)."""
+        model = GloDyNE(**small_config(alpha=0.1), seed=0)
+        before = model.update(tiny_network[0])
+        after = model.update(tiny_network[1])
+        common = [
+            node
+            for node in tiny_network[0].nodes()
+            if node in after and node not in model.last_trace.selected_nodes
+        ]
+        drifts = [
+            np.linalg.norm(after[n] - before[n]) / (np.linalg.norm(before[n]) + 1e-12)
+            for n in common
+        ]
+        assert np.median(drifts) < 1.0
+
+
+class TestFitAndDeterminism:
+    def test_fit_returns_one_map_per_snapshot(self, tiny_network):
+        model = GloDyNE(**small_config(), seed=0)
+        embeddings = model.fit(tiny_network)
+        assert len(embeddings) == tiny_network.num_snapshots
+
+    def test_seeded_determinism(self, tiny_network):
+        run_a = GloDyNE(**small_config(), seed=11).fit(tiny_network)
+        run_b = GloDyNE(**small_config(), seed=11).fit(tiny_network)
+        for map_a, map_b in zip(run_a, run_b):
+            assert set(map_a) == set(map_b)
+            for node in map_a:
+                np.testing.assert_array_equal(map_a[node], map_b[node])
+
+    def test_reset_forgets_state(self, tiny_network):
+        model = GloDyNE(**small_config(), seed=5)
+        model.fit(tiny_network)
+        model.reset()
+        assert model.time_step == 0
+        assert model.previous is None
+        assert len(model.reservoir) == 0
+
+    def test_strategy_variants_run(self, tiny_network):
+        for strategy in ("s1", "s2", "s3", "s4"):
+            model = GloDyNE(**small_config(strategy=strategy), seed=0)
+            embeddings = model.fit(tiny_network)
+            assert len(embeddings) == tiny_network.num_snapshots
+
+
+class TestQuality:
+    def test_reconstruction_beats_random(self, tiny_network):
+        """End-to-end sanity: GloDyNE embeddings must reconstruct far
+        better than random vectors."""
+        model = GloDyNE(**small_config(epochs=3), seed=0)
+        embeddings = model.fit(tiny_network)
+        final = tiny_network[-1]
+        scores = mean_precision_at_k(embeddings[-1], final, [10])
+
+        rng = np.random.default_rng(0)
+        random_embeddings = {
+            node: rng.normal(size=16) for node in final.nodes()
+        }
+        random_scores = mean_precision_at_k(random_embeddings, final, [10])
+        assert scores[10] > 3 * random_scores[10]

@@ -1,0 +1,85 @@
+"""Unit + property tests for the accumulated-change reservoir."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Reservoir
+
+
+class TestReservoir:
+    def test_starts_empty(self):
+        reservoir = Reservoir()
+        assert len(reservoir) == 0
+        assert reservoir.get("x") == 0.0
+
+    def test_accumulate_line10(self):
+        """R^t_i = |ΔE^t_i| + R^{t-1}_i (Algorithm 1 line 10)."""
+        reservoir = Reservoir()
+        reservoir.accumulate({"a": 2, "b": 1})
+        reservoir.accumulate({"a": 3})
+        assert reservoir.get("a") == 5
+        assert reservoir.get("b") == 1
+
+    def test_zero_changes_not_stored(self):
+        reservoir = Reservoir()
+        reservoir.accumulate({"a": 0})
+        assert "a" not in reservoir
+        assert len(reservoir) == 0
+
+    def test_evict_line14(self):
+        reservoir = Reservoir()
+        reservoir.accumulate({"a": 2, "b": 1})
+        reservoir.evict(["a", "ghost"])  # evicting unknown nodes is fine
+        assert "a" not in reservoir
+        assert reservoir.get("b") == 1
+
+    def test_prune_dead_nodes(self):
+        reservoir = Reservoir()
+        reservoir.accumulate({"a": 1, "b": 2, "c": 3})
+        reservoir.prune(alive_nodes={"b"})
+        assert reservoir.nodes() == ["b"]
+
+    def test_clear(self):
+        reservoir = Reservoir()
+        reservoir.accumulate({"a": 1})
+        reservoir.clear()
+        assert len(reservoir) == 0
+
+    def test_as_dict_is_copy(self):
+        reservoir = Reservoir()
+        reservoir.accumulate({"a": 1})
+        snapshot = reservoir.as_dict()
+        snapshot["a"] = 100
+        assert reservoir.get("a") == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    updates=st.lists(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=5),
+            max_size=5,
+        ),
+        max_size=8,
+    ),
+    evict_at=st.integers(min_value=0, max_value=9),
+)
+def test_reservoir_accounting_property(updates, evict_at):
+    """Property: a node's reservoir value equals the sum of its changes
+    since the last eviction (footnote 2's accumulation semantics)."""
+    reservoir = Reservoir()
+    expected: dict[int, float] = {}
+    for i, update in enumerate(updates):
+        reservoir.accumulate(update)
+        for node, change in update.items():
+            if change:
+                expected[node] = expected.get(node, 0) + change
+        if i == evict_at:
+            reservoir.evict([0])
+            expected.pop(0, None)
+    for node in range(10):
+        assert reservoir.get(node) == expected.get(node, 0)

@@ -1,0 +1,107 @@
+"""Unit tests for the change score (Eq. 3) and selection softmax (Eq. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Reservoir
+from repro.core.scoring import (
+    cell_scores,
+    change_score,
+    sample_representative,
+    softmax_probabilities,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def star_previous() -> Graph:
+    """Hub 0 with leaves 1..4 — distinct degrees for inertia testing."""
+    return Graph.from_edges([(0, i) for i in (1, 2, 3, 4)])
+
+
+class TestChangeScore:
+    def test_zero_without_changes(self, star_previous):
+        assert change_score(1, Reservoir(), star_previous) == 0.0
+
+    def test_inertia_normalisation(self, star_previous):
+        """Same change magnitude scores higher on a low-degree node."""
+        reservoir = Reservoir()
+        reservoir.accumulate({0: 2, 1: 2})
+        hub_score = change_score(0, reservoir, star_previous)  # deg 4
+        leaf_score = change_score(1, reservoir, star_previous)  # deg 1
+        assert hub_score == pytest.approx(0.5)
+        assert leaf_score == pytest.approx(2.0)
+        assert leaf_score > hub_score
+
+    def test_new_node_unit_inertia(self, star_previous):
+        reservoir = Reservoir()
+        reservoir.accumulate({99: 3})
+        assert change_score(99, reservoir, star_previous) == pytest.approx(3.0)
+
+    def test_no_previous_snapshot(self):
+        reservoir = Reservoir()
+        reservoir.accumulate({0: 4})
+        assert change_score(0, reservoir, None) == pytest.approx(4.0)
+
+
+class TestSoftmax:
+    def test_uniform_on_inactive_cell(self):
+        """Eq. 4's e^0 = 1 guarantee: all-zero scores give uniform."""
+        probabilities = softmax_probabilities(np.zeros(5))
+        np.testing.assert_allclose(probabilities, 0.2)
+
+    def test_monotone_in_score(self):
+        probabilities = softmax_probabilities(np.array([0.0, 1.0, 2.0]))
+        assert probabilities[0] < probabilities[1] < probabilities[2]
+
+    def test_overflow_guard(self):
+        probabilities = softmax_probabilities(np.array([0.0, 5000.0]))
+        assert np.isfinite(probabilities).all()
+        assert probabilities[1] == pytest.approx(1.0)
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError):
+            softmax_probabilities(np.array([]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        scores=st.lists(
+            st.floats(min_value=-50, max_value=50), min_size=1, max_size=30
+        )
+    )
+    def test_valid_distribution_property(self, scores):
+        """Property: softmax output is a valid probability distribution."""
+        probabilities = softmax_probabilities(np.array(scores))
+        assert np.all(probabilities >= 0)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_cell_scores_vector(self, star_previous):
+        reservoir = Reservoir()
+        reservoir.accumulate({1: 1})
+        scores = cell_scores([0, 1, 2], reservoir, star_previous)
+        assert scores.shape == (3,)
+        assert scores[1] > 0 and scores[0] == scores[2] == 0
+
+    def test_biased_representative(self, star_previous, rng):
+        """A heavily changed node must dominate selection in its cell."""
+        reservoir = Reservoir()
+        reservoir.accumulate({1: 10})
+        picks = [
+            sample_representative([1, 2, 3], reservoir, star_previous, rng)
+            for _ in range(200)
+        ]
+        assert picks.count(1) > 190
+
+    def test_uniform_when_inactive(self, star_previous, rng):
+        picks = [
+            sample_representative([1, 2], Reservoir(), star_previous, rng)
+            for _ in range(400)
+        ]
+        frequency = picks.count(1) / len(picks)
+        assert 0.4 < frequency < 0.6

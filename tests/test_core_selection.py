@@ -1,0 +1,131 @@
+"""Unit tests for node-selection strategies S1-S4 (Table 5 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Reservoir
+from repro.core.selection import (
+    SelectionContext,
+    get_strategy,
+    select_s1,
+    select_s2,
+    select_s3,
+    select_s4,
+)
+from repro.graph import Graph
+from repro.partition import partition_graph
+
+
+@pytest.fixture
+def context(karate_like, rng) -> SelectionContext:
+    reservoir = Reservoir()
+    reservoir.accumulate({0: 3, 1: 2, 20: 5})
+    return SelectionContext(
+        snapshot=karate_like,
+        previous=karate_like.copy(),
+        reservoir=reservoir,
+        rng=rng,
+    )
+
+
+class TestS1:
+    def test_draws_from_reservoir_only(self, context):
+        picks = select_s1(context, count=50)
+        assert set(picks) <= {0, 1, 20}
+        assert len(picks) == 50  # with replacement: duplicates allowed
+
+    def test_empty_reservoir_falls_back_to_uniform(self, karate_like, rng):
+        context = SelectionContext(karate_like, None, Reservoir(), rng)
+        picks = select_s1(context, count=10)
+        assert len(picks) == 10
+        assert len(set(picks)) == 10  # the S3 fallback is w/o replacement
+
+    def test_ignores_dead_reservoir_nodes(self, karate_like, rng):
+        reservoir = Reservoir()
+        reservoir.accumulate({"ghost": 9, 0: 1})
+        context = SelectionContext(karate_like, None, reservoir, rng)
+        picks = select_s1(context, count=20)
+        assert "ghost" not in picks
+
+
+class TestS2:
+    def test_without_replacement_from_reservoir(self, context):
+        picks = select_s2(context, count=3)
+        assert sorted(picks) == [0, 1, 20]
+
+    def test_tops_up_from_snapshot(self, context):
+        picks = select_s2(context, count=10)
+        assert len(picks) == 10
+        assert len(set(picks)) == 10
+        assert {0, 1, 20} <= set(picks)
+
+    def test_count_capped_at_population(self, context):
+        n = context.snapshot.number_of_nodes()
+        picks = select_s2(context, count=n + 50)
+        assert len(picks) == n
+
+
+class TestS3:
+    def test_uniform_without_replacement(self, context):
+        picks = select_s3(context, count=15)
+        assert len(picks) == len(set(picks)) == 15
+
+    def test_all_nodes_when_count_exceeds(self, context):
+        n = context.snapshot.number_of_nodes()
+        picks = select_s3(context, count=n + 10)
+        assert len(picks) == n
+
+
+class TestS4:
+    def test_one_per_cell(self, context):
+        picks = select_s4(context, count=8)
+        assert len(picks) == 8
+        assert len(set(picks)) == 8  # cells are disjoint => picks distinct
+
+    def test_diversity_across_partition(self, context):
+        """S4's guarantee: picks land in distinct partition cells."""
+        count = 8
+        picks = select_s4(context, count=count)
+        partition = partition_graph(
+            context.snapshot, k=count, rng=np.random.default_rng(0)
+        )
+        # Rebuilding the partition with another seed differs, so check the
+        # weaker structural property: no more picks than cells and spread
+        # across both communities of the fixture.
+        communities = {0: 0, 1: 0}
+        for pick in picks:
+            communities[0 if pick < 20 else 1] += 1
+        assert communities[0] >= 2 and communities[1] >= 2
+        assert partition.k == count
+
+    def test_bias_toward_changed_nodes(self, karate_like, rng):
+        """Within a cell, the changed node should win most draws."""
+        reservoir = Reservoir()
+        reservoir.accumulate({7: 50.0})
+        wins = 0
+        for trial in range(20):
+            context = SelectionContext(
+                karate_like,
+                karate_like.copy(),
+                reservoir,
+                np.random.default_rng(trial),
+            )
+            if 7 in select_s4(context, count=4):
+                wins += 1
+        assert wins >= 18
+
+    def test_single_cell(self, context):
+        picks = select_s4(context, count=1)
+        assert len(picks) == 1
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_strategy("s4") is select_s4
+        assert get_strategy("S1") is select_s1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_strategy("s9")

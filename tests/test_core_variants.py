@@ -1,0 +1,108 @@
+"""Tests for the SGNS-static / -retrain / -increment variants (§5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SGNSIncrement, SGNSRetrain, SGNSStatic
+from repro.tasks import per_step_precision
+
+
+def variant_kwargs() -> dict:
+    return dict(
+        dim=16, num_walks=3, walk_length=10, window_size=3, epochs=2,
+    )
+
+
+class TestSGNSStatic:
+    def test_trains_only_once(self, tiny_network):
+        model = SGNSStatic(**variant_kwargs(), seed=0)
+        first = model.update(tiny_network[0])
+        second = model.update(tiny_network[1])
+        # Nodes present at t=0 keep their exact t=0 embedding forever.
+        for node in tiny_network[0].nodes():
+            if node in second:
+                np.testing.assert_array_equal(first[node], second[node])
+
+    def test_unknown_nodes_get_fallback_vectors(self, tiny_network):
+        model = SGNSStatic(**variant_kwargs(), seed=0)
+        model.update(tiny_network[0])
+        last = model.update(tiny_network[-1])
+        new_nodes = tiny_network[-1].node_set() - tiny_network[0].node_set()
+        for node in new_nodes:
+            assert node in last
+            assert last[node].shape == (16,)
+
+    def test_covers_current_snapshot(self, tiny_network):
+        model = SGNSStatic(**variant_kwargs(), seed=0)
+        for snapshot in tiny_network:
+            embeddings = model.update(snapshot)
+            assert set(embeddings) == snapshot.node_set()
+
+
+class TestSGNSRetrain:
+    def test_fresh_model_each_step(self, tiny_network):
+        model = SGNSRetrain(**variant_kwargs(), seed=0)
+        first = model.update(tiny_network[0])
+        second = model.update(tiny_network[1])
+        common = tiny_network[0].node_set() & tiny_network[1].node_set()
+        # A fresh random init virtually guarantees different embeddings.
+        moved = sum(
+            not np.allclose(first[node], second[node]) for node in common
+        )
+        assert moved == len(common)
+
+    def test_handles_deletions(self, churn_network):
+        model = SGNSRetrain(**variant_kwargs(), seed=0)
+        embeddings = model.fit(churn_network)
+        assert len(embeddings) == churn_network.num_snapshots
+
+
+class TestSGNSIncrement:
+    def test_warm_start_keeps_space(self, tiny_network):
+        """Increment reuses the model: common nodes drift but do not jump
+        to a fresh random space (unlike retrain)."""
+        model = SGNSIncrement(**variant_kwargs(), seed=0)
+        first = model.update(tiny_network[0])
+        second = model.update(tiny_network[1])
+        common = list(tiny_network[0].node_set() & tiny_network[1].node_set())
+        cosines = []
+        for node in common:
+            a, b = first[node], second[node]
+            cosines.append(
+                a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12)
+            )
+        assert np.mean(cosines) > 0.5
+
+    def test_quality_ordering_increment_ge_static(self, tiny_network):
+        """§5.3's ranking: increment > retrain > static. We assert the
+        robust end of it — increment beats static at the final step."""
+        static = SGNSStatic(**variant_kwargs(), seed=1)
+        increment = SGNSIncrement(**variant_kwargs(), seed=1)
+        static_embeddings = static.fit(tiny_network)
+        increment_embeddings = increment.fit(tiny_network)
+        p_static = per_step_precision(static_embeddings, tiny_network, k=10)
+        p_increment = per_step_precision(increment_embeddings, tiny_network, k=10)
+        assert p_increment[-1] > p_static[-1]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "cls", [SGNSStatic, SGNSRetrain, SGNSIncrement]
+    )
+    def test_reset(self, cls, tiny_network):
+        model = cls(**variant_kwargs(), seed=0)
+        model.fit(tiny_network)
+        model.reset()
+        assert model.time_step == 0
+        assert model.model is None
+
+    @pytest.mark.parametrize(
+        "cls", [SGNSStatic, SGNSRetrain, SGNSIncrement]
+    )
+    def test_config_xor_overrides(self, cls):
+        from repro.core import GloDyNEConfig
+
+        with pytest.raises(ValueError):
+            cls(config=GloDyNEConfig(), dim=8)

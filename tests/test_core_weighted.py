@@ -1,0 +1,90 @@
+"""Tests for the weighted change-score extension (paper footnote 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GloDyNE
+from repro.graph import DynamicNetwork, Graph
+
+
+def weighted_pair() -> tuple[Graph, Graph]:
+    """Two snapshots whose only difference is a big weight change on one
+    edge plus a tiny new edge elsewhere."""
+    previous = Graph.from_edges(
+        [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)]
+    )
+    current = previous.copy()
+    current.add_edge(0, 1, 10.0)   # weight 1 -> 10: change of 9 at nodes 0, 1
+    current.add_edge(1, 3, 1.0)    # new unit edge
+    return previous, current
+
+
+KWARGS = dict(
+    dim=8, alpha=0.5, num_walks=2, walk_length=8, window_size=2, epochs=1,
+)
+
+
+class TestWeightedReservoir:
+    def test_auto_detects_weights(self):
+        previous, current = weighted_pair()
+        model = GloDyNE(**KWARGS, seed=0)
+        model.update(previous)
+        model.update(current)
+        # Weighted accumulation credits 9.0 to nodes 0/1 (minus any
+        # eviction); the reservoir for an unselected changed node must be
+        # weight-scaled, not the unweighted count 1.
+        survivors = {
+            node: model.reservoir.get(node)
+            for node in (0, 1, 3)
+            if node in model.reservoir
+        }
+        for node, value in survivors.items():
+            if node in (0, 1):
+                assert value >= 9.0
+            else:
+                assert value <= 2.0
+
+    def test_forced_unweighted_counts(self):
+        previous, current = weighted_pair()
+        model = GloDyNE(**KWARGS, weighted_changes=False, seed=0)
+        model.update(previous)
+        model.update(current)
+        for node in model.reservoir.nodes():
+            # Unweighted mode counts changed edges: at most 2 per node here.
+            assert model.reservoir.get(node) <= 2
+
+    def test_forced_weighted_on_unweighted_graph_matches_counts(self):
+        """On a genuinely unweighted pair the weighted formula reduces to
+        the plain count, so both modes agree."""
+        g0 = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        g1 = g0.copy()
+        g1.add_edge(3, 0)
+        weighted = GloDyNE(**KWARGS, weighted_changes=True, seed=1)
+        unweighted = GloDyNE(**KWARGS, weighted_changes=False, seed=1)
+        for model in (weighted, unweighted):
+            model.update(g0)
+            model.update(g1)
+        assert weighted.reservoir.as_dict() == unweighted.reservoir.as_dict()
+
+    def test_weighted_network_end_to_end(self):
+        """GloDyNE runs start-to-finish on a weighted dynamic network and
+        walk transitions respect Eq. (5)."""
+        rng = np.random.default_rng(0)
+        snapshots = []
+        graph = Graph()
+        for i in range(20):
+            graph.add_edge(i, (i + 1) % 20, float(rng.integers(1, 5)))
+        snapshots.append(graph.copy())
+        for _ in range(3):
+            graph = graph.copy()
+            u, v = rng.integers(0, 20, size=2)
+            if u != v:
+                graph.add_edge(int(u), int(v), float(rng.integers(1, 5)))
+            snapshots.append(graph.copy())
+        network = DynamicNetwork(snapshots)
+        model = GloDyNE(**KWARGS, seed=0)
+        embeddings = model.fit(network)
+        assert len(embeddings) == 4
+        assert set(embeddings[-1]) == network[-1].node_set()

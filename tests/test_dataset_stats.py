@@ -1,0 +1,90 @@
+"""Tests for dataset summaries and the sweep utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import DatasetSummary, summarize_network
+from repro.core import GloDyNE
+from repro.experiments import run_sweep
+from repro.graph import DynamicNetwork, Graph
+from repro.tasks import graph_reconstruction_over_time
+
+
+class TestSummarize:
+    def test_counts(self):
+        g0 = Graph.from_edges([(0, 1), (1, 2)])
+        g1 = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        network = DynamicNetwork([g0, g1], labels={0: "a", 1: "b"})
+        summary = summarize_network(network)
+        assert summary.num_snapshots == 2
+        assert summary.initial_nodes == 3
+        assert summary.final_nodes == 4
+        assert summary.total_edges == 2 + 3
+        assert summary.has_labels
+        assert summary.num_classes == 2
+        assert not summary.has_node_deletions
+        assert summary.mean_changed_edges_per_step == 1.0
+
+    def test_deletions_flagged(self, churn_network):
+        summary = summarize_network(churn_network)
+        assert summary.has_node_deletions
+        assert summary.has_edge_deletions
+
+    def test_as_row_length_matches_headers(self, tiny_network):
+        from repro.analysis import DATASET_TABLE_HEADERS
+
+        summary = summarize_network(tiny_network)
+        assert len(summary.as_row()) == len(DATASET_TABLE_HEADERS)
+
+
+class TestSweep:
+    def _factory(self, seed: int, alpha: float) -> GloDyNE:
+        return GloDyNE(
+            dim=8, alpha=alpha, num_walks=2, walk_length=8, window_size=2,
+            epochs=1, seed=seed,
+        )
+
+    def _metric(self, run, network) -> float:
+        return graph_reconstruction_over_time(run.embeddings, network, [5])[5]
+
+    def test_grid_coverage(self, tiny_network):
+        result = run_sweep(
+            self._factory,
+            tiny_network,
+            grid={"alpha": [0.1, 0.5]},
+            seeds=[0, 1],
+            metric=self._metric,
+        )
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.scores.shape == (2,)
+            assert point.seconds.shape == (2,)
+
+    def test_by_param_and_best(self, tiny_network):
+        result = run_sweep(
+            self._factory,
+            tiny_network,
+            grid={"alpha": [0.1, 1.0]},
+            seeds=[0],
+            metric=self._metric,
+        )
+        by_alpha = result.by_param("alpha")
+        assert set(by_alpha) == {0.1, 1.0}
+        assert result.best().params["alpha"] in (0.1, 1.0)
+
+    def test_empty_grid_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            run_sweep(self._factory, tiny_network, {}, [0], self._metric)
+
+    def test_duplicate_param_values_rejected_in_by_param(self, tiny_network):
+        result = run_sweep(
+            self._factory,
+            tiny_network,
+            grid={"alpha": [0.2, 0.2]},
+            seeds=[0],
+            metric=self._metric,
+        )
+        with pytest.raises(ValueError):
+            result.by_param("alpha")

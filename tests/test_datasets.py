@@ -1,0 +1,176 @@
+"""Tests for the dataset generators, registry, and IO round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    coauthor_growth,
+    community_citation_growth,
+    interaction_stream,
+    list_datasets,
+    load_dataset,
+    get_spec,
+    preferential_attachment_graph,
+    read_edge_stream,
+    read_labels,
+    read_snapshots,
+    router_churn,
+    write_edge_stream,
+    write_labels,
+    write_snapshots,
+)
+from repro.graph import EdgeEvent, is_connected
+
+
+class TestGenerators:
+    def test_pa_graph_connected(self, rng):
+        graph = preferential_attachment_graph(50, 2, rng)
+        assert graph.number_of_nodes() == 50
+        assert is_connected(graph)
+
+    def test_pa_graph_hub_structure(self, rng):
+        graph = preferential_attachment_graph(200, 2, rng)
+        degrees = sorted((graph.degree(n) for n in graph.nodes()), reverse=True)
+        # Preferential attachment: heavy head relative to the median.
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_interaction_stream_times_monotone_window(self):
+        events = interaction_stream(
+            num_nodes=80, num_steps=6, num_communities=4,
+            events_per_step=20, seed=0,
+        )
+        assert all(0 <= e.time <= 5 for e in events)
+        assert all(e.kind == "add" for e in events)
+
+    def test_coauthor_growth_labels_complete(self):
+        events, labels = coauthor_growth(
+            num_steps=4, papers_per_step=5, num_fields=3, seed=0
+        )
+        touched = {e.u for e in events} | {e.v for e in events}
+        assert touched <= set(labels)
+
+    def test_citation_growth_homophily(self):
+        """With strong homophily most edges stay within one label."""
+        events, labels = community_citation_growth(
+            num_steps=5, nodes_per_step=20, num_labels=4, seed=0,
+            homophily=0.9,
+        )
+        same = sum(1 for e in events if labels[e.u] == labels[e.v])
+        assert same / len(events) > 0.6
+
+    def test_label_noise_shuffles(self):
+        _, clean = community_citation_growth(
+            num_steps=3, nodes_per_step=15, num_labels=4, seed=5,
+            label_noise=0.0,
+        )
+        _, noisy = community_citation_growth(
+            num_steps=3, nodes_per_step=15, num_labels=4, seed=5,
+            label_noise=0.5,
+        )
+        changed = sum(clean[n] != noisy[n] for n in clean)
+        assert changed > len(clean) * 0.2
+
+    def test_router_churn_has_deletions(self):
+        network = router_churn(initial_nodes=40, num_steps=5, seed=0)
+        total_removed_nodes = sum(
+            len(diff.removed_nodes) for diff in network.diffs()
+        )
+        total_removed_edges = sum(
+            len(diff.removed_edges) for diff in network.diffs()
+        )
+        assert total_removed_nodes > 0
+        assert total_removed_edges > 0
+
+    def test_generators_deterministic(self):
+        a = interaction_stream(50, 4, 3, 10, seed=9)
+        b = interaction_stream(50, 4, 3, 10, seed=9)
+        assert a == b
+
+
+class TestRegistry:
+    def test_six_datasets_registered(self):
+        names = list_datasets()
+        assert len(names) == 6
+        assert "as733-sim" in names and "cora-sim" in names
+
+    def test_specs_match_paper_characteristics(self):
+        assert get_spec("as733-sim").has_deletions
+        assert not get_spec("elec-sim").has_deletions
+        assert get_spec("cora-sim").has_labels
+        assert get_spec("dblp-sim").has_labels
+        assert not get_spec("hepph-sim").has_labels
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("imaginary")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("elec-sim", scale=0.0)
+
+    def test_snapshot_override(self):
+        network = load_dataset("elec-sim", scale=0.25, seed=0, snapshots=4)
+        assert network.num_snapshots == 4
+
+    def test_load_deterministic(self):
+        a = load_dataset("cora-sim", scale=0.25, seed=3, snapshots=4)
+        b = load_dataset("cora-sim", scale=0.25, seed=3, snapshots=4)
+        for ga, gb in zip(a, b):
+            assert ga.edge_set() == gb.edge_set()
+
+    @pytest.mark.parametrize("name", list_datasets())
+    def test_all_datasets_materialise_connected(self, name):
+        network = load_dataset(name, scale=0.25, seed=1, snapshots=4)
+        assert network.num_snapshots == 4
+        for snapshot in network:
+            assert snapshot.number_of_nodes() > 5
+            assert is_connected(snapshot)
+
+    def test_labels_cover_labelled_datasets(self):
+        network = load_dataset("dblp-sim", scale=0.25, seed=1, snapshots=4)
+        final_nodes = network[-1].node_set()
+        labeled = final_nodes & set(network.labels)
+        assert len(labeled) > 0.9 * len(final_nodes)
+
+
+class TestIO:
+    def test_edge_stream_round_trip(self, tmp_path):
+        events = [
+            EdgeEvent(0, 1, 0.0),
+            EdgeEvent(1, 2, 1.0),
+            EdgeEvent(0, 1, 2.0, kind="remove"),
+        ]
+        path = tmp_path / "stream.tsv"
+        write_edge_stream(path, events)
+        back = read_edge_stream(path)
+        assert back == events
+
+    def test_labels_round_trip(self, tmp_path):
+        labels = {0: 1, 7: 3, 9: 0}
+        path = tmp_path / "labels.tsv"
+        write_labels(path, labels)
+        assert read_labels(path) == labels
+
+    def test_snapshots_round_trip(self, tmp_path, churn_network):
+        path = tmp_path / "snapshots.txt"
+        write_snapshots(path, churn_network)
+        back = read_snapshots(path, name="roundtrip")
+        assert back.num_snapshots == churn_network.num_snapshots
+        for ga, gb in zip(churn_network, back):
+            assert ga.node_set() == gb.node_set()
+            assert ga.edge_set() == gb.edge_set()
+
+    def test_malformed_stream_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            read_edge_stream(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("% comment\n# another\n0 1 3.5\n")
+        events = read_edge_stream(path)
+        assert len(events) == 1
+        assert events[0].time == 3.5

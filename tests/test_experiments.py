@@ -1,0 +1,115 @@
+"""Tests for the experiment runner and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.base import DynamicEmbeddingMethod, UnsupportedDynamicsError
+from repro.core import GloDyNE
+from repro.experiments import (
+    annotate_cell,
+    format_mean_std,
+    render_table,
+    repeat_runs,
+    run_method,
+)
+
+
+class FailingMethod(DynamicEmbeddingMethod):
+    name = "failing"
+    supports_node_deletion = False
+
+    def reset(self) -> None:
+        self.steps = 0
+
+    def update(self, snapshot):
+        raise UnsupportedDynamicsError("cannot handle anything")
+
+
+class TestRunMethod:
+    def test_collects_embeddings_and_times(self, tiny_network):
+        method = GloDyNE(
+            dim=8, num_walks=2, walk_length=8, window_size=2, epochs=1,
+            seed=0,
+        )
+        result = run_method(method, tiny_network)
+        assert result.ok
+        assert len(result.embeddings) == tiny_network.num_snapshots
+        assert len(result.step_seconds) == tiny_network.num_snapshots
+        assert result.total_seconds > 0
+
+    def test_unsupported_becomes_na(self, tiny_network):
+        result = run_method(FailingMethod(), tiny_network)
+        assert not result.ok
+        assert "cannot handle" in result.not_available
+        assert result.embeddings == []
+
+    def test_keep_embeddings_false(self, tiny_network):
+        method = GloDyNE(
+            dim=8, num_walks=2, walk_length=8, window_size=2, epochs=1,
+            seed=0,
+        )
+        result = run_method(method, tiny_network, keep_embeddings=False)
+        assert result.ok
+        assert result.embeddings == []
+        assert len(result.step_seconds) == tiny_network.num_snapshots
+
+
+class TestRepeatRuns:
+    def test_scores_per_seed(self, tiny_network):
+        def factory(seed):
+            return GloDyNE(
+                dim=8, num_walks=2, walk_length=8, window_size=2,
+                epochs=1, seed=seed,
+            )
+
+        scores = repeat_runs(
+            factory, tiny_network, seeds=[0, 1],
+            evaluate=lambda run: run.total_seconds,
+        )
+        assert scores.shape == (2,)
+        assert np.all(scores > 0)
+
+    def test_na_propagates_as_none(self, tiny_network):
+        scores = repeat_runs(
+            lambda seed: FailingMethod(), tiny_network, [0, 1],
+            evaluate=lambda run: 0.0,
+        )
+        assert scores is None
+
+
+class TestFormatting:
+    def test_mean_std_percent(self):
+        assert format_mean_std([0.5, 0.6], scale=100) == "55.00±7.07"
+
+    def test_none_is_na(self):
+        assert format_mean_std(None) == "n/a"
+        assert format_mean_std([]) == "n/a"
+
+    def test_single_value_zero_std(self):
+        assert format_mean_std([0.25]) == "25.00±0.00"
+
+    def test_annotate_cell_marks_winner(self):
+        cell = annotate_cell(
+            {
+                "good": np.array([0.9, 0.91, 0.9, 0.92, 0.9]),
+                "bad": np.array([0.1, 0.12, 0.11, 0.1, 0.1]),
+                "gone": None,
+            }
+        )
+        assert cell["gone"] == "n/a"
+        assert cell["good"].endswith("‡")
+        assert "±" in cell["bad"]
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["method", "score"],
+            [["GloDyNE", "1.00"], ["x", "0.5"]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "method" in lines[2]
+        header_width = len(lines[2])
+        assert all(len(line) <= header_width + 2 for line in lines[3:])

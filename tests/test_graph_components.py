@@ -1,0 +1,78 @@
+"""Unit tests for connected components and BFS distances."""
+
+from __future__ import annotations
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+
+
+class TestComponents:
+    def test_single_component(self, triangle: Graph):
+        components = connected_components(triangle)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2}
+
+    def test_two_components_sorted_by_size(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (10, 11)])
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [3, 2]
+
+    def test_isolated_nodes_are_components(self):
+        graph = Graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert len(connected_components(graph)) == 2
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+        assert is_connected(Graph())
+
+    def test_is_connected(self, two_cliques: Graph):
+        assert is_connected(two_cliques)
+        two_cliques.remove_edge(0, 4)
+        assert not is_connected(two_cliques)
+
+    def test_largest_connected_component(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (10, 11)])
+        lcc = largest_connected_component(graph)
+        assert lcc.node_set() == {0, 1, 2}
+        assert lcc.number_of_edges() == 3
+
+    def test_lcc_of_empty_graph(self):
+        assert largest_connected_component(Graph()).number_of_nodes() == 0
+
+    def test_lcc_does_not_mutate_original(self):
+        graph = Graph.from_edges([(0, 1), (10, 11)])
+        largest_connected_component(graph)
+        assert graph.number_of_nodes() == 4
+
+
+class TestBFSDistances:
+    def test_path_distances(self, path_graph: Graph):
+        distances = bfs_distances(path_graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5}
+
+    def test_unreachable_nodes_missing(self):
+        graph = Graph.from_edges([(0, 1), (5, 6)])
+        distances = bfs_distances(graph, 0)
+        assert 5 not in distances
+
+    def test_cutoff_truncates(self, path_graph: Graph):
+        distances = bfs_distances(path_graph, 0, cutoff=2)
+        assert max(distances.values()) == 2
+        assert 3 not in distances
+
+    def test_figure_1a_proximity_shift(self):
+        """The paper's Figure 1a: adding edge (1, 6) on a 6-path drops the
+        1-6 proximity from 5th order to 1st order."""
+        path = Graph.from_edges([(i, i + 1) for i in range(1, 6)])  # 1..6
+        before = bfs_distances(path, 1)[6]
+        path.add_edge(1, 6)
+        after = bfs_distances(path, 1)[6]
+        assert before == 5
+        assert after == 1

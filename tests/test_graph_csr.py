@@ -1,0 +1,118 @@
+"""Unit tests for the CSR adjacency view."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRAdjacency, Graph
+
+
+def random_graph(num_nodes: int, edge_prob: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    for n in range(num_nodes):
+        graph.add_node(n)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if rng.random() < edge_prob:
+                graph.add_edge(i, j)
+    return graph
+
+
+class TestFromGraph:
+    def test_triangle(self, triangle: Graph):
+        csr = CSRAdjacency.from_graph(triangle)
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 3
+        assert csr.indices.size == 6  # both directions stored
+
+    def test_node_index_round_trip(self, two_cliques: Graph):
+        csr = CSRAdjacency.from_graph(two_cliques)
+        for node in two_cliques.nodes():
+            idx = csr.index_of[node]
+            assert csr.nodes[idx] == node
+
+    def test_neighbors_match_graph(self, two_cliques: Graph):
+        csr = CSRAdjacency.from_graph(two_cliques)
+        for node in two_cliques.nodes():
+            idx = csr.index_of[node]
+            got = {csr.nodes[j] for j in csr.neighbors(idx)}
+            assert got == two_cliques.neighbor_set(node)
+
+    def test_degrees(self, triangle: Graph):
+        csr = CSRAdjacency.from_graph(triangle)
+        assert list(csr.degrees) == [2, 2, 2]
+
+    def test_isolated_node(self):
+        graph = Graph()
+        graph.add_node("lonely")
+        graph.add_edge(0, 1)
+        csr = CSRAdjacency.from_graph(graph)
+        idx = csr.index_of["lonely"]
+        assert csr.neighbors(idx).size == 0
+
+    def test_uniform_flag(self, triangle: Graph):
+        assert CSRAdjacency.from_graph(triangle).is_uniform
+        triangle.add_edge(0, 1, 5.0)
+        assert not CSRAdjacency.from_graph(triangle).is_uniform
+
+    def test_empty_weights_uniform(self):
+        graph = Graph()
+        graph.add_node(0)
+        assert CSRAdjacency.from_graph(graph).is_uniform
+
+
+class TestExports:
+    def test_dense_adjacency_symmetric(self, two_cliques: Graph):
+        csr = CSRAdjacency.from_graph(two_cliques)
+        dense = csr.adjacency_dense()
+        assert np.allclose(dense, dense.T)
+        assert dense.sum() == 2 * two_cliques.number_of_edges()
+
+    def test_scipy_export(self, triangle: Graph):
+        sparse = CSRAdjacency.from_graph(triangle).to_scipy()
+        assert sparse.shape == (3, 3)
+        assert sparse.nnz == 6
+
+    def test_cumulative_weights_per_row(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (0, 2, 3.0), (1, 2, 1.0)])
+        csr = CSRAdjacency.from_graph(graph)
+        cumulative = csr.cumulative_weights()
+        for idx in range(csr.num_nodes):
+            start, end = csr.indptr[idx], csr.indptr[idx + 1]
+            row = cumulative[start:end]
+            expected = np.cumsum(csr.weights[start:end])
+            np.testing.assert_allclose(row, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=30),
+    edge_prob=st.floats(min_value=0.05, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_csr_preserves_edge_multiset(num_nodes, edge_prob, seed):
+    """Property: CSR entry count is exactly twice the undirected edge count
+    and every graph edge appears in both CSR directions."""
+    graph = random_graph(num_nodes, edge_prob, seed)
+    csr = CSRAdjacency.from_graph(graph)
+    assert csr.indices.size == 2 * graph.number_of_edges()
+    for u, v in graph.edges():
+        ui, vi = csr.index_of[u], csr.index_of[v]
+        assert vi in csr.neighbors(ui)
+        assert ui in csr.neighbors(vi)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_dense_matches_graph(seed):
+    graph = random_graph(12, 0.3, seed)
+    csr = CSRAdjacency.from_graph(graph)
+    dense = csr.adjacency_dense()
+    for u in graph.nodes():
+        for v in graph.nodes():
+            expected = graph.edge_weight(u, v)
+            assert dense[csr.index_of[u], csr.index_of[v]] == pytest.approx(expected)

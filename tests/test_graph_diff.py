@@ -1,0 +1,136 @@
+"""Unit tests for snapshot diffs (ΔE^t and per-node change counts)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    diff_snapshots,
+    node_change_count,
+    weighted_node_changes,
+)
+
+
+class TestDiffSnapshots:
+    def test_no_change(self, triangle: Graph):
+        diff = diff_snapshots(triangle, triangle.copy())
+        assert diff.is_empty()
+        assert diff.num_changed_edges == 0
+
+    def test_added_edge(self, triangle: Graph):
+        current = triangle.copy()
+        current.add_edge(0, 3)
+        diff = diff_snapshots(triangle, current)
+        assert diff.added_edges == frozenset({frozenset((0, 3))})
+        assert diff.added_nodes == frozenset({3})
+        assert diff.removed_edges == frozenset()
+
+    def test_removed_edge(self, triangle: Graph):
+        current = triangle.copy()
+        current.remove_edge(0, 1)
+        diff = diff_snapshots(triangle, current)
+        assert diff.removed_edges == frozenset({frozenset((0, 1))})
+        assert diff.num_changed_edges == 1
+
+    def test_removed_node(self, triangle: Graph):
+        current = triangle.copy()
+        current.remove_node(2)
+        diff = diff_snapshots(triangle, current)
+        assert diff.removed_nodes == frozenset({2})
+        assert len(diff.removed_edges) == 2  # edges (0,2) and (1,2)
+
+    def test_node_changes_credit_both_endpoints(self, triangle: Graph):
+        current = triangle.copy()
+        current.add_edge(0, 3)
+        diff = diff_snapshots(triangle, current)
+        assert diff.node_changes[0] == 1
+        assert diff.node_changes[3] == 1
+        assert 1 not in diff.node_changes
+
+    def test_changed_nodes_property(self, triangle: Graph):
+        current = triangle.copy()
+        current.remove_edge(1, 2)
+        diff = diff_snapshots(triangle, current)
+        assert diff.changed_nodes == {1, 2}
+
+
+class TestNodeChangeCount:
+    def test_matches_eq3_set_formula(self, triangle: Graph):
+        """|ΔE_i| = |N(v^t) ∪ N(v^{t-1})| - |N(v^t) ∩ N(v^{t-1})|."""
+        current = triangle.copy()
+        current.add_edge(0, 3)
+        current.remove_edge(0, 1)
+        prev_n = triangle.neighbor_set(0)
+        curr_n = current.neighbor_set(0)
+        expected = len(prev_n | curr_n) - len(prev_n & curr_n)
+        assert node_change_count(triangle, current, 0) == expected == 2
+
+    def test_new_node_counts_all_edges(self, triangle: Graph):
+        current = triangle.copy()
+        current.add_edge(9, 0)
+        current.add_edge(9, 1)
+        assert node_change_count(triangle, current, 9) == 2
+
+
+class TestWeightedChanges:
+    def test_weight_modification(self):
+        previous = Graph.from_edges([(0, 1, 1.0)])
+        current = Graph.from_edges([(0, 1, 3.0)])
+        changes = weighted_node_changes(previous, current)
+        assert changes[0] == 2.0
+        assert changes[1] == 2.0
+
+    def test_deleted_weighted_edge(self):
+        previous = Graph.from_edges([(0, 1, 4.0), (1, 2, 1.0)])
+        current = Graph.from_edges([(1, 2, 1.0)])
+        current.add_node(0)
+        changes = weighted_node_changes(previous, current)
+        assert changes[0] == 4.0
+
+    def test_unweighted_matches_unweighted_count(self, triangle: Graph):
+        current = triangle.copy()
+        current.add_edge(0, 3)
+        current.remove_edge(1, 2)
+        weighted = weighted_node_changes(triangle, current)
+        diff = diff_snapshots(triangle, current)
+        for node, count in diff.node_changes.items():
+            assert weighted[node] == count
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2000))
+def test_diff_consistency_properties(seed):
+    """Properties: applying the diff to `previous` reproduces `current`'s
+    edge set; node change totals equal 2x edge changes."""
+    rng = np.random.default_rng(seed)
+    previous = Graph()
+    for i in range(10):
+        previous.add_node(i)
+    for _ in range(15):
+        u, v = rng.integers(0, 10, size=2)
+        if u != v:
+            previous.add_edge(int(u), int(v))
+    current = previous.copy()
+    for _ in range(6):
+        u, v = rng.integers(0, 12, size=2)
+        if u == v:
+            continue
+        if current.has_edge(int(u), int(v)):
+            current.remove_edge(int(u), int(v))
+        else:
+            current.add_edge(int(u), int(v))
+
+    diff = diff_snapshots(previous, current)
+
+    rebuilt = previous.edge_set() - diff.removed_edges | diff.added_edges
+    assert rebuilt == current.edge_set()
+
+    total_credits = sum(diff.node_changes.values())
+    # Every changed non-loop edge credits exactly two endpoints.
+    loops = sum(
+        1 for e in (diff.added_edges | diff.removed_edges) if len(e) == 1
+    )
+    assert total_credits == 2 * diff.num_changed_edges - 0 * loops

@@ -1,0 +1,111 @@
+"""Unit tests for DynamicNetwork and edge-stream snapshot building."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import DynamicNetwork, EdgeEvent, Graph
+
+
+class TestEdgeEvent:
+    def test_default_kind(self):
+        assert EdgeEvent(0, 1, 3.0).kind == "add"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeEvent(0, 1, 0.0, kind="toggle")
+
+
+class TestFromEdgeStream:
+    def test_cumulative_snapshots(self):
+        events = [(0, 1, 0.0), (1, 2, 1.0), (2, 3, 2.0)]
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs=[0.0, 1.0, 2.0], restrict_to_lcc=False
+        )
+        assert network.num_snapshots == 3
+        assert network[0].number_of_edges() == 1
+        assert network[1].number_of_edges() == 2
+        assert network[2].number_of_edges() == 3
+
+    def test_snapshot_is_cumulative_superset(self):
+        events = [(0, 1, 0.0), (1, 2, 1.5)]
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs=[1.0, 2.0], restrict_to_lcc=False
+        )
+        assert network[0].edge_set() <= network[1].edge_set()
+
+    def test_events_after_last_cutoff_dropped(self):
+        events = [(0, 1, 0.0), (5, 6, 99.0)]
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs=[1.0], restrict_to_lcc=False
+        )
+        assert not network[0].has_edge(5, 6)
+
+    def test_lcc_restriction(self):
+        events = [(0, 1, 0.0), (1, 2, 0.0), (10, 11, 0.0)]
+        network = DynamicNetwork.from_edge_stream(events, cutoffs=[0.0])
+        assert network[0].node_set() == {0, 1, 2}
+
+    def test_remove_events(self):
+        events = [
+            EdgeEvent(0, 1, 0.0),
+            EdgeEvent(1, 2, 0.0),
+            EdgeEvent(0, 1, 1.0, kind="remove"),
+        ]
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs=[0.0, 1.0], restrict_to_lcc=False
+        )
+        assert network[0].has_edge(0, 1)
+        assert not network[1].has_edge(0, 1)
+
+    def test_non_increasing_cutoffs_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork.from_edge_stream([(0, 1, 0.0)], cutoffs=[2.0, 1.0])
+
+    def test_equal_width_builder(self):
+        events = [(i, i + 1, float(i)) for i in range(10)]
+        network = DynamicNetwork.from_equal_width_stream(
+            events, num_snapshots=5, restrict_to_lcc=False
+        )
+        assert network.num_snapshots == 5
+        # Last snapshot must contain every event despite float windows.
+        assert network[-1].number_of_edges() == 10
+
+    def test_equal_width_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork.from_equal_width_stream([], num_snapshots=3)
+
+
+class TestDynamicNetworkAPI:
+    def test_needs_a_snapshot(self):
+        with pytest.raises(ValueError):
+            DynamicNetwork([])
+
+    def test_diffs_length(self, tiny_network: DynamicNetwork):
+        assert len(tiny_network.diffs()) == tiny_network.num_snapshots - 1
+
+    def test_diff_t0_rejected(self, tiny_network: DynamicNetwork):
+        with pytest.raises(ValueError):
+            tiny_network.diff(0)
+
+    def test_totals(self):
+        g0 = Graph.from_edges([(0, 1)])
+        g1 = Graph.from_edges([(0, 1), (1, 2)])
+        network = DynamicNetwork([g0, g1])
+        assert network.total_nodes() == 2 + 3
+        assert network.total_edges() == 1 + 2
+
+    def test_labels_and_labeled_nodes(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        network = DynamicNetwork([g], labels={0: "x", 2: "y", 99: "ghost"})
+        assert sorted(network.labeled_nodes(0)) == [0, 2]
+
+    def test_iteration_and_indexing(self, tiny_network: DynamicNetwork):
+        assert len(list(iter(tiny_network))) == len(tiny_network)
+        assert tiny_network[0] is tiny_network.snapshot(0)
+
+    def test_snapshots_are_connected_after_lcc(self, tiny_network):
+        from repro.graph import is_connected
+
+        for snapshot in tiny_network:
+            assert is_connected(snapshot)

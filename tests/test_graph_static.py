@@ -1,0 +1,137 @@
+"""Unit tests for repro.graph.static.Graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert list(graph.nodes()) == []
+
+    def test_from_edges_unweighted(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.edge_weight(0, 1) == 1.0
+
+    def test_from_edges_weighted(self):
+        graph = Graph.from_edges([(0, 1, 2.5)])
+        assert graph.edge_weight(0, 1) == 2.5
+        assert graph.edge_weight(1, 0) == 2.5  # undirected symmetry
+
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.number_of_nodes() == 1
+
+    def test_add_edge_creates_nodes(self):
+        graph = Graph()
+        graph.add_edge("x", "y")
+        assert graph.has_node("x") and graph.has_node("y")
+
+    def test_readd_edge_overwrites_weight(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 1, 3.0)
+        assert graph.edge_weight(0, 1) == 3.0
+        assert graph.number_of_edges() == 1
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle: Graph):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+        assert triangle.number_of_edges() == 2
+
+    def test_remove_missing_edge_raises(self, triangle: Graph):
+        with pytest.raises(KeyError):
+            triangle.remove_edge(0, 99)
+
+    def test_discard_edge(self, triangle: Graph):
+        assert triangle.discard_edge(0, 1) is True
+        assert triangle.discard_edge(0, 1) is False
+
+    def test_remove_node_clears_incident_edges(self, triangle: Graph):
+        triangle.remove_node(0)
+        assert triangle.number_of_nodes() == 2
+        assert triangle.number_of_edges() == 1
+        assert not triangle.has_edge(1, 0)
+
+    def test_self_loop(self):
+        graph = Graph()
+        graph.add_edge(0, 0)
+        assert graph.has_edge(0, 0)
+        assert graph.number_of_edges() == 1
+        graph.remove_edge(0, 0)
+        assert graph.number_of_edges() == 0
+
+
+class TestQueries:
+    def test_degree(self, triangle: Graph):
+        assert triangle.degree(0) == 2
+
+    def test_weighted_degree(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (0, 2, 3.0)])
+        assert graph.weighted_degree(0) == 5.0
+
+    def test_neighbor_set_unknown_node_is_empty(self, triangle: Graph):
+        assert triangle.neighbor_set("ghost") == set()
+
+    def test_edges_iterates_each_once(self, two_cliques: Graph):
+        edges = list(two_cliques.edges())
+        assert len(edges) == two_cliques.number_of_edges() == 13
+        assert len({frozenset(e) for e in edges}) == 13
+
+    def test_edge_set_order_free(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(2, 1), (1, 0)])
+        assert a.edge_set() == b.edge_set()
+
+    def test_subgraph_induced(self, two_cliques: Graph):
+        sub = two_cliques.subgraph([0, 1, 2, 3])
+        assert sub.number_of_nodes() == 4
+        assert sub.number_of_edges() == 6  # the full clique, no bridge
+
+    def test_subgraph_ignores_unknown_nodes(self, triangle: Graph):
+        sub = triangle.subgraph([0, 1, "ghost"])
+        assert sub.number_of_nodes() == 2
+
+    def test_contains_iter_len(self, triangle: Graph):
+        assert 0 in triangle
+        assert sorted(triangle) == [0, 1, 2]
+        assert len(triangle) == 3
+
+    def test_is_unweighted(self, triangle: Graph):
+        assert triangle.is_unweighted()
+        triangle.add_edge(0, 1, 2.0)
+        assert not triangle.is_unweighted()
+
+    def test_total_edge_weight(self):
+        graph = Graph.from_edges([(0, 1, 2.0), (1, 2, 0.5)])
+        assert graph.total_edge_weight() == 2.5
+
+
+class TestCopyAndInterop:
+    def test_copy_is_deep(self, triangle: Graph):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+
+    def test_networkx_round_trip(self, two_cliques: Graph):
+        nx_graph = two_cliques.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back.node_set() == two_cliques.node_set()
+        assert back.edge_set() == two_cliques.edge_set()
+
+    def test_networkx_preserves_weights(self):
+        graph = Graph.from_edges([(0, 1, 4.0)])
+        back = Graph.from_networkx(graph.to_networkx())
+        assert back.edge_weight(0, 1) == 4.0

@@ -1,0 +1,112 @@
+"""Cross-module integration tests: the full pipeline on every dataset.
+
+These are the closest thing to the paper's experimental loop that still
+fits a unit-test budget: embed each simulated dataset with GloDyNE and
+check API invariants plus coarse quality floors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GloDyNE, UnsupportedDynamicsError
+from repro.core.selection import SelectionContext
+from repro.datasets import list_datasets, load_dataset
+from repro.experiments import run_method
+from repro.tasks import (
+    graph_reconstruction_over_time,
+    link_prediction_over_time,
+)
+
+FAST = dict(
+    dim=16, alpha=0.15, num_walks=3, walk_length=12, window_size=4, epochs=2,
+)
+
+
+@pytest.mark.parametrize("dataset", list_datasets())
+def test_glodyne_full_pipeline(dataset):
+    network = load_dataset(dataset, scale=0.3, seed=11, snapshots=5)
+    method = GloDyNE(**FAST, seed=0)
+    result = run_method(method, network)
+    assert result.ok
+
+    # API invariant: every snapshot's node set exactly covered.
+    for embeddings, snapshot in zip(result.embeddings, network):
+        assert set(embeddings) == snapshot.node_set()
+
+    # Quality floor: far better than random reconstruction.
+    scores = graph_reconstruction_over_time(result.embeddings, network, [10])
+    assert scores[10] > 0.25, f"GR too low on {dataset}: {scores[10]:.3f}"
+
+    # Link prediction is defined and above hopeless.
+    auc = link_prediction_over_time(
+        result.embeddings, network, np.random.default_rng(0)
+    )
+    assert auc > 0.4
+
+
+def test_custom_selection_strategy_plugs_in():
+    """The paper's future-work hook: GloDyNE as a framework accepts a
+    user-defined node-selection strategy."""
+    picked_counts = []
+
+    def degree_biased(context: SelectionContext, count: int):
+        nodes = sorted(context.snapshot.node_set(), key=repr)
+        nodes.sort(key=context.snapshot.degree, reverse=True)
+        picked = nodes[:count]
+        picked_counts.append(len(picked))
+        return picked
+
+    network = load_dataset("elec-sim", scale=0.25, seed=2, snapshots=4)
+    method = GloDyNE(**FAST, seed=0)
+    method._strategy = degree_biased  # framework hook
+    embeddings = method.fit(network)
+    assert len(embeddings) == 4
+    assert picked_counts  # custom strategy actually used
+
+
+def test_runner_marks_na_consistently():
+    """DynLINE and tNE must be n/a on the deletion dataset — matching the
+    paper's Table 1/2/4 n/a cells — while GloDyNE handles it."""
+    from repro import DynLINE, TNE
+
+    network = load_dataset("as733-sim", scale=0.3, seed=3, snapshots=5)
+    for method in (
+        DynLINE(dim=8, seed=0),
+        TNE(dim=8, num_walks=2, walk_length=8, window_size=2, epochs=1, seed=0),
+    ):
+        result = run_method(method, network)
+        assert not result.ok
+        assert "deletion" in result.not_available
+
+    glodyne = GloDyNE(**FAST, seed=0)
+    assert run_method(glodyne, network).ok
+
+
+def test_alpha_extremes():
+    """α at both ends of its range must be well-behaved."""
+    network = load_dataset("elec-sim", scale=0.25, seed=5, snapshots=4)
+    tiny = GloDyNE(**{**FAST, "alpha": 0.01}, seed=0)
+    full = GloDyNE(**{**FAST, "alpha": 1.0}, seed=0)
+    tiny_embeddings = tiny.fit(network)
+    full_embeddings = full.fit(network)
+    assert tiny.last_trace.num_selected == max(
+        1, round(0.01 * network[-1].number_of_nodes())
+    )
+    assert full.last_trace.num_selected == network[-1].number_of_nodes()
+    # Both still produce full-coverage embeddings.
+    assert set(tiny_embeddings[-1]) == set(full_embeddings[-1])
+
+
+def test_longitudinal_reservoir_drains():
+    """Over many steps, every node eventually gets selected or stays
+    change-free: the reservoir cannot grow without bound on a
+    fixed-population network."""
+    network = load_dataset("elec-sim", scale=0.25, seed=6, snapshots=5)
+    method = GloDyNE(**{**FAST, "alpha": 0.5}, seed=0)
+    sizes = []
+    for snapshot in network:
+        method.update(snapshot)
+        sizes.append(len(method.reservoir))
+    assert sizes[-1] <= network[-1].number_of_nodes()

@@ -1,0 +1,153 @@
+"""Unit + property tests for the metric implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    cosine_similarity_matrix,
+    f1_scores,
+    precision_at_k,
+    roc_auc_score,
+    top_k_neighbors,
+)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_is_zero(self):
+        assert roc_auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_averaged(self):
+        # All scores tied: AUC must be exactly 0.5.
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 0], [0.5])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_complement_symmetry_property(self, seed):
+        """Property: AUC(y, s) + AUC(y, -s) = 1 (up to tie handling)."""
+        rng = np.random.default_rng(seed)
+        labels = np.array([0, 1] * 10)
+        scores = rng.normal(size=20)
+        forward = roc_auc_score(labels, scores)
+        backward = roc_auc_score(labels, -scores)
+        assert forward + backward == pytest.approx(1.0)
+
+
+class TestPrecisionAtK:
+    def test_full_hit(self):
+        assert precision_at_k(["a", "b"], {"a", "b"}, k=2) == 1.0
+
+    def test_paper_denominator_min_k_n(self):
+        """P@k divides by min(k, |N(v)|): querying k=10 for a node with 2
+        neighbours can still score 1.0."""
+        retrieved = ["a", "b", "x", "y", "z"]
+        assert precision_at_k(retrieved, {"a", "b"}, k=5) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k(["a", "x"], {"a", "b"}, k=2) == 0.5
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, k=0)
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], set(), k=1)
+
+
+class TestTopKNeighbors:
+    def test_identical_vectors_first(self):
+        embeddings = np.array(
+            [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]]
+        )
+        ranked = top_k_neighbors(embeddings, k=3)
+        assert ranked[0, 0] == 1  # the duplicate of row 0 ranks first
+        assert ranked[0, 2] == 3  # the opposite vector ranks last
+
+    def test_self_excluded(self):
+        embeddings = np.eye(4)
+        ranked = top_k_neighbors(embeddings, k=3)
+        for i in range(4):
+            assert i not in ranked[i]
+
+    def test_k_clamped(self):
+        embeddings = np.eye(3)
+        ranked = top_k_neighbors(embeddings, k=50)
+        assert ranked.shape == (3, 2)
+
+    def test_blocked_matches_unblocked(self):
+        rng = np.random.default_rng(3)
+        embeddings = rng.normal(size=(40, 8))
+        a = top_k_neighbors(embeddings, k=5, block_size=7)
+        b = top_k_neighbors(embeddings, k=5, block_size=1000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_vector_handled(self):
+        embeddings = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        ranked = top_k_neighbors(embeddings, k=2)
+        assert ranked.shape == (3, 2)  # no NaN crash
+
+
+class TestCosineMatrix:
+    def test_unit_diagonal(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(5, 3))
+        sims = cosine_similarity_matrix(matrix, matrix)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        sims = cosine_similarity_matrix(
+            rng.normal(size=(10, 4)), rng.normal(size=(8, 4))
+        )
+        assert sims.min() >= -1.0 - 1e-9
+        assert sims.max() <= 1.0 + 1e-9
+
+
+class TestF1:
+    def test_perfect(self):
+        micro, macro = f1_scores([0, 1, 2], [0, 1, 2])
+        assert micro == macro == 1.0
+
+    def test_micro_equals_accuracy_single_label(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        micro, _ = f1_scores(y_true, y_pred)
+        assert micro == pytest.approx(np.mean(y_true == y_pred))
+
+    def test_macro_punishes_minority_errors(self):
+        # Majority class right, minority class always wrong.
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        micro, macro = f1_scores(np.array(y_true), np.array(y_pred))
+        assert micro == pytest.approx(0.9)
+        assert macro < 0.5
+
+    def test_absent_class_zero_division(self):
+        micro, macro = f1_scores(
+            np.array([0, 0]), np.array([1, 1]), labels=[0, 1, 2]
+        )
+        assert micro == 0.0
+        assert macro == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            f1_scores(np.array([0]), np.array([0, 1]))

@@ -1,0 +1,193 @@
+"""Tests for logistic regression, PCA, Adam, and the t-test helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LogisticRegression,
+    OneVsRestLogisticRegression,
+    PCA,
+    best_two_marker,
+    procrustes_disparity,
+    two_sample_ttest,
+)
+from repro.ml.optim import Adam
+
+
+def linearly_separable(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 2))
+    labels = (features[:, 0] + features[:, 1] > 0).astype(np.int64)
+    return features, labels
+
+
+class TestLogisticRegression:
+    def test_fits_separable_data(self):
+        features, labels = linearly_separable(200, 0)
+        model = LogisticRegression(c=10.0).fit(features, labels)
+        accuracy = np.mean(model.predict(features) == labels)
+        assert accuracy > 0.95
+
+    def test_probabilities_valid(self):
+        features, labels = linearly_separable(100, 1)
+        model = LogisticRegression().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_regularisation_shrinks_weights(self):
+        features, labels = linearly_separable(200, 2)
+        loose = LogisticRegression(c=100.0).fit(features, labels)
+        tight = LogisticRegression(c=0.01).fit(features, labels)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().decision_function(np.zeros((1, 2)))
+
+    def test_bad_c_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(c=0.0)
+
+
+class TestOneVsRest:
+    def test_three_gaussians(self):
+        rng = np.random.default_rng(3)
+        centers = np.array([[0, 4], [4, 0], [-4, -4]])
+        features = np.vstack(
+            [rng.normal(c, 0.5, size=(50, 2)) for c in centers]
+        )
+        labels = np.repeat([0, 1, 2], 50)
+        model = OneVsRestLogisticRegression(c=10.0).fit(features, labels)
+        accuracy = np.mean(model.predict(features) == labels)
+        assert accuracy > 0.95
+
+    def test_string_labels(self):
+        features, binary = linearly_separable(100, 4)
+        labels = np.where(binary == 1, "pos", "neg")
+        model = OneVsRestLogisticRegression().fit(features, labels)
+        predictions = model.predict(features)
+        assert set(predictions.tolist()) <= {"pos", "neg"}
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestLogisticRegression().fit(
+                np.zeros((5, 2)), np.zeros(5)
+            )
+
+
+class TestPCA:
+    def test_variance_ordering(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(100, 5)) * np.array([10, 5, 1, 0.5, 0.1])
+        pca = PCA(n_components=3).fit(data)
+        ratios = pca.explained_variance_ratio_
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_projection_shape(self):
+        data = np.random.default_rng(6).normal(size=(30, 8))
+        projected = PCA(n_components=2).fit_transform(data)
+        assert projected.shape == (30, 2)
+
+    def test_deterministic_sign(self):
+        data = np.random.default_rng(7).normal(size=(50, 4))
+        a = PCA(2).fit(data).components_
+        b = PCA(2).fit(data).components_
+        np.testing.assert_array_equal(a, b)
+
+    def test_reconstruction_of_low_rank(self):
+        rng = np.random.default_rng(8)
+        basis = rng.normal(size=(2, 6))
+        data = rng.normal(size=(40, 2)) @ basis  # exactly rank 2
+        pca = PCA(2).fit(data)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((2, 2)))
+
+
+class TestProcrustes:
+    def test_rotation_detected(self):
+        rng = np.random.default_rng(9)
+        cloud = rng.normal(size=(30, 2))
+        theta = np.pi / 3
+        rotation = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        rotated = cloud @ rotation
+        with_rotation = procrustes_disparity(cloud, rotated, allow_rotation=True)
+        without = procrustes_disparity(cloud, rotated, allow_rotation=False)
+        assert with_rotation == pytest.approx(0.0, abs=1e-9)
+        assert without > 0.1
+
+    def test_identical_clouds(self):
+        cloud = np.random.default_rng(10).normal(size=(10, 3))
+        assert procrustes_disparity(cloud, cloud, False) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            procrustes_disparity(np.zeros((3, 2)), np.zeros((4, 2)), True)
+
+
+class TestTTest:
+    def test_clearly_different_samples(self):
+        a = np.array([1.0, 1.1, 0.9, 1.05, 0.95])
+        b = np.array([2.0, 2.1, 1.9, 2.05, 1.95])
+        result = two_sample_ttest(a, b)
+        assert result.p_value < 0.01
+        assert result.marker == "‡"
+
+    def test_identical_samples_not_significant(self):
+        a = np.array([1.0, 2.0, 3.0])
+        result = two_sample_ttest(a, a)
+        assert result.p_value > 0.9
+        assert result.marker == ""
+
+    def test_constant_identical_samples(self):
+        a = np.array([1.0, 1.0, 1.0])
+        result = two_sample_ttest(a, a)
+        assert result.p_value == 1.0
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            two_sample_ttest(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_best_two_marker(self):
+        samples = {
+            "winner": np.array([0.9, 0.91, 0.92, 0.9, 0.91]),
+            "loser": np.array([0.5, 0.52, 0.48, 0.51, 0.5]),
+            "middle": np.array([0.7, 0.71, 0.69, 0.7, 0.7]),
+        }
+        best, marker = best_two_marker(samples)
+        assert best == "winner"
+        assert marker == "‡"
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        param = np.array([5.0, -3.0])
+        optimizer = Adam(lr=0.1)
+        for _ in range(500):
+            optimizer.step(param, 2.0 * param)  # grad of ||x||^2
+        assert np.linalg.norm(param) < 0.05
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Adam().step(np.zeros(2), np.zeros(3))
+
+    def test_independent_state_per_param(self):
+        a = np.array([1.0])
+        b = np.array([1.0])
+        optimizer = Adam(lr=0.5)
+        optimizer.step(a, np.array([1.0]))
+        assert b[0] == 1.0  # untouched
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.0)

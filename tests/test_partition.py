@@ -1,0 +1,195 @@
+"""Unit + property tests for the multilevel partitioner (METIS substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import preferential_attachment_graph
+from repro.graph import CSRAdjacency, Graph
+from repro.partition import partition_graph, validate_partition
+from repro.partition.level import (
+    cell_weights,
+    edge_cut,
+    level_graph_from_csr,
+)
+from repro.partition.matching import (
+    heavy_edge_matching,
+    matching_to_coarse_map,
+)
+from repro.partition.coarsen import build_coarse_graph
+
+
+class TestLevelGraph:
+    def test_from_csr_strips_self_loops(self):
+        graph = Graph.from_edges([(0, 0), (0, 1)])
+        level = level_graph_from_csr(CSRAdjacency.from_graph(graph))
+        assert level.indices.size == 2  # only (0,1) both directions
+
+    def test_edge_cut_two_cliques(self, two_cliques):
+        level = level_graph_from_csr(CSRAdjacency.from_graph(two_cliques))
+        csr = CSRAdjacency.from_graph(two_cliques)
+        assignment = np.array(
+            [0 if csr.nodes[i] < 4 else 1 for i in range(csr.num_nodes)]
+        )
+        assert edge_cut(level, assignment) == 1.0  # only the bridge
+
+    def test_cell_weights(self, triangle):
+        level = level_graph_from_csr(CSRAdjacency.from_graph(triangle))
+        weights = cell_weights(level, np.array([0, 0, 1]), k=2)
+        assert list(weights) == [2, 1]
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self, karate_like, rng):
+        level = level_graph_from_csr(CSRAdjacency.from_graph(karate_like))
+        match = heavy_edge_matching(level, rng, max_vweight=10)
+        for u, partner in enumerate(match):
+            assert match[partner] == u  # involution
+
+    def test_matched_pairs_are_adjacent(self, karate_like, rng):
+        level = level_graph_from_csr(CSRAdjacency.from_graph(karate_like))
+        match = heavy_edge_matching(level, rng, max_vweight=10)
+        for u, partner in enumerate(match):
+            if partner != u:
+                assert partner in level.neighbors(u)
+
+    def test_coarse_map_covers_all(self, karate_like, rng):
+        level = level_graph_from_csr(CSRAdjacency.from_graph(karate_like))
+        match = heavy_edge_matching(level, rng, max_vweight=10)
+        coarse_of, num_coarse = matching_to_coarse_map(match)
+        assert coarse_of.min() >= 0
+        assert coarse_of.max() == num_coarse - 1
+        assert set(coarse_of.tolist()) == set(range(num_coarse))
+
+    def test_coarse_graph_preserves_total_weight(self, karate_like, rng):
+        level = level_graph_from_csr(CSRAdjacency.from_graph(karate_like))
+        match = heavy_edge_matching(level, rng, max_vweight=10)
+        coarse_of, num_coarse = matching_to_coarse_map(match)
+        coarse = build_coarse_graph(level, coarse_of, num_coarse)
+        assert coarse.total_vweight == level.total_vweight
+        # Edge weight conservation: coarse edges = fine edges minus the
+        # weights hidden inside collapsed vertices.
+        hidden = 0.0
+        n = level.num_nodes
+        for u in range(n):
+            for v, w in zip(level.neighbors(u), level.neighbor_eweights(u)):
+                if coarse_of[u] == coarse_of[v]:
+                    hidden += w
+        assert coarse.eweights.sum() == pytest.approx(
+            level.eweights.sum() - hidden
+        )
+
+
+class TestPartitionGraph:
+    def test_two_cliques_natural_cut(self, two_cliques):
+        result = partition_graph(
+            two_cliques, k=2, rng=np.random.default_rng(0)
+        )
+        assert validate_partition(result, two_cliques) == []
+        assert result.edge_cut == 1.0  # only the bridge is cut
+        cells = [set(c) for c in result.cells]
+        assert {0, 1, 2, 3} in cells
+        assert {4, 5, 6, 7} in cells
+
+    def test_k_equals_one(self, two_cliques):
+        result = partition_graph(two_cliques, k=1)
+        assert result.k == 1
+        assert len(result.cells[0]) == 8
+        assert result.edge_cut == 0.0
+
+    def test_k_equals_n(self, triangle):
+        result = partition_graph(triangle, k=3)
+        assert all(len(cell) == 1 for cell in result.cells)
+
+    def test_k_clamped_to_n(self, triangle):
+        result = partition_graph(triangle, k=50)
+        assert result.k == 3
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            partition_graph(Graph(), k=2)
+
+    def test_negative_eps_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            partition_graph(triangle, k=2, eps=-0.1)
+
+    def test_balance_constraint_eq2(self, karate_like):
+        """Eq. (2): |V_k| <= (1 + eps) |V| / K."""
+        n = karate_like.number_of_nodes()
+        for k in (2, 4, 8):
+            result = partition_graph(
+                karate_like, k=k, eps=0.1, rng=np.random.default_rng(1)
+            )
+            ceiling = np.ceil((1 + 0.1) * n / k)
+            assert max(result.cell_sizes) <= ceiling
+
+    def test_cover_and_disjoint(self, karate_like):
+        result = partition_graph(
+            karate_like, k=5, rng=np.random.default_rng(2)
+        )
+        union: set = set()
+        total = 0
+        for cell in result.cells:
+            total += len(cell)
+            union.update(cell)
+        assert union == karate_like.node_set()
+        assert total == karate_like.number_of_nodes()
+
+    def test_assignment_matches_cells(self, karate_like):
+        result = partition_graph(
+            karate_like, k=4, rng=np.random.default_rng(3)
+        )
+        for j, cell in enumerate(result.cells):
+            for node in cell:
+                assert result.assignment[node] == j
+
+    def test_disconnected_graph(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (10, 11), (11, 12)])
+        result = partition_graph(graph, k=2, rng=np.random.default_rng(0))
+        assert validate_partition(result, graph) == []
+
+    def test_deterministic_given_seed(self, karate_like):
+        a = partition_graph(karate_like, k=5, rng=np.random.default_rng(9))
+        b = partition_graph(karate_like, k=5, rng=np.random.default_rng(9))
+        assert a.assignment == b.assignment
+
+    def test_large_k_small_cells(self):
+        graph = preferential_attachment_graph(200, 2, np.random.default_rng(0))
+        k = 20
+        result = partition_graph(graph, k=k, rng=np.random.default_rng(0))
+        assert validate_partition(result, graph) == []
+        assert len(result.cells) == k
+        assert min(result.cell_sizes) >= 1
+
+    def test_cut_beats_random_assignment(self, karate_like):
+        """The partitioner must clearly beat a random balanced assignment."""
+        rng = np.random.default_rng(4)
+        result = partition_graph(karate_like, k=2, rng=rng)
+        csr = CSRAdjacency.from_graph(karate_like)
+        level = level_graph_from_csr(csr)
+        random_cuts = []
+        for _ in range(10):
+            assignment = rng.permutation(
+                np.arange(csr.num_nodes) % 2
+            )
+            random_cuts.append(edge_cut(level, assignment))
+        assert result.edge_cut < np.mean(random_cuts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=80),
+    k=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_partition_invariants_property(n, k, seed):
+    """Property: any (n, k) yields a covering, disjoint, non-empty,
+    Eq. (2)-balanced partition."""
+    rng = np.random.default_rng(seed)
+    graph = preferential_attachment_graph(n, 2, rng)
+    k = min(k, graph.number_of_nodes())
+    result = partition_graph(graph, k=k, eps=0.1, rng=rng)
+    assert validate_partition(result, graph) == []

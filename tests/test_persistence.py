@@ -1,0 +1,97 @@
+"""Tests for GloDyNE checkpointing (save / resume mid-stream)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GloDyNE
+from repro.core.persistence import load_checkpoint, save_checkpoint
+
+KWARGS = dict(
+    dim=8, alpha=0.3, num_walks=2, walk_length=8, window_size=2, epochs=1,
+)
+
+
+class TestRoundTrip:
+    def test_embeddings_survive(self, tiny_network, tmp_path):
+        model = GloDyNE(**KWARGS, seed=0)
+        model.update(tiny_network[0])
+        model.update(tiny_network[1])
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+
+        restored = load_checkpoint(path)
+        for node in tiny_network[1].nodes():
+            np.testing.assert_array_equal(
+                model.model.embedding(node), restored.model.embedding(node)
+            )
+
+    def test_reservoir_survives(self, tiny_network, tmp_path):
+        model = GloDyNE(**KWARGS, seed=0)
+        model.update(tiny_network[0])
+        model.update(tiny_network[1])
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        assert restored.reservoir.as_dict() == model.reservoir.as_dict()
+
+    def test_config_survives(self, tiny_network, tmp_path):
+        model = GloDyNE(**KWARGS, seed=0)
+        model.update(tiny_network[0])
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        assert restored.config == model.config
+        assert restored.time_step == model.time_step
+
+    def test_resume_continues_stream(self, tiny_network, tmp_path):
+        """A restored model keeps consuming snapshots without error and
+        produces full-coverage embeddings."""
+        model = GloDyNE(**KWARGS, seed=0)
+        for snapshot in list(tiny_network)[:2]:
+            model.update(snapshot)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+
+        restored = load_checkpoint(path, seed=123)
+        for snapshot in list(tiny_network)[2:]:
+            embeddings = restored.update(snapshot)
+            assert set(embeddings) == snapshot.node_set()
+        assert restored.time_step == tiny_network.num_snapshots
+
+    def test_previous_snapshot_survives(self, tiny_network, tmp_path):
+        model = GloDyNE(**KWARGS, seed=0)
+        model.update(tiny_network[0])
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        assert restored.previous.edge_set() == model.previous.edge_set()
+        assert restored.previous.node_set() == model.previous.node_set()
+
+    def test_version_mismatch_rejected(self, tiny_network, tmp_path):
+        model = GloDyNE(**KWARGS, seed=0)
+        model.update(tiny_network[0])
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+
+        data = dict(np.load(path, allow_pickle=True))
+        data["format_version"] = np.array([999])
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_string_node_ids(self, tmp_path):
+        from repro.graph import Graph
+
+        graph = Graph.from_edges(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]
+        )
+        model = GloDyNE(**KWARGS, seed=0)
+        model.update(graph)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        restored = load_checkpoint(path)
+        np.testing.assert_array_equal(
+            model.model.embedding("a"), restored.model.embedding("a")
+        )

@@ -1,0 +1,135 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants.
+
+These complement the per-module suites with randomised end-to-end
+invariants: things that must hold for *any* input the generators produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GloDyNE, Reservoir
+from repro.core.selection import SelectionContext, select_s4, select_s4_uniform
+from repro.datasets import preferential_attachment_graph
+from repro.graph import DynamicNetwork, EdgeEvent, Graph
+from repro.partition import partition_graph
+from repro.partition.level import edge_cut, level_graph_from_csr
+from repro.graph.csr import CSRAdjacency
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_events=st.integers(min_value=3, max_value=60),
+    num_snapshots=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_add_only_stream_snapshots_monotone(num_events, num_snapshots, seed):
+    """Property: for an addition-only stream without LCC restriction, each
+    snapshot's edge set contains the previous one's."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for i in range(num_events):
+        u, v = rng.integers(0, 15, size=2)
+        if u != v:
+            events.append(EdgeEvent(int(u), int(v), float(i)))
+    if not events:
+        return
+    network = DynamicNetwork.from_equal_width_stream(
+        events, num_snapshots=num_snapshots, restrict_to_lcc=False
+    )
+    for earlier, later in zip(network, list(network)[1:]):
+        assert earlier.edge_set() <= later.edge_set()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=60),
+    k=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_edge_cut_bounded_by_total_weight(n, k, seed):
+    """Property: a partition's edge cut never exceeds the total edge
+    weight, and equals zero iff no edge crosses cells."""
+    rng = np.random.default_rng(seed)
+    graph = preferential_attachment_graph(n, 2, rng)
+    k = min(k, graph.number_of_nodes())
+    result = partition_graph(graph, k=k, rng=rng)
+    assert 0.0 <= result.edge_cut <= graph.total_edge_weight()
+
+    level = level_graph_from_csr(CSRAdjacency.from_graph(graph))
+    csr = CSRAdjacency.from_graph(graph)
+    assignment = np.array(
+        [result.assignment[csr.nodes[i]] for i in range(csr.num_nodes)]
+    )
+    crossing = any(
+        result.assignment[u] != result.assignment[v] for u, v in graph.edges()
+    )
+    assert (edge_cut(level, assignment) > 0) == crossing
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_s4_selection_is_partition_diverse(seed):
+    """Property: S4 (and its uniform ablation) return distinct nodes, one
+    per cell, all inside the snapshot."""
+    rng = np.random.default_rng(seed)
+    graph = preferential_attachment_graph(40, 2, rng)
+    context = SelectionContext(graph, None, Reservoir(), rng)
+    for strategy in (select_s4, select_s4_uniform):
+        picks = strategy(context, count=6)
+        assert len(picks) == len(set(picks)) == 6
+        assert all(graph.has_node(p) for p in picks)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_glodyne_embeddings_always_finite(seed):
+    """Property: embeddings stay finite across arbitrary small dynamic
+    networks (no NaN/inf from the SGD under any seed)."""
+    rng = np.random.default_rng(seed)
+    snapshots = []
+    graph = preferential_attachment_graph(20, 2, rng)
+    snapshots.append(graph.copy())
+    for _ in range(2):
+        graph = graph.copy()
+        u, v = rng.integers(0, 20, size=2)
+        if u != v:
+            graph.add_edge(int(u), int(v))
+        snapshots.append(graph.copy())
+    network = DynamicNetwork(snapshots)
+    model = GloDyNE(
+        dim=8, alpha=0.3, num_walks=2, walk_length=8, window_size=2,
+        epochs=1, seed=seed,
+    )
+    for embeddings in model.fit(network):
+        matrix = np.stack(list(embeddings.values()))
+        assert np.isfinite(matrix).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    remove=st.integers(min_value=0, max_value=3),
+)
+def test_reservoir_never_negative_and_prunes(seed, remove):
+    """Property: reservoir values are positive, and pruning to the current
+    node set leaves no dead entries."""
+    rng = np.random.default_rng(seed)
+    g0 = preferential_attachment_graph(15, 2, rng)
+    g1 = g0.copy()
+    for _ in range(remove):
+        nodes = sorted(g1.nodes())
+        victim = nodes[int(rng.integers(0, len(nodes)))]
+        if g1.number_of_nodes() > 5:
+            g1.remove_node(victim)
+    from repro.graph import diff_snapshots
+
+    reservoir = Reservoir()
+    reservoir.accumulate(diff_snapshots(g0, g1).node_changes)
+    reservoir.prune(g1.node_set())
+    for node in reservoir.nodes():
+        assert reservoir.get(node) > 0
+        assert g1.has_node(node)

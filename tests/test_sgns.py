@@ -1,0 +1,214 @@
+"""Unit tests for the pure-numpy SGNS: vocab, model math, trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRAdjacency, Graph
+from repro.sgns import (
+    SGNSModel,
+    TrainConfig,
+    Vocabulary,
+    build_noise_table,
+    log_sigmoid,
+    sigmoid,
+    train_on_corpus,
+)
+from repro.walks import build_pair_corpus, simulate_walks
+
+
+class TestVocabulary:
+    def test_add_and_index(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0  # idempotent
+        assert len(vocab) == 2
+
+    def test_indices_array(self):
+        vocab = Vocabulary(["x", "y", "z"])
+        np.testing.assert_array_equal(vocab.indices(["z", "x"]), [2, 0])
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary().index("ghost")
+
+    def test_copy_independent(self):
+        vocab = Vocabulary(["a"])
+        clone = vocab.copy()
+        clone.add("b")
+        assert "b" not in vocab
+        assert "b" in clone
+
+    def test_iteration_order_stable(self):
+        vocab = Vocabulary(["c", "a", "b"])
+        assert list(vocab) == ["c", "a", "b"]
+
+
+class TestActivations:
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 101)
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        np.testing.assert_allclose(s + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_sigmoid_extremes_stable(self):
+        assert sigmoid(np.array([1000.0]))[0] == 1.0
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_log_sigmoid_no_overflow(self):
+        assert np.isfinite(log_sigmoid(np.array([-1000.0, 0.0, 1000.0]))).all()
+        assert log_sigmoid(np.array([0.0]))[0] == pytest.approx(np.log(0.5))
+
+
+class TestSGNSModel:
+    def test_ensure_nodes_grows(self):
+        model = SGNSModel(dim=8, rng=np.random.default_rng(0))
+        model.ensure_nodes(["a", "b"])
+        assert model.w_in.shape == (2, 8)
+        model.ensure_nodes(["b", "c", "d"])
+        assert model.w_in.shape == (4, 8)
+
+    def test_existing_rows_preserved_on_growth(self):
+        model = SGNSModel(dim=4, rng=np.random.default_rng(0))
+        model.ensure_nodes(["a"])
+        row_before = model.embedding("a")
+        model.ensure_nodes([f"n{i}" for i in range(100)])  # force realloc
+        np.testing.assert_array_equal(model.embedding("a"), row_before)
+
+    def test_new_out_rows_zero(self):
+        model = SGNSModel(dim=4, rng=np.random.default_rng(0))
+        model.ensure_nodes(["a", "b"])
+        np.testing.assert_array_equal(model.w_out, np.zeros((2, 4)))
+
+    def test_embedding_matrix_order(self):
+        model = SGNSModel(dim=4, rng=np.random.default_rng(0))
+        model.ensure_nodes(["a", "b", "c"])
+        matrix = model.embedding_matrix(["c", "a"])
+        np.testing.assert_array_equal(matrix[0], model.embedding("c"))
+        np.testing.assert_array_equal(matrix[1], model.embedding("a"))
+
+    def test_copy_is_deep(self):
+        model = SGNSModel(dim=4, rng=np.random.default_rng(0))
+        model.ensure_nodes(["a"])
+        clone = model.copy()
+        clone.w_in[0] += 10.0
+        assert not np.allclose(model.embedding("a"), clone.embedding("a"))
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValueError):
+            SGNSModel(dim=0)
+
+    def test_train_batch_gradient_direction(self):
+        """A positive pair's dot product must increase; negatives decrease."""
+        rng = np.random.default_rng(1)
+        model = SGNSModel(dim=8, rng=rng)
+        model.ensure_nodes([0, 1, 2])
+        model._w_out[:3] = rng.normal(size=(3, 8)) * 0.1  # non-zero outputs
+        centers = np.array([0])
+        contexts = np.array([1])
+        negatives = np.array([[2]])
+        pos_before = model.w_in[0] @ model.w_out[1]
+        neg_before = model.w_in[0] @ model.w_out[2]
+        for _ in range(30):
+            model.train_batch(centers, contexts, negatives, lr=0.1)
+        assert model.w_in[0] @ model.w_out[1] > pos_before
+        assert model.w_in[0] @ model.w_out[2] < neg_before
+
+    def test_train_batch_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        model = SGNSModel(dim=8, rng=rng)
+        model.ensure_nodes(list(range(10)))
+        model._w_out[:10] = rng.normal(size=(10, 8)) * 0.1
+        centers = np.array([0, 1, 2, 3])
+        contexts = np.array([4, 5, 6, 7])
+        negatives = np.array([[8], [9], [8], [9]])
+        first = model.train_batch(centers, contexts, negatives, 0.1, True)
+        for _ in range(50):
+            model.train_batch(centers, contexts, negatives, 0.1)
+        last = model.train_batch(centers, contexts, negatives, 0.1, True)
+        assert last < first
+
+
+class TestTrainer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(negative=0)
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(lr=0.01, min_lr=0.1)
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=0)
+
+    def test_noise_table_excludes_zero_counts(self, rng):
+        counts = np.array([0, 5, 0, 3])
+        table, present = build_noise_table(counts)
+        np.testing.assert_array_equal(present, [1, 3])
+        draws = present[table.sample(rng, 1000)]
+        assert set(draws.tolist()) <= {1, 3}
+
+    def test_noise_table_power_flattens(self, rng):
+        counts = np.array([1, 100])
+        table, present = build_noise_table(counts, power=0.75)
+        draws = present[table.sample(rng, 50_000)]
+        frequency_of_rare = np.mean(draws == 0)
+        # Raw unigram would give ~1/101 ≈ 0.0099; 0.75 power lifts it.
+        assert frequency_of_rare > 0.02
+
+    def test_noise_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_noise_table(np.zeros(4, dtype=np.int64))
+
+    def test_empty_corpus_is_noop(self, rng):
+        from repro.walks.corpus import PairCorpus
+
+        model = SGNSModel(dim=4, rng=rng)
+        model.ensure_nodes([0])
+        empty = PairCorpus(
+            centers=np.empty(0, dtype=np.int64),
+            contexts=np.empty(0, dtype=np.int64),
+            counts=np.zeros(1, dtype=np.int64),
+        )
+        loss = train_on_corpus(model, empty, np.array([0]), rng)
+        assert loss == 0.0
+
+    def test_training_separates_communities(self, karate_like, rng):
+        """Integration: after training, intra-community cosine similarity
+        must exceed inter-community similarity — the core SGNS promise."""
+        csr = CSRAdjacency.from_graph(karate_like)
+        walks = simulate_walks(csr, np.arange(csr.num_nodes), 20, 10, rng)
+        corpus = build_pair_corpus(walks, 3, csr.num_nodes)
+        model = SGNSModel(dim=16, rng=rng)
+        model.ensure_nodes(csr.nodes)
+        row_of = model.vocab.indices(csr.nodes)
+        train_on_corpus(
+            model, corpus, row_of, rng,
+            config=TrainConfig(negative=5, epochs=5),
+        )
+        z = model.embedding_matrix(csr.nodes)
+        z = z / np.linalg.norm(z, axis=1, keepdims=True)
+        sims = z @ z.T
+        side_a = [i for i, n in enumerate(csr.nodes) if n < 20]
+        side_b = [i for i, n in enumerate(csr.nodes) if n >= 20]
+        intra = np.mean([sims[i, j] for i in side_a for j in side_a if i != j])
+        inter = np.mean([sims[i, j] for i in side_a for j in side_b])
+        assert intra > inter + 0.1
+
+    def test_warm_start_preserves_untouched_rows(self, rng):
+        """Incremental paradigm: training on a corpus not containing node X
+        leaves X's embedding untouched."""
+        model = SGNSModel(dim=4, rng=rng)
+        model.ensure_nodes(["x", "a", "b"])
+        x_before = model.embedding("x")
+        from repro.walks.corpus import PairCorpus
+
+        corpus = PairCorpus(
+            centers=np.array([1, 2]),
+            contexts=np.array([2, 1]),
+            counts=np.array([0, 1, 1]),
+        )
+        row_of = model.vocab.indices(["x", "a", "b"])
+        train_on_corpus(model, corpus, row_of, rng)
+        np.testing.assert_array_equal(model.embedding("x"), x_before)

@@ -1,0 +1,123 @@
+"""Tests for the dynamic link-prediction task."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.tasks import (
+    build_link_prediction_set,
+    link_prediction_auc,
+    link_prediction_over_time,
+    score_pairs,
+)
+
+
+@pytest.fixture
+def growth_pair() -> tuple[Graph, Graph]:
+    previous = Graph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+    current = previous.copy()
+    current.add_edge(0, 2)
+    current.add_edge(1, 3)
+    return previous, current
+
+
+class TestBuildTestSet:
+    def test_changed_edges_included(self, growth_pair, rng):
+        previous, current = growth_pair
+        test_set = build_link_prediction_set(previous, current, rng)
+        pairs = {frozenset(p) for p in test_set.pairs}
+        assert frozenset((0, 2)) in pairs
+        assert frozenset((1, 3)) in pairs
+
+    def test_balanced_labels(self, growth_pair, rng):
+        previous, current = growth_pair
+        test_set = build_link_prediction_set(previous, current, rng)
+        positives = int(test_set.labels.sum())
+        negatives = test_set.labels.size - positives
+        assert positives == negatives
+
+    def test_deleted_edges_are_negatives(self, rng):
+        previous = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        current = previous.copy()
+        current.remove_edge(0, 1)
+        test_set = build_link_prediction_set(previous, current, rng)
+        idx = test_set.pairs.index((0, 1)) if (0, 1) in test_set.pairs else (
+            test_set.pairs.index((1, 0))
+        )
+        assert test_set.labels[idx] == 0
+
+    def test_labels_truthful(self, growth_pair, rng):
+        previous, current = growth_pair
+        test_set = build_link_prediction_set(previous, current, rng)
+        for (u, v), label in zip(test_set.pairs, test_set.labels):
+            assert current.has_edge(u, v) == bool(label)
+
+    def test_no_duplicate_pairs(self, growth_pair, rng):
+        previous, current = growth_pair
+        test_set = build_link_prediction_set(previous, current, rng)
+        keys = [frozenset(p) for p in test_set.pairs]
+        assert len(keys) == len(set(keys))
+
+
+class TestScoring:
+    def test_score_pairs_cosine(self):
+        embeddings = {
+            0: np.array([1.0, 0.0]),
+            1: np.array([1.0, 0.0]),
+            2: np.array([0.0, 1.0]),
+        }
+        scores, keep = score_pairs(embeddings, [(0, 1), (0, 2)])
+        assert keep.all()
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == pytest.approx(0.0)
+
+    def test_unknown_nodes_masked(self):
+        embeddings = {0: np.array([1.0, 0.0])}
+        scores, keep = score_pairs(embeddings, [(0, "ghost")])
+        assert not keep[0]
+
+    def test_zero_vectors_score_zero(self):
+        embeddings = {0: np.zeros(2), 1: np.ones(2)}
+        scores, keep = score_pairs(embeddings, [(0, 1)])
+        assert keep[0]
+        assert scores[0] == 0.0
+
+
+class TestAUC:
+    def test_oracle_embeddings_beat_random(self, tiny_network, rng):
+        """Embeddings built from t+1 adjacency rows must predict t+1
+        edges far better than chance."""
+        aucs = []
+        for t in range(tiny_network.num_snapshots - 1):
+            current = tiny_network[t + 1]
+            nodes = list(current.nodes())
+            index = {n: i for i, n in enumerate(nodes)}
+            oracle = {}
+            for node in tiny_network[t].nodes():
+                vec = np.zeros(len(nodes))
+                if node in index:
+                    vec[index[node]] = 0.5
+                    for neighbor in current.neighbors(node):
+                        vec[index[neighbor]] = 1.0
+                oracle[node] = vec
+            aucs.append(
+                link_prediction_auc(oracle, tiny_network[t], current, rng)
+            )
+        assert np.mean(aucs) > 0.7
+
+    def test_over_time_requires_two_snapshots(self, rng):
+        from repro.graph import DynamicNetwork
+
+        network = DynamicNetwork([Graph.from_edges([(0, 1)])])
+        with pytest.raises(ValueError):
+            link_prediction_over_time([{}], network, rng)
+
+    def test_over_time_mean(self, tiny_network, rng):
+        embeddings = [
+            {n: rng.normal(size=8) for n in snapshot.nodes()}
+            for snapshot in tiny_network
+        ]
+        auc = link_prediction_over_time(embeddings, tiny_network, rng)
+        assert 0.2 < auc < 0.8  # random embeddings hover around 0.5

@@ -1,0 +1,96 @@
+"""Tests for the node-classification task."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicNetwork, Graph
+from repro.tasks import (
+    node_classification_f1,
+    node_classification_over_time,
+)
+
+
+def clustered_embeddings(rng, labels: dict) -> dict:
+    """Embeddings where same-label nodes cluster — easily classifiable."""
+    unique = sorted(set(labels.values()))
+    centers = {
+        label: rng.normal(scale=5.0, size=8) for label in unique
+    }
+    return {
+        node: centers[label] + rng.normal(scale=0.3, size=8)
+        for node, label in labels.items()
+    }
+
+
+class TestSingleStep:
+    def test_separable_labels_high_f1(self, rng):
+        labels = {i: i % 3 for i in range(90)}
+        embeddings = clustered_embeddings(rng, labels)
+        scores = node_classification_f1(embeddings, labels, 0.7, rng)
+        assert scores.micro_f1 > 0.9
+        assert scores.macro_f1 > 0.9
+
+    def test_random_embeddings_low_f1(self, rng):
+        labels = {i: i % 3 for i in range(90)}
+        embeddings = {i: rng.normal(size=8) for i in labels}
+        scores = node_classification_f1(embeddings, labels, 0.7, rng)
+        assert scores.micro_f1 < 0.6
+
+    def test_train_ratio_bounds(self, rng):
+        labels = {i: i % 2 for i in range(20)}
+        embeddings = clustered_embeddings(rng, labels)
+        for bad_ratio in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                node_classification_f1(embeddings, labels, bad_ratio, rng)
+
+    def test_too_few_nodes_rejected(self, rng):
+        labels = {0: "a", 1: "b"}
+        embeddings = {0: np.ones(4), 1: np.zeros(4)}
+        with pytest.raises(ValueError):
+            node_classification_f1(embeddings, labels, 0.5, rng)
+
+    def test_nodes_without_labels_ignored(self, rng):
+        labels = {i: i % 2 for i in range(40)}
+        embeddings = clustered_embeddings(rng, labels)
+        embeddings["unlabeled"] = rng.normal(size=8)
+        scores = node_classification_f1(embeddings, labels, 0.5, rng)
+        assert scores.micro_f1 > 0.8
+
+
+class TestOverTime:
+    def test_unlabeled_dataset_rejected(self, tiny_network, rng):
+        with pytest.raises(ValueError):
+            node_classification_over_time(
+                [{} for _ in tiny_network], tiny_network, 0.5, rng
+            )
+
+    def test_labeled_pipeline(self, labeled_network, rng):
+        embeddings = []
+        for snapshot in labeled_network:
+            labels = {
+                n: labeled_network.labels[n]
+                for n in snapshot.nodes()
+                if n in labeled_network.labels
+            }
+            step = clustered_embeddings(rng, labels)
+            for node in snapshot.nodes():
+                step.setdefault(node, rng.normal(size=8))
+            embeddings.append(step)
+        scores = node_classification_over_time(
+            embeddings, labeled_network, 0.7, rng, min_labeled=10
+        )
+        assert scores.micro_f1 > 0.7
+
+    def test_min_labeled_skips_sparse_steps(self, labeled_network, rng):
+        embeddings = [
+            {n: rng.normal(size=4) for n in snapshot.nodes()}
+            for snapshot in labeled_network
+        ]
+        huge_threshold = 10_000
+        with pytest.raises(ValueError):
+            node_classification_over_time(
+                embeddings, labeled_network, 0.5, rng,
+                min_labeled=huge_threshold,
+            )

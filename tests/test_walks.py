@@ -1,0 +1,185 @@
+"""Unit + property tests for the random-walk engine and pair corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRAdjacency, Graph
+from repro.walks import (
+    AliasTable,
+    TRUNCATED,
+    build_pair_corpus,
+    simulate_walks,
+    walk_node_ids,
+)
+
+
+class TestAliasTable:
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([0.0, 0.0]))
+
+    def test_single_outcome(self, rng):
+        table = AliasTable(np.array([3.0]))
+        assert all(table.sample(rng, 10) == 0)
+
+    def test_sample_shape(self, rng):
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        assert table.sample(rng, size=(4, 5)).shape == (4, 5)
+
+    def test_distribution_matches_weights(self, rng):
+        weights = np.array([1.0, 2.0, 7.0])
+        table = AliasTable(weights)
+        draws = table.sample(rng, size=200_000)
+        freq = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.01)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20
+        )
+    )
+    def test_probability_invariants(self, weights):
+        """Property: alias construction preserves total probability —
+        each outcome's effective mass equals its normalised weight."""
+        table = AliasTable(np.array(weights))
+        n = table.n
+        mass = np.zeros(n)
+        for i in range(n):
+            mass[i] += table.probability[i] / n
+            mass[table.alias[i]] += (1.0 - table.probability[i]) / n
+        expected = np.array(weights) / np.sum(weights)
+        np.testing.assert_allclose(mass, expected, atol=1e-9)
+
+
+class TestSimulateWalks:
+    def test_shape_and_start(self, two_cliques, rng):
+        csr = CSRAdjacency.from_graph(two_cliques)
+        walks = simulate_walks(csr, [0, 1], num_walks=3, walk_length=7, rng=rng)
+        assert walks.shape == (6, 7)
+        assert all(walks[:3, 0] == 0)
+        assert all(walks[3:, 0] == 1)
+
+    def test_transitions_follow_edges(self, karate_like, rng):
+        csr = CSRAdjacency.from_graph(karate_like)
+        walks = simulate_walks(
+            csr, np.arange(csr.num_nodes), num_walks=2, walk_length=10, rng=rng
+        )
+        for row in walks:
+            for a, b in zip(row[:-1], row[1:]):
+                if b == TRUNCATED:
+                    break
+                assert b in csr.neighbors(a)
+
+    def test_isolated_node_truncates(self, rng):
+        graph = Graph()
+        graph.add_node("lonely")
+        graph.add_edge(0, 1)
+        csr = CSRAdjacency.from_graph(graph)
+        idx = csr.index_of["lonely"]
+        walks = simulate_walks(csr, [idx], num_walks=1, walk_length=5, rng=rng)
+        assert walks[0, 0] == idx
+        assert all(walks[0, 1:] == TRUNCATED)
+
+    def test_empty_starts(self, triangle, rng):
+        csr = CSRAdjacency.from_graph(triangle)
+        walks = simulate_walks(csr, [], num_walks=2, walk_length=5, rng=rng)
+        assert walks.shape == (0, 5)
+
+    def test_bad_args_rejected(self, triangle, rng):
+        csr = CSRAdjacency.from_graph(triangle)
+        with pytest.raises(ValueError):
+            simulate_walks(csr, [0], num_walks=0, walk_length=5, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_walks(csr, [0], num_walks=1, walk_length=0, rng=rng)
+        with pytest.raises(IndexError):
+            simulate_walks(csr, [99], num_walks=1, walk_length=5, rng=rng)
+
+    def test_weighted_transition_bias(self, rng):
+        """Eq. (5): transition probability proportional to edge weight."""
+        graph = Graph.from_edges([(0, 1, 9.0), (0, 2, 1.0)])
+        csr = CSRAdjacency.from_graph(graph)
+        assert not csr.is_uniform
+        start = csr.index_of[0]
+        walks = simulate_walks(csr, [start], num_walks=4000, walk_length=2, rng=rng)
+        second = walks[:, 1]
+        frac_to_1 = np.mean(second == csr.index_of[1])
+        assert 0.85 < frac_to_1 < 0.95
+
+    def test_deterministic_with_seed(self, karate_like):
+        csr = CSRAdjacency.from_graph(karate_like)
+        walks_a = simulate_walks(
+            csr, [0, 5], 3, 10, np.random.default_rng(42)
+        )
+        walks_b = simulate_walks(
+            csr, [0, 5], 3, 10, np.random.default_rng(42)
+        )
+        np.testing.assert_array_equal(walks_a, walks_b)
+
+    def test_walk_node_ids_drops_truncation(self, rng):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        graph.add_node("z")
+        csr = CSRAdjacency.from_graph(graph)
+        walks = simulate_walks(
+            csr, [csr.index_of["z"]], num_walks=1, walk_length=4, rng=rng
+        )
+        assert walk_node_ids(csr, walks) == [["z"]]
+
+
+class TestPairCorpus:
+    def test_window_pairs_of_short_walk(self):
+        walks = np.array([[0, 1, 2]])
+        corpus = build_pair_corpus(walks, window_size=1, num_nodes=3)
+        pairs = set(zip(corpus.centers.tolist(), corpus.contexts.tolist()))
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_window_2_includes_second_order(self):
+        walks = np.array([[0, 1, 2]])
+        corpus = build_pair_corpus(walks, window_size=2, num_nodes=3)
+        pairs = set(zip(corpus.centers.tolist(), corpus.contexts.tolist()))
+        assert (0, 2) in pairs and (2, 0) in pairs
+
+    def test_truncated_positions_excluded(self):
+        walks = np.array([[0, 1, TRUNCATED]])
+        corpus = build_pair_corpus(walks, window_size=2, num_nodes=2)
+        assert TRUNCATED not in corpus.centers
+        assert TRUNCATED not in corpus.contexts
+
+    def test_counts_match_center_occurrences(self, karate_like, rng):
+        csr = CSRAdjacency.from_graph(karate_like)
+        walks = simulate_walks(csr, np.arange(csr.num_nodes), 2, 8, rng)
+        corpus = build_pair_corpus(walks, window_size=3, num_nodes=csr.num_nodes)
+        expected = np.bincount(corpus.centers, minlength=csr.num_nodes)
+        np.testing.assert_array_equal(corpus.counts, expected)
+
+    def test_symmetry_property(self, karate_like, rng):
+        """Property: the corpus is symmetric — (a,b) appears iff (b,a)."""
+        csr = CSRAdjacency.from_graph(karate_like)
+        walks = simulate_walks(csr, np.arange(csr.num_nodes), 1, 10, rng)
+        corpus = build_pair_corpus(walks, window_size=4, num_nodes=csr.num_nodes)
+        forward: dict[tuple[int, int], int] = {}
+        for a, b in zip(corpus.centers.tolist(), corpus.contexts.tolist()):
+            forward[(a, b)] = forward.get((a, b), 0) + 1
+        for (a, b), count in forward.items():
+            assert forward.get((b, a), 0) == count
+
+    def test_shuffled_preserves_multiset(self, rng):
+        walks = np.array([[0, 1, 2, 3]])
+        corpus = build_pair_corpus(walks, window_size=2, num_nodes=4)
+        shuffled = corpus.shuffled(rng)
+        assert sorted(
+            zip(corpus.centers.tolist(), corpus.contexts.tolist())
+        ) == sorted(zip(shuffled.centers.tolist(), shuffled.contexts.tolist()))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            build_pair_corpus(np.zeros((1, 3), dtype=np.int64), 0, 3)
