@@ -1,0 +1,288 @@
+"""Streaming-path throughput: events/sec, flush latency, and hot-path wins.
+
+Three claims measured here, matching the streaming subsystem's design:
+
+1. **Engine throughput** — events/sec through ``StreamingGloDyNE`` under
+   an event-count flush policy, with per-flush latency stats (the
+   serving-style observability snapshot mode cannot give).
+2. **Incremental CSR vs rebuild** — applying a small delta and freezing
+   via ``IncrementalCSR.to_csr`` must beat mutating a ``Graph`` and
+   re-freezing with ``CSRAdjacency.from_graph`` (a per-edge Python loop
+   over the *whole* graph) once deltas are small relative to the graph.
+3. **Vectorised weighted stepping** — the global-binary-search
+   ``_step_weighted`` must beat the per-walker ``_step_weighted_loop``.
+
+Run standalone for a quick smoke (CI uses this)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_throughput.py --tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from common import write_result
+from repro import GloDyNE, StreamingGloDyNE
+from repro.datasets import interaction_stream
+from repro.experiments import render_table
+from repro.graph import EdgeEvent, Graph
+from repro.graph.csr import CSRAdjacency
+from repro.streaming import FlushPolicy, IncrementalGraphState
+from repro.walks.random_walk import (
+    TRUNCATED,
+    _step_weighted,
+    _step_weighted_loop,
+)
+
+WALK_KWARGS = dict(
+    dim=16, alpha=0.1, num_walks=3, walk_length=12, window_size=3, epochs=1
+)
+
+
+# ----------------------------------------------------------------------
+# 1. engine throughput + flush latency
+# ----------------------------------------------------------------------
+def run_engine_throughput(
+    num_nodes: int = 400, num_steps: int = 12, events_per_step: int = 300,
+    flush_every: int = 500,
+) -> tuple[str, dict]:
+    events = interaction_stream(
+        num_nodes=num_nodes,
+        num_steps=num_steps,
+        num_communities=6,
+        events_per_step=events_per_step,
+        seed=42,
+    )
+    engine = StreamingGloDyNE(
+        seed=0, policy=FlushPolicy(max_events=flush_every), **WALK_KWARGS
+    )
+    started = time.perf_counter()
+    results = engine.ingest_many(events)
+    if engine.pending_events:
+        results.append(engine.flush())
+    elapsed = time.perf_counter() - started
+
+    latencies = np.array([r.seconds for r in results])
+    ingest_seconds = elapsed - latencies.sum()
+    stats = {
+        "events": len(events),
+        "events_per_sec": len(events) / elapsed,
+        "ingest_events_per_sec": len(events) / max(ingest_seconds, 1e-9),
+        "flushes": len(results),
+        "flush_mean_s": float(latencies.mean()),
+        "flush_max_s": float(latencies.max()),
+        "final_nodes": results[-1].num_nodes,
+        "final_edges": results[-1].num_edges,
+    }
+    rows = [
+        ["events ingested", str(stats["events"])],
+        ["flushes", str(stats["flushes"])],
+        ["end-to-end events/sec", f"{stats['events_per_sec']:,.0f}"],
+        ["ingest-only events/sec", f"{stats['ingest_events_per_sec']:,.0f}"],
+        ["flush latency mean", f"{stats['flush_mean_s'] * 1e3:.1f}ms"],
+        ["flush latency max", f"{stats['flush_max_s'] * 1e3:.1f}ms"],
+        ["final graph", f"{stats['final_nodes']}n / {stats['final_edges']}e"],
+    ]
+    text = render_table(
+        ["metric", "value"],
+        rows,
+        title=f"streaming engine throughput (flush every {flush_every} events)",
+    )
+    return text, stats
+
+
+# ----------------------------------------------------------------------
+# 2. incremental CSR maintenance vs full rebuild
+# ----------------------------------------------------------------------
+def run_csr_maintenance(
+    num_nodes: int = 2000, edges_per_node: int = 4, num_updates: int = 20,
+    delta_per_update: int = 10,
+) -> tuple[str, dict]:
+    rng = np.random.default_rng(7)
+    base_events = []
+    for u in range(1, num_nodes):
+        for v in rng.choice(u, size=min(u, edges_per_node), replace=False):
+            base_events.append(EdgeEvent(u, int(v), 0.0))
+
+    state = IncrementalGraphState()
+    graph = Graph()
+    for event in base_events:
+        state.apply(event)
+        graph.add_edge(event.u, event.v)
+
+    deltas = []
+    for step in range(num_updates):
+        batch = []
+        for _ in range(delta_per_update):
+            u, v = rng.integers(0, num_nodes, size=2)
+            if u != v:
+                batch.append(EdgeEvent(int(u), int(v), float(step + 1)))
+        deltas.append(batch)
+
+    started = time.perf_counter()
+    for batch in deltas:
+        state.apply_many(batch)
+        state.csr.to_csr()
+    incremental_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for batch in deltas:
+        for event in batch:
+            graph.add_edge(event.u, event.v)
+        CSRAdjacency.from_graph(graph)
+    rebuild_s = time.perf_counter() - started
+
+    stats = {
+        "edges": graph.number_of_edges(),
+        "updates": num_updates,
+        "delta": delta_per_update,
+        "incremental_s": incremental_s,
+        "rebuild_s": rebuild_s,
+        "speedup": rebuild_s / max(incremental_s, 1e-9),
+    }
+    text = render_table(
+        ["path", "seconds", "per update"],
+        [
+            [
+                "IncrementalCSR.to_csr",
+                f"{incremental_s:.4f}s",
+                f"{incremental_s / num_updates * 1e3:.2f}ms",
+            ],
+            [
+                "CSRAdjacency.from_graph",
+                f"{rebuild_s:.4f}s",
+                f"{rebuild_s / num_updates * 1e3:.2f}ms",
+            ],
+            ["speedup", f"{stats['speedup']:.1f}x", ""],
+        ],
+        title=(
+            f"CSR maintenance: {num_updates} updates of {delta_per_update} "
+            f"events on ~{stats['edges']} edges"
+        ),
+    )
+    return text, stats
+
+
+# ----------------------------------------------------------------------
+# 3. vectorised vs looped weighted stepping
+# ----------------------------------------------------------------------
+def run_weighted_stepping(
+    num_nodes: int = 600, edges_per_node: int = 6, num_walkers: int = 400,
+    walk_length: int = 40,
+) -> tuple[str, dict]:
+    rng = np.random.default_rng(3)
+    graph = Graph()
+    for u in range(1, num_nodes):
+        for v in rng.choice(u, size=min(u, edges_per_node), replace=False):
+            graph.add_edge(u, int(v), float(rng.uniform(0.5, 4.0)))
+    csr = CSRAdjacency.from_graph(graph)
+    assert not csr.is_uniform
+    starts = rng.integers(0, csr.num_nodes, size=num_walkers)
+
+    def run(stepper) -> float:
+        walks = np.full((num_walkers, walk_length), TRUNCATED, dtype=np.int64)
+        walks[:, 0] = starts
+        began = time.perf_counter()
+        stepper(csr, walks, np.random.default_rng(0))
+        return time.perf_counter() - began
+
+    # Warm both steppers' cumulative-weight caches outside timing so the
+    # comparison measures stepping, not one-time cache construction.
+    run(_step_weighted)
+    run(_step_weighted_loop)
+    vectorized_s = run(_step_weighted)
+    looped_s = run(_step_weighted_loop)
+    transitions = num_walkers * (walk_length - 1)
+    stats = {
+        "vectorized_s": vectorized_s,
+        "looped_s": looped_s,
+        "speedup": looped_s / max(vectorized_s, 1e-9),
+        "transitions": transitions,
+    }
+    text = render_table(
+        ["stepper", "seconds", "transitions/sec"],
+        [
+            [
+                "vectorized (global search)",
+                f"{vectorized_s:.4f}s",
+                f"{transitions / max(vectorized_s, 1e-9):,.0f}",
+            ],
+            [
+                "looped (per-walker)",
+                f"{looped_s:.4f}s",
+                f"{transitions / max(looped_s, 1e-9):,.0f}",
+            ],
+            ["speedup", f"{stats['speedup']:.1f}x", ""],
+        ],
+        title=f"weighted stepping: {num_walkers} walkers x {walk_length} steps",
+    )
+    return text, stats
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_streaming_engine_throughput(benchmark):
+    text, stats = benchmark.pedantic(run_engine_throughput, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("streaming_throughput.txt", text)
+    assert stats["flushes"] >= 2
+    # Ingestion without flushing must be far cheaper than end-to-end: the
+    # per-event path is O(degree) bookkeeping, not an embedding update.
+    assert stats["ingest_events_per_sec"] > stats["events_per_sec"]
+
+
+def test_incremental_csr_beats_rebuild(benchmark):
+    text, stats = benchmark.pedantic(run_csr_maintenance, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("streaming_csr_maintenance.txt", text)
+    assert stats["speedup"] > 1.0, (
+        f"incremental CSR slower than full rebuild ({stats})"
+    )
+
+
+def test_vectorized_weighted_stepping_beats_loop(benchmark):
+    text, stats = benchmark.pedantic(run_weighted_stepping, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("streaming_weighted_stepping.txt", text)
+    assert stats["speedup"] > 1.0, (
+        f"vectorized weighted stepping slower than loop ({stats})"
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone smoke entry (CI)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke profile: seconds, not minutes",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        sections = [
+            run_engine_throughput(
+                num_nodes=120, num_steps=5, events_per_step=80, flush_every=120
+            ),
+            run_csr_maintenance(num_nodes=400, num_updates=8, delta_per_update=5),
+            run_weighted_stepping(num_nodes=200, num_walkers=100, walk_length=15),
+        ]
+    else:
+        sections = [
+            run_engine_throughput(),
+            run_csr_maintenance(),
+            run_weighted_stepping(),
+        ]
+    for text, _ in sections:
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,15 @@
-"""Streaming usage: feed snapshots one at a time and watch per-step cost.
+"""Streaming usage: snapshot-at-a-time updates vs event-level ingestion.
 
 GloDyNE's streaming interface (``update``) is the deployment mode the
-paper motivates — promptly refresh embeddings as each snapshot lands. The
-example also inspects the internals exposed for observability: how many
-nodes were selected, the pair-corpus size, and the reservoir occupancy
-(accumulated-but-uncaptured topological change).
+paper motivates — promptly refresh embeddings as each snapshot lands.
+Part 1 feeds snapshots one at a time and watches per-step cost plus the
+internals exposed for observability: how many nodes were selected, the
+pair-corpus size, and the reservoir occupancy.
+
+Part 2 drops below snapshots entirely: ``StreamingGloDyNE`` consumes the
+raw edge-event stream, maintains the graph incrementally, and flushes an
+embedding update every N events — no snapshot materialisation, no
+full-graph diffing, and per-flush latency as a first-class metric.
 
 Usage::
 
@@ -15,12 +20,13 @@ from __future__ import annotations
 
 import time
 
-from repro import GloDyNE, load_dataset
+from repro import FlushPolicy, GloDyNE, StreamingGloDyNE, load_dataset
 from repro.experiments import render_table
+from repro.streaming import network_to_events
 from repro.tasks import mean_precision_at_k
 
 
-def main() -> None:
+def snapshot_mode() -> None:
     network = load_dataset("fbw-sim", scale=0.6, seed=5, snapshots=10)
     model = GloDyNE(
         dim=32, alpha=0.1, num_walks=5, walk_length=20, window_size=5,
@@ -50,14 +56,63 @@ def main() -> None:
         render_table(
             ["t", "nodes", "selected", "pairs", "reservoir", "P@10", "time"],
             rows,
-            title="streaming GloDyNE on fbw-sim",
+            title="part 1: snapshot-mode GloDyNE on fbw-sim",
         )
     )
     print(
         "\nNote the t=0 row: the offline stage walks from every node, so\n"
         "it selects |V| nodes and costs the most; online steps only touch\n"
-        "α·|V| representatives yet keep MeanP@10 high."
+        "α·|V| representatives yet keep MeanP@10 high.\n"
     )
+
+
+def event_mode() -> None:
+    # Re-express the same dataset as a raw edge-event stream and let the
+    # engine decide when to refresh: here, every 400 events.
+    network = load_dataset("fbw-sim", scale=0.6, seed=5, snapshots=10)
+    events = network_to_events(network)
+    engine = StreamingGloDyNE(
+        dim=32, alpha=0.1, num_walks=5, walk_length=20, window_size=5,
+        epochs=2, seed=0, policy=FlushPolicy(max_events=400),
+    )
+
+    started = time.perf_counter()
+    results = engine.ingest_many(events)
+    if engine.pending_events:
+        results.append(engine.flush())
+    elapsed = time.perf_counter() - started
+
+    rows = [
+        [
+            str(r.time_step),
+            r.trigger,
+            str(r.num_events),
+            str(r.num_nodes),
+            str(r.trace.num_selected),
+            f"{r.seconds * 1e3:.0f}ms",
+        ]
+        for r in results
+    ]
+    print(
+        render_table(
+            ["flush", "trigger", "events", "nodes", "selected", "latency"],
+            rows,
+            title="part 2: event-level StreamingGloDyNE (flush per 400 events)",
+        )
+    )
+    print(
+        f"\n{len(events)} events ingested in {elapsed:.2f}s "
+        f"({len(events) / max(elapsed, 1e-9):,.0f} events/sec end-to-end).\n"
+        "Between flushes the engine only does O(degree) bookkeeping per\n"
+        "event; the embedding refresh cadence is a policy knob (event\n"
+        "count, wall-clock age, or accumulated change), not something a\n"
+        "snapshot pipeline imposed upstream."
+    )
+
+
+def main() -> None:
+    snapshot_mode()
+    event_mode()
 
 
 if __name__ == "__main__":

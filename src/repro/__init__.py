@@ -34,6 +34,7 @@ from repro.core import (
 from repro.datasets import list_datasets, load_dataset
 from repro.graph import DynamicNetwork, EdgeEvent, Graph
 from repro.partition import PartitionResult, partition_graph
+from repro.streaming import FlushPolicy, FlushResult, StreamingGloDyNE
 
 __version__ = "1.0.0"
 
@@ -47,10 +48,13 @@ __all__ = [
     "DynamicNetwork",
     "EdgeEvent",
     "EmbeddingMap",
+    "FlushPolicy",
+    "FlushResult",
     "GloDyNE",
     "GloDyNEConfig",
     "Graph",
     "PartitionResult",
+    "StreamingGloDyNE",
     "SGNSIncrement",
     "SGNSRetrain",
     "SGNSStatic",

@@ -6,6 +6,7 @@ Usage::
     python -m repro embed --dataset elec-sim --method glodyne --out emb.npz
     python -m repro evaluate --dataset elec-sim --method glodyne --task gr
     python -m repro analyze --dataset fbw-sim
+    python -m repro stream --dataset elec-sim --flush-events 400
 
 The CLI wires together the same public APIs the examples use; it exists so
 a downstream user can reproduce a single cell of a paper table without
@@ -236,6 +237,61 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a dataset as an edge-event stream through StreamingGloDyNE."""
+    from repro.streaming import FlushPolicy, StreamingGloDyNE, network_to_events
+
+    network = load_dataset(
+        args.dataset, scale=args.scale, seed=args.data_seed,
+        snapshots=args.snapshots,
+    )
+    events = network_to_events(network)
+    walk = PROFILES[args.profile]["walk"]
+    try:
+        policy = FlushPolicy(
+            max_events=args.flush_events or None,
+            max_seconds=args.flush_seconds,
+            max_touched_edges=args.flush_changed_edges,
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid flush policy: {error}") from None
+    engine = StreamingGloDyNE(
+        seed=args.seed, policy=policy, dim=args.dim, alpha=0.1, **walk
+    )
+    started = time.perf_counter()
+    results = engine.ingest_many(events)
+    if engine.pending_events:
+        results.append(engine.flush())
+    elapsed = time.perf_counter() - started
+
+    rows = [
+        [
+            str(r.time_step),
+            r.trigger,
+            str(r.num_events),
+            str(r.num_nodes),
+            str(r.trace.num_selected),
+            str(r.trace.num_pairs),
+            f"{r.seconds * 1e3:.1f}ms",
+        ]
+        for r in results
+    ]
+    print(
+        render_table(
+            ["flush", "trigger", "events", "nodes", "selected", "pairs",
+             "latency"],
+            rows,
+            title=f"streamed {network.name}: {len(events)} events",
+        )
+    )
+    print(
+        f"{len(events)} events in {elapsed:.2f}s "
+        f"({len(events) / max(elapsed, 1e-9):,.0f} events/sec end-to-end, "
+        f"{len(results)} flushes)"
+    )
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GloDyNE reproduction CLI"
@@ -274,6 +330,33 @@ def make_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--snapshots", type=int, default=None)
     analyze.add_argument("--cell-size", type=int, default=15)
 
+    stream = sub.add_parser(
+        "stream", help="replay a dataset as edge events through the "
+        "streaming engine",
+    )
+    stream.add_argument("--dataset", default="elec-sim")
+    stream.add_argument("--dim", type=int, default=32)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--data-seed", type=int, default=0)
+    stream.add_argument("--scale", type=float, default=0.5)
+    stream.add_argument("--snapshots", type=int, default=None)
+    stream.add_argument(
+        "--profile", default="quick", choices=sorted(PROFILES),
+        help="hyper-parameter preset for the underlying GloDyNE model",
+    )
+    stream.add_argument(
+        "--flush-events", type=int, default=400,
+        help="flush after this many events (None-able via 0)",
+    )
+    stream.add_argument(
+        "--flush-seconds", type=float, default=None,
+        help="flush when the open window is older than this many seconds",
+    )
+    stream.add_argument(
+        "--flush-changed-edges", type=int, default=None,
+        help="flush after this many distinct edges changed",
+    )
+
     return parser
 
 
@@ -284,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         "embed": cmd_embed,
         "evaluate": cmd_evaluate,
         "analyze": cmd_analyze,
+        "stream": cmd_stream,
     }
     return handlers[args.command](args)
 

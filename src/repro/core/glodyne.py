@@ -133,15 +133,32 @@ class GloDyNE(DynamicEmbeddingMethod):
         self.last_trace: StepTrace | None = None
 
     # ------------------------------------------------------------------
-    def update(self, snapshot: Graph) -> EmbeddingMap:
-        """Consume the next snapshot and return Z^t for its nodes."""
+    def update(
+        self,
+        snapshot: Graph,
+        *,
+        changes: dict[Node, float] | None = None,
+        csr: CSRAdjacency | None = None,
+    ) -> EmbeddingMap:
+        """Consume the next snapshot and return Z^t for its nodes.
+
+        ``changes`` and ``csr`` are the streaming fast-path hooks
+        (:mod:`repro.streaming`): a caller that maintains incremental
+        graph state can pass the per-node change counts and the frozen
+        CSR it already holds, skipping the full-graph ``diff_snapshots``
+        and ``CSRAdjacency.from_graph`` recomputation. Both default to
+        ``None``, which recomputes them from the snapshot as before.
+        """
         if snapshot.number_of_nodes() == 0:
             raise ValueError("cannot embed an empty snapshot")
         if self.previous is None:
-            trace = self._offline_stage(snapshot)
+            trace = self._offline_stage(snapshot, csr=csr)
         else:
-            trace = self._online_stage(snapshot)
+            trace = self._online_stage(snapshot, changes=changes, csr=csr)
         self.last_trace = trace
+        # Must be a frozen copy, not an alias: Eq. (3) scoring reads the
+        # *previous* snapshot's degrees next step, and streaming callers
+        # keep mutating the snapshot object they passed in.
         self.previous = snapshot.copy()
         self.time_step += 1
         nodes = list(snapshot.nodes())
@@ -149,30 +166,41 @@ class GloDyNE(DynamicEmbeddingMethod):
         return dict(zip(nodes, matrix))
 
     # ------------------------------------------------------------------
-    def _offline_stage(self, snapshot: Graph) -> StepTrace:
+    def _offline_stage(
+        self, snapshot: Graph, csr: CSRAdjacency | None = None
+    ) -> StepTrace:
         """Algorithm 1 lines 1-5: full DeepWalk round over all nodes."""
-        csr = CSRAdjacency.from_graph(snapshot)
+        if csr is None:
+            csr = CSRAdjacency.from_graph(snapshot)
         start_indices = np.arange(csr.num_nodes)
         trace = self._walk_and_train(snapshot, csr, start_indices)
         trace.selected_nodes = list(csr.nodes)
         return trace
 
-    def _online_stage(self, snapshot: Graph) -> StepTrace:
+    def _online_stage(
+        self,
+        snapshot: Graph,
+        changes: dict[Node, float] | None = None,
+        csr: CSRAdjacency | None = None,
+    ) -> StepTrace:
         """Algorithm 1 lines 6-18: partition, select, walk, update."""
         cfg = self.config
         assert self.previous is not None
 
         # Line 9-10: edge stream + reservoir accumulation. The weighted
         # variant (footnote 3) kicks in automatically on weighted graphs.
-        use_weighted = cfg.weighted_changes
-        if use_weighted is None:
-            use_weighted = not (
-                snapshot.is_unweighted() and self.previous.is_unweighted()
-            )
-        if use_weighted:
-            changes = weighted_node_changes(self.previous, snapshot)
-        else:
-            changes = diff_snapshots(self.previous, snapshot).node_changes
+        # A streaming caller hands in incrementally accumulated changes
+        # instead, skipping the full-graph diff.
+        if changes is None:
+            use_weighted = cfg.weighted_changes
+            if use_weighted is None:
+                use_weighted = not (
+                    snapshot.is_unweighted() and self.previous.is_unweighted()
+                )
+            if use_weighted:
+                changes = weighted_node_changes(self.previous, snapshot)
+            else:
+                changes = diff_snapshots(self.previous, snapshot).node_changes
         self.reservoir.accumulate(changes)
         self.reservoir.prune(snapshot.node_set())
 
@@ -191,7 +219,8 @@ class GloDyNE(DynamicEmbeddingMethod):
         self.reservoir.evict(selected)
 
         # Lines 15-17: walks from the selected nodes, incremental training.
-        csr = CSRAdjacency.from_graph(snapshot)
+        if csr is None:
+            csr = CSRAdjacency.from_graph(snapshot)
         start_indices = np.fromiter(
             (csr.index_of[node] for node in selected),
             dtype=np.int64,

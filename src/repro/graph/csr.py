@@ -37,6 +37,7 @@ class CSRAdjacency:
         "indices",
         "weights",
         "_cumulative",
+        "_global_cumulative",
         "_uniform",
     )
 
@@ -59,6 +60,7 @@ class CSRAdjacency:
         # sampling (Eq. 5); built lazily because unweighted graphs never
         # need it.
         self._cumulative: np.ndarray | None = None
+        self._global_cumulative: np.ndarray | None = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRAdjacency":
@@ -126,6 +128,22 @@ class CSRAdjacency:
             offsets = np.repeat(row_base, np.diff(self.indptr))
             self._cumulative = cumulative - offsets
         return self._cumulative
+
+    def global_cumulative_weights(self) -> np.ndarray:
+        """Zero-prefixed global cumsum of CSR weights (length ``nnz + 1``).
+
+        With strictly positive weights this array is non-decreasing across
+        the whole CSR, so one ``searchsorted`` against it resolves weighted
+        transition draws for *every* walker at once: the draw for a walker
+        at node ``i`` is offset by ``gcum[indptr[i]]`` (the row base) and
+        searched globally instead of per-row.
+        """
+        if self._global_cumulative is None:
+            gcum = np.empty(self.weights.size + 1, dtype=np.float64)
+            gcum[0] = 0.0
+            np.cumsum(self.weights, out=gcum[1:])
+            self._global_cumulative = gcum
+        return self._global_cumulative
 
     def to_scipy(self):
         """Export as ``scipy.sparse.csr_matrix`` (symmetric adjacency)."""

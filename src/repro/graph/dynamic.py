@@ -33,17 +33,32 @@ class EdgeEvent:
     """A timestamped edge event in an edge stream.
 
     ``kind`` is ``"add"`` or ``"remove"``; KONECT-style streams with only
-    additions use the default.
+    additions use the default. ``weight`` is the edge weight carried by an
+    ``add`` event (re-adding an existing edge overwrites its weight, as
+    :meth:`repro.graph.static.Graph.add_edge` does); it is ignored by
+    ``remove`` events.
     """
 
     u: Node
     v: Node
     time: float
     kind: str = "add"
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("add", "remove"):
             raise ValueError(f"unknown edge event kind: {self.kind!r}")
+
+
+def coerce_event(event: EdgeEvent | TimedEdge) -> EdgeEvent:
+    """Coerce a plain ``(u, v, t)`` tuple to an ``add`` :class:`EdgeEvent`.
+
+    The single definition of the tuple convention — the snapshot builder,
+    the streaming helpers, and the streaming engine all route through it.
+    """
+    if isinstance(event, EdgeEvent):
+        return event
+    return EdgeEvent(event[0], event[1], event[2])
 
 
 class DynamicNetwork:
@@ -97,27 +112,26 @@ class DynamicNetwork:
         strictly increasing. Events after the final cut-off are dropped.
         Plain ``(u, v, t)`` tuples are treated as additions.
         """
-        normalized = [
-            e if isinstance(e, EdgeEvent) else EdgeEvent(e[0], e[1], e[2])
-            for e in events
-        ]
+        normalized = [coerce_event(e) for e in events]
         normalized.sort(key=lambda e: e.time)
         if list(cutoffs) != sorted(set(cutoffs)):
             raise ValueError("cutoffs must be strictly increasing")
 
         snapshots: list[Graph] = []
         accumulator = Graph()
+        # Compute the (sorted) times array once; re-slicing it per cutoff
+        # would make the loop O(T·E) for T cutoffs over E events.
+        times = [e.time for e in normalized]
         cursor = 0
         for cutoff in cutoffs:
             # bisect on times: apply all events with time <= cutoff
-            times = [e.time for e in normalized[cursor:]]
-            advance = bisect_right(times, cutoff)
-            for event in normalized[cursor: cursor + advance]:
+            advance = bisect_right(times, cutoff, lo=cursor)
+            for event in normalized[cursor:advance]:
                 if event.kind == "add":
-                    accumulator.add_edge(event.u, event.v)
+                    accumulator.add_edge(event.u, event.v, event.weight)
                 else:
                     accumulator.discard_edge(event.u, event.v)
-            cursor += advance
+            cursor = advance
             snapshot = accumulator.copy()
             if restrict_to_lcc:
                 snapshot = largest_connected_component(snapshot)
@@ -139,10 +153,7 @@ class DynamicNetwork:
         identical" convention by splitting the stream's time span into
         ``num_snapshots`` equal windows.
         """
-        normalized = [
-            e if isinstance(e, EdgeEvent) else EdgeEvent(e[0], e[1], e[2])
-            for e in events
-        ]
+        normalized = [coerce_event(e) for e in events]
         if not normalized:
             raise ValueError("edge stream is empty")
         if num_snapshots < 1:

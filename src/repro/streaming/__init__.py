@@ -1,0 +1,33 @@
+"""Streaming subsystem: edge-event ingestion with incremental graph state.
+
+Instead of materialising full snapshots and recomputing diffs/CSR per
+step, :class:`StreamingGloDyNE` consumes raw edge events, maintains the
+graph incrementally (:mod:`repro.streaming.state`) and flushes into the
+warm-SGNS online stage on configurable triggers
+(:class:`FlushPolicy`). See :mod:`repro.streaming.engine` for when to
+prefer streaming over snapshot mode.
+"""
+
+from repro.streaming.engine import FlushPolicy, FlushResult, StreamingGloDyNE
+from repro.streaming.events import (
+    network_to_events,
+    normalize_events,
+    split_stream_at_cutoffs,
+)
+from repro.streaming.state import (
+    ChangeAccumulator,
+    IncrementalCSR,
+    IncrementalGraphState,
+)
+
+__all__ = [
+    "ChangeAccumulator",
+    "FlushPolicy",
+    "FlushResult",
+    "IncrementalCSR",
+    "IncrementalGraphState",
+    "StreamingGloDyNE",
+    "network_to_events",
+    "normalize_events",
+    "split_stream_at_cutoffs",
+]

@@ -1,0 +1,134 @@
+"""Edge-event stream utilities for the streaming engine.
+
+The engine consumes raw :class:`~repro.graph.dynamic.EdgeEvent` streams;
+these helpers bridge the two worlds the rest of the repository lives in:
+
+* :func:`normalize_events` — accept ``(u, v, t)`` tuples alongside
+  ``EdgeEvent`` objects and time-sort them stably (the exact convention
+  of ``DynamicNetwork.from_edge_stream``);
+* :func:`split_stream_at_cutoffs` — window a stream by the same inclusive
+  cut-off semantics the snapshot builder uses, so "flush once per
+  window" reproduces snapshot mode event for event;
+* :func:`network_to_events` — synthesise an event stream from an already
+  materialised snapshot sequence (adds *and* removes), which lets the
+  CLI/benchmarks stream any registered dataset.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from repro.graph.diff import diff_snapshots
+from repro.graph.dynamic import DynamicNetwork, EdgeEvent, TimedEdge, coerce_event
+
+
+def normalize_events(
+    events: Iterable[EdgeEvent | TimedEdge],
+) -> list[EdgeEvent]:
+    """Coerce tuples to ``EdgeEvent`` and stable-sort by timestamp.
+
+    Stability matters: events sharing a timestamp keep their original
+    relative order, which fixes the graph's node/neighbour insertion
+    order and therefore the exact walk RNG trajectory downstream.
+    """
+    normalized = [coerce_event(e) for e in events]
+    normalized.sort(key=lambda e: e.time)
+    return normalized
+
+
+def _oriented(edge: frozenset) -> tuple:
+    """Canonical ``(u, v)`` orientation of a frozenset edge.
+
+    frozenset iteration order depends on hash randomisation for string
+    node ids; orienting by ``repr`` keeps the emitted event stream — and
+    therefore node insertion order and the walk RNG trajectory —
+    identical across runs.
+    """
+    members = sorted(edge, key=repr)
+    if len(members) == 1:  # self-loop
+        return members[0], members[0]
+    return members[0], members[1]
+
+
+def _edge_sort_key(pair: tuple) -> tuple[str, str]:
+    return (repr(pair[0]), repr(pair[1]))
+
+
+def split_stream_at_cutoffs(
+    events: Iterable[EdgeEvent | TimedEdge],
+    cutoffs: Sequence[float],
+) -> list[list[EdgeEvent]]:
+    """Window a stream by inclusive cut-offs, one window per cut-off.
+
+    Mirrors ``DynamicNetwork.from_edge_stream``: window ``k`` holds the
+    events with ``cutoffs[k-1] < time <= cutoffs[k]``; events after the
+    final cut-off are dropped. Feeding each window to
+    :meth:`repro.streaming.StreamingGloDyNE.ingest_many` followed by a
+    ``flush()`` replays snapshot mode exactly.
+    """
+    if list(cutoffs) != sorted(set(cutoffs)):
+        raise ValueError("cutoffs must be strictly increasing")
+    normalized = normalize_events(events)
+    times = [e.time for e in normalized]
+    windows: list[list[EdgeEvent]] = []
+    cursor = 0
+    for cutoff in cutoffs:
+        advance = bisect_right(times, cutoff, lo=cursor)
+        windows.append(normalized[cursor:advance])
+        cursor = advance
+    return windows
+
+
+def network_to_events(network: DynamicNetwork) -> list[EdgeEvent]:
+    """Derive an edge-event stream from a snapshot sequence.
+
+    Snapshot ``0`` becomes ``add`` events at ``t = 0``; every later
+    snapshot contributes its diff against the previous one — edge
+    additions carry the new snapshot's weight, removals cover deleted
+    edges and edges lost to node deletions, and a persisting edge whose
+    *weight* changed re-emits an ``add`` (overwrite semantics). Events
+    within one step are ordered deterministically (sorted by repr) so
+    repeated conversions of the same network yield identical streams.
+
+    Limitation: an edge stream cannot express node *identity* removal.
+    Replaying the returned events reproduces every snapshot's edge set
+    and weights exactly, but a node whose last edge was removed survives
+    as an isolated "ghost" — the same semantics as batch
+    ``DynamicNetwork.from_edge_stream``. For deletion-heavy networks
+    (AS733-style), restrict to the LCC downstream
+    (``StreamingGloDyNE(restrict_to_lcc=True)`` or
+    ``from_edge_stream(..., restrict_to_lcc=True)``), which is what the
+    paper's pipeline does anyway and which excludes isolated ghosts.
+    """
+    events: list[EdgeEvent] = []
+    previous = None
+    for t, snapshot in enumerate(network):
+        if previous is None:
+            initial = [
+                _oriented(frozenset((u, v))) + (w,)
+                for u, v, w in snapshot.weighted_edges()
+            ]
+            for u, v, w in sorted(initial, key=_edge_sort_key):
+                events.append(EdgeEvent(u, v, float(t), weight=w))
+        else:
+            diff = diff_snapshots(previous, snapshot)
+            removed = [_oriented(e) for e in diff.removed_edges]
+            for u, v in sorted(removed, key=_edge_sort_key):
+                events.append(EdgeEvent(u, v, float(t), kind="remove"))
+            added = [_oriented(e) for e in diff.added_edges]
+            for u, v in sorted(added, key=_edge_sort_key):
+                events.append(
+                    EdgeEvent(u, v, float(t), weight=snapshot.edge_weight(u, v, 1.0))
+                )
+            # Weight-only changes on persisting edges: diff_snapshots is
+            # presence-based and misses them; re-emit as overwrites.
+            changed = [
+                _oriented(frozenset((u, v))) + (w,)
+                for u, v, w in snapshot.weighted_edges()
+                if previous.has_edge(u, v) and previous.edge_weight(u, v) != w
+            ]
+            for u, v, w in sorted(changed, key=_edge_sort_key):
+                events.append(EdgeEvent(u, v, float(t), weight=w))
+        previous = snapshot
+    return events

@@ -1,0 +1,412 @@
+"""Incremental graph state for the streaming engine.
+
+The snapshot pipeline rebuilds everything per step: ``diff_snapshots``
+walks both full edge sets and ``CSRAdjacency.from_graph`` re-freezes the
+whole adjacency in a per-edge Python loop. For an event stream whose
+deltas are tiny relative to the graph, both are pure overhead — exactly
+the per-step retraining cost GloDyNE argues against at the embedding
+level. This module maintains the same three artefacts *incrementally*:
+
+* :class:`IncrementalCSR` — a mutable CSR with per-row slack that applies
+  add/remove deltas in O(degree) and compacts into an immutable
+  :class:`~repro.graph.csr.CSRAdjacency` with one vectorised gather, no
+  per-edge Python loop;
+* :class:`ChangeAccumulator` — per-window edge baselines that reduce to
+  the per-node change counts |ΔE^t_i| of Eq. (3) without diffing two full
+  snapshots (an edge added then removed inside one window correctly
+  cancels to zero change);
+* :class:`IncrementalGraphState` — composes both with a live
+  :class:`~repro.graph.static.Graph` mirror so that a flush can hand the
+  GloDyNE online stage exactly what ``diff_snapshots`` +
+  ``CSRAdjacency.from_graph`` would have produced, bit for bit.
+
+Ordering is part of the contract: the CSR freeze order equals Graph dict
+insertion order (overwrite keeps position, remove shifts left, re-add
+appends), which is what makes streaming-mode embeddings reproduce
+snapshot-mode embeddings exactly under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.graph.components import largest_connected_component
+from repro.graph.csr import CSRAdjacency
+from repro.graph.dynamic import EdgeEvent
+from repro.graph.static import Graph
+
+Node = Hashable
+
+_INITIAL_ROW_CAP = 4
+
+# Same tolerance as Graph.is_unweighted: the weighted-change auto-detection
+# on the streaming path must agree with snapshot mode's per-flush scan or
+# near-unit weights would silently flip the change formula.
+_UNIT_WEIGHT_TOLERANCE = 1e-12
+
+
+def _is_nonunit(weight: float) -> bool:
+    return abs(weight - 1.0) > _UNIT_WEIGHT_TOLERANCE
+
+
+class IncrementalCSR:
+    """Mutable CSR adjacency with per-row slack capacity.
+
+    Rows live inside two shared pools (``indices``/``weights``); each row
+    owns a slice ``[start, start + capacity)`` of which the first
+    ``length`` entries are live. Appending into a full row relocates it to
+    the pool tail with doubled capacity (classic amortised doubling — the
+    abandoned slots are bounded by a constant factor of the live entries).
+
+    Neighbour ordering mirrors ``dict`` semantics so that :meth:`to_csr`
+    is indistinguishable from ``CSRAdjacency.from_graph`` on the mirrored
+    :class:`~repro.graph.static.Graph`: overwriting a weight keeps the
+    neighbour's position, removing shifts the row tail left, re-adding
+    appends at the end.
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_index_of",
+        "_starts",
+        "_lengths",
+        "_caps",
+        "_indices_pool",
+        "_weights_pool",
+        "_tail",
+    )
+
+    def __init__(self, initial_pool: int = 1024) -> None:
+        self._nodes: list[Node] = []
+        self._index_of: dict[Node, int] = {}
+        self._starts: list[int] = []
+        self._lengths: list[int] = []
+        self._caps: list[int] = []
+        self._indices_pool = np.empty(max(initial_pool, 16), dtype=np.int64)
+        self._weights_pool = np.empty(max(initial_pool, 16), dtype=np.float64)
+        self._tail = 0
+
+    # ------------------------------------------------------------------
+    # pool management
+    # ------------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        needed = self._tail + extra
+        if needed <= self._indices_pool.size:
+            return
+        new_size = self._indices_pool.size
+        while new_size < needed:
+            new_size *= 2
+        indices = np.empty(new_size, dtype=np.int64)
+        weights = np.empty(new_size, dtype=np.float64)
+        indices[: self._tail] = self._indices_pool[: self._tail]
+        weights[: self._tail] = self._weights_pool[: self._tail]
+        self._indices_pool = indices
+        self._weights_pool = weights
+
+    def _relocate(self, row: int, new_cap: int) -> None:
+        """Move a full row to the pool tail with ``new_cap`` capacity."""
+        self._reserve(new_cap)
+        start, length = self._starts[row], self._lengths[row]
+        tail = self._tail
+        self._indices_pool[tail: tail + length] = self._indices_pool[
+            start: start + length
+        ]
+        self._weights_pool[tail: tail + length] = self._weights_pool[
+            start: start + length
+        ]
+        self._starts[row] = tail
+        self._caps[row] = new_cap
+        self._tail = tail + new_cap
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def ensure_node(self, node: Node) -> int:
+        """Return the index of ``node``, registering it on first sight."""
+        idx = self._index_of.get(node)
+        if idx is None:
+            idx = len(self._nodes)
+            self._nodes.append(node)
+            self._index_of[node] = idx
+            self._reserve(_INITIAL_ROW_CAP)
+            self._starts.append(self._tail)
+            self._lengths.append(0)
+            self._caps.append(_INITIAL_ROW_CAP)
+            self._tail += _INITIAL_ROW_CAP
+        return idx
+
+    def _find(self, row: int, neighbor_idx: int) -> int:
+        """Position of ``neighbor_idx`` within ``row`` (-1 when absent)."""
+        start, length = self._starts[row], self._lengths[row]
+        hits = np.nonzero(
+            self._indices_pool[start: start + length] == neighbor_idx
+        )[0]
+        return int(hits[0]) if hits.size else -1
+
+    def _set_directed(self, row: int, neighbor_idx: int, weight: float) -> None:
+        pos = self._find(row, neighbor_idx)
+        start = self._starts[row]
+        if pos >= 0:
+            self._weights_pool[start + pos] = weight
+            return
+        length = self._lengths[row]
+        if length == self._caps[row]:
+            self._relocate(row, max(_INITIAL_ROW_CAP, 2 * self._caps[row]))
+            start = self._starts[row]
+        self._indices_pool[start + length] = neighbor_idx
+        self._weights_pool[start + length] = weight
+        self._lengths[row] = length + 1
+
+    def _remove_directed(self, row: int, neighbor_idx: int) -> bool:
+        pos = self._find(row, neighbor_idx)
+        if pos < 0:
+            return False
+        start, length = self._starts[row], self._lengths[row]
+        self._indices_pool[start + pos: start + length - 1] = self._indices_pool[
+            start + pos + 1: start + length
+        ]
+        self._weights_pool[start + pos: start + length - 1] = self._weights_pool[
+            start + pos + 1: start + length
+        ]
+        self._lengths[row] = length - 1
+        return True
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Insert or overwrite the undirected edge ``(u, v)``."""
+        u_idx = self.ensure_node(u)
+        v_idx = self.ensure_node(v)
+        self._set_directed(u_idx, v_idx, weight)
+        if u_idx != v_idx:
+            self._set_directed(v_idx, u_idx, weight)
+
+    def discard_edge(self, u: Node, v: Node) -> bool:
+        """Delete the edge if present. Returns True when one was removed."""
+        u_idx = self._index_of.get(u)
+        v_idx = self._index_of.get(v)
+        if u_idx is None or v_idx is None:
+            return False
+        removed = self._remove_directed(u_idx, v_idx)
+        if removed and u_idx != v_idx:
+            self._remove_directed(v_idx, u_idx)
+        return removed
+
+    # ------------------------------------------------------------------
+    # queries / freeze
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_entries(self) -> int:
+        """Directed entry count (each undirected edge stored twice)."""
+        return sum(self._lengths)
+
+    def degree(self, node: Node) -> int:
+        idx = self._index_of.get(node)
+        return 0 if idx is None else self._lengths[idx]
+
+    def to_csr(self) -> CSRAdjacency:
+        """Compact into an immutable :class:`CSRAdjacency`.
+
+        One vectorised gather over the pools — O(nodes + entries) numpy
+        work with no per-edge Python loop, versus ``from_graph``'s
+        dict-walking per-edge loop.
+        """
+        n = len(self._nodes)
+        lengths = np.asarray(self._lengths, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+        if total:
+            starts = np.asarray(self._starts, dtype=np.int64)
+            # Output slot j of row i maps to pool slot starts[i] + (j - indptr[i]).
+            src = np.repeat(starts - indptr[:-1], lengths) + np.arange(total)
+            indices = self._indices_pool[src]
+            weights = self._weights_pool[src]
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.float64)
+        return CSRAdjacency(self._nodes, indptr, indices, weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IncrementalCSR(nodes={self.num_nodes}, "
+            f"entries={self.num_entries}, pool={self._indices_pool.size})"
+        )
+
+
+class ChangeAccumulator:
+    """Per-window edge baselines reducing to Eq. (3) node changes.
+
+    For every edge touched since the window opened, the accumulator
+    remembers its state (presence + weight) *at the window start*. At
+    flush time each touched edge is compared against its current state:
+
+    * unweighted mode mirrors ``diff_snapshots(...).node_changes`` — an
+      edge whose presence flipped credits both endpoints with 1 (a
+      self-loop credits its node twice, as the snapshot diff does);
+    * weighted mode mirrors ``weighted_node_changes`` (footnote 3) — each
+      endpoint is credited with |w_now - w_baseline| (a self-loop once).
+
+    Edges that return to their baseline state inside the window (add then
+    remove, or a weight overwritten back) contribute nothing, exactly as
+    they would vanish from a snapshot-to-snapshot diff.
+    """
+
+    __slots__ = ("_baseline",)
+
+    def __init__(self) -> None:
+        # frozenset({u, v}) -> (present_at_window_start, weight_at_window_start)
+        self._baseline: dict[frozenset, tuple[bool, float]] = {}
+
+    def record(self, u: Node, v: Node, present: bool, weight: float) -> None:
+        """Remember the pre-event state of ``(u, v)`` on first touch."""
+        key = frozenset((u, v))
+        if key not in self._baseline:
+            self._baseline[key] = (present, weight if present else 0.0)
+
+    @property
+    def num_touched_edges(self) -> int:
+        """Distinct edges touched since the window opened."""
+        return len(self._baseline)
+
+    def node_changes(
+        self, graph: Graph, weighted: bool
+    ) -> dict[Node, float]:
+        """Reduce the window baselines to per-node change counts."""
+        changes: dict[Node, float] = {}
+        for key, (was_present, base_weight) in self._baseline.items():
+            if len(key) == 1:
+                (u,) = key
+                v = u
+            else:
+                u, v = key
+            is_present = graph.has_edge(u, v)
+            if weighted:
+                now_weight = graph.edge_weight(u, v) if is_present else 0.0
+                delta = abs(now_weight - base_weight)
+                if delta == 0.0:
+                    continue
+                changes[u] = changes.get(u, 0.0) + delta
+                if v != u:
+                    changes[v] = changes.get(v, 0.0) + delta
+            else:
+                if was_present == is_present:
+                    continue
+                changes[u] = changes.get(u, 0) + 1
+                changes[v] = changes.get(v, 0) + 1
+        return changes
+
+    def clear(self) -> None:
+        self._baseline.clear()
+
+    def __len__(self) -> int:
+        return len(self._baseline)
+
+
+class IncrementalGraphState:
+    """Event-sourced graph state: live adjacency + CSR + change window.
+
+    ``apply`` consumes one :class:`~repro.graph.dynamic.EdgeEvent` and
+    keeps three structures coherent: the mutable :class:`Graph` (the
+    source of truth the engine snapshots from), the
+    :class:`IncrementalCSR` mirror (frozen per flush without full
+    reconstruction), and the :class:`ChangeAccumulator` for the current
+    flush window. A running non-unit-weight counter stands in for the
+    O(E) ``Graph.is_unweighted`` scan when auto-detecting the weighted
+    change formula.
+    """
+
+    __slots__ = (
+        "graph",
+        "csr",
+        "accumulator",
+        "_num_nonunit",
+        "_num_edges",
+        "events_applied",
+        "window_events",
+    )
+
+    def __init__(self) -> None:
+        self.graph = Graph()
+        self.csr = IncrementalCSR()
+        self.accumulator = ChangeAccumulator()
+        self._num_nonunit = 0
+        self._num_edges = 0
+        self.events_applied = 0
+        self.window_events = 0
+
+    # ------------------------------------------------------------------
+    def apply(self, event: EdgeEvent) -> None:
+        """Apply one add/remove event to all mirrored structures."""
+        u, v = event.u, event.v
+        present = self.graph.has_edge(u, v)
+        before = self.graph.edge_weight(u, v) if present else 0.0
+        if event.kind == "add":
+            self.accumulator.record(u, v, present, before)
+            weight = event.weight
+            if present and _is_nonunit(before):
+                self._num_nonunit -= 1
+            if _is_nonunit(weight):
+                self._num_nonunit += 1
+            if not present:
+                self._num_edges += 1
+            self.graph.add_edge(u, v, weight)
+            self.csr.add_edge(u, v, weight)
+        elif present:
+            # No-op removes (absent edge) record no baseline: they touch
+            # nothing, and counting them would fire spurious change-trigger
+            # flushes on feeds with duplicate/late removes.
+            self.accumulator.record(u, v, present, before)
+            self.graph.remove_edge(u, v)
+            self.csr.discard_edge(u, v)
+            if _is_nonunit(before):
+                self._num_nonunit -= 1
+            self._num_edges -= 1
+        self.events_applied += 1
+        self.window_events += 1
+
+    def apply_many(self, events) -> None:
+        """Apply a micro-batch of events in order."""
+        for event in events:
+            self.apply(event)
+
+    # ------------------------------------------------------------------
+    @property
+    def has_nonunit_weights(self) -> bool:
+        """True when any live edge carries a weight other than 1.0."""
+        return self._num_nonunit > 0
+
+    @property
+    def num_edges(self) -> int:
+        """Live undirected edge count, maintained in O(1) per event."""
+        return self._num_edges
+
+    @property
+    def num_touched_edges(self) -> int:
+        return self.accumulator.num_touched_edges
+
+    def snapshot_view(self, restrict_to_lcc: bool = False) -> Graph:
+        """The current graph (live object — do not mutate), or its LCC."""
+        if restrict_to_lcc:
+            return largest_connected_component(self.graph)
+        return self.graph
+
+    def window_node_changes(self, weighted: bool) -> dict[Node, float]:
+        """Eq. (3) per-node changes accumulated over the open window."""
+        return self.accumulator.node_changes(self.graph, weighted)
+
+    def reset_window(self) -> None:
+        """Close the flush window: clear baselines and the event counter."""
+        self.accumulator.clear()
+        self.window_events = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IncrementalGraphState(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, "
+            f"window_events={self.window_events})"
+        )

@@ -90,7 +90,51 @@ def _step_uniform(csr: CSRAdjacency, walks: np.ndarray, rng: np.random.Generator
 
 
 def _step_weighted(csr: CSRAdjacency, walks: np.ndarray, rng: np.random.Generator) -> None:
-    """Inverse-CDF stepping via per-row cumulative weights (Eq. 5)."""
+    """Inverse-CDF stepping via a single global binary search (Eq. 5).
+
+    The zero-prefixed global cumsum of CSR weights is non-decreasing over
+    the whole array, so a walker at node ``i`` drawing ``r ∈ [0, 1)`` maps
+    to the target mass ``gcum[indptr[i]] + r·row_total`` and *one*
+    ``searchsorted`` over the global array resolves every walker at once —
+    no per-walker Python loop, making weighted stepping throughput
+    comparable to the uniform path.
+    """
+    indptr = csr.indptr
+    indices = csr.indices
+    gcum = csr.global_cumulative_weights()
+    degrees = csr.degrees
+    walk_length = walks.shape[1]
+
+    alive = np.arange(walks.shape[0])
+    for step in range(1, walk_length):
+        current = walks[alive, step - 1]
+        deg = degrees[current]
+        movable = deg > 0
+        alive = alive[movable]
+        if alive.size == 0:
+            return
+        current = current[movable]
+        starts = indptr[current]
+        ends = indptr[current + 1]
+        base = gcum[starts]
+        totals = gcum[ends] - base
+        draws = rng.random(current.size) * totals
+        chosen = np.searchsorted(gcum, base + draws, side="right") - 1
+        # Guard against float round-off escaping the walker's own row.
+        np.clip(chosen, starts, ends - 1, out=chosen)
+        walks[alive, step] = indices[chosen]
+
+
+def _step_weighted_loop(
+    csr: CSRAdjacency, walks: np.ndarray, rng: np.random.Generator
+) -> None:
+    """Reference per-walker inverse-CDF stepping (pre-vectorisation).
+
+    Kept as the equivalence/benchmark baseline for :func:`_step_weighted`:
+    row-local cumulative weights, one Python ``searchsorted`` per walker
+    per step. Semantically identical to the vectorised path up to float
+    round-off at bin boundaries.
+    """
     indptr = csr.indptr
     indices = csr.indices
     cumulative = csr.cumulative_weights()
@@ -110,11 +154,6 @@ def _step_weighted(csr: CSRAdjacency, walks: np.ndarray, rng: np.random.Generato
         ends = indptr[current + 1]
         totals = cumulative[ends - 1]
         draws = rng.random(current.size) * totals
-        # Per-row searchsorted: rows are short (node degree), so a Python
-        # loop over walkers would dominate; instead exploit that cumulative
-        # is globally non-decreasing *within* rows and binary-search each
-        # row slice. Vectorise by searching the global array restricted via
-        # side='right' on (row base + draw).
         chosen = np.empty(current.size, dtype=np.int64)
         for i in range(current.size):
             s, e = starts[i], ends[i]

@@ -42,6 +42,7 @@ def test_bench_suite_is_complete():
         "bench_fig6_alpha_tradeoff",
         "bench_datasets_overview",
         "bench_ablation_reservoir",
+        "bench_streaming_throughput",
     }
     assert expected <= names
 

@@ -73,6 +73,33 @@ class TestEvaluate:
         assert "no labels" in capsys.readouterr().out
 
 
+class TestStream:
+    def test_stream_runs_with_event_trigger(self, capsys):
+        code = main(
+            [
+                "stream", "--dataset", "elec-sim", "--scale", "0.25",
+                "--snapshots", "4", "--dim", "8", "--flush-events", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed elec-sim" in out
+        assert "events/sec" in out
+
+    def test_stream_manual_flush_only(self, capsys):
+        # --flush-events 0 disables the trigger: one final manual flush.
+        code = main(
+            [
+                "stream", "--dataset", "elec-sim", "--scale", "0.25",
+                "--snapshots", "4", "--dim", "8", "--flush-events", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 flushes" in out
+        assert "manual" in out
+
+
 class TestAnalyze:
     def test_analyze_runs(self, capsys):
         code = main(

@@ -1,0 +1,354 @@
+"""Golden regression tests for the streaming engine.
+
+The load-bearing guarantee: :class:`StreamingGloDyNE` with one flush per
+snapshot window reproduces snapshot-mode :class:`GloDyNE` *bit for bit*
+under a fixed seed — same embeddings, same ``StepTrace`` diagnostics.
+Plus flush-policy behaviour, LCC mode, weighted auto-detection, and the
+event-stream helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DynamicNetwork, GloDyNE, StreamingGloDyNE
+from repro.datasets import interaction_stream
+from repro.graph import EdgeEvent
+from repro.streaming import (
+    FlushPolicy,
+    network_to_events,
+    split_stream_at_cutoffs,
+)
+
+MODEL_KWARGS = dict(
+    dim=8, alpha=0.2, num_walks=2, walk_length=8, window_size=2, epochs=1
+)
+
+
+def small_stream(seed: int = 11, steps: int = 5):
+    events = interaction_stream(
+        num_nodes=60,
+        num_steps=steps,
+        num_communities=3,
+        events_per_step=30,
+        seed=seed,
+    )
+    cutoffs = [float(t) for t in range(steps)]
+    return events, cutoffs
+
+
+def run_snapshot_mode(network: DynamicNetwork, seed: int):
+    model = GloDyNE(seed=seed, **MODEL_KWARGS)
+    embeddings = []
+    traces = []
+    for snapshot in network:
+        embeddings.append(model.update(snapshot))
+        traces.append(model.last_trace)
+    return embeddings, traces
+
+
+def run_streaming_mode(events, cutoffs, seed: int, **engine_kwargs):
+    engine = StreamingGloDyNE(seed=seed, **MODEL_KWARGS, **engine_kwargs)
+    embeddings = []
+    traces = []
+    for window in split_stream_at_cutoffs(events, cutoffs):
+        engine.ingest_many(window)
+        result = engine.flush()
+        embeddings.append(result.embeddings)
+        traces.append(result.trace)
+    return embeddings, traces, engine
+
+
+def assert_embeddings_bit_identical(per_step_a, per_step_b):
+    assert len(per_step_a) == len(per_step_b)
+    for step_a, step_b in zip(per_step_a, per_step_b):
+        assert set(step_a) == set(step_b)
+        for node, vector in step_a.items():
+            assert np.array_equal(vector, step_b[node]), (
+                f"embedding for node {node!r} differs"
+            )
+
+
+class TestGoldenEquivalence:
+    def test_flush_per_snapshot_is_bit_identical(self):
+        events, cutoffs = small_stream()
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=False
+        )
+        snap_embeddings, snap_traces = run_snapshot_mode(network, seed=7)
+        stream_embeddings, stream_traces, engine = run_streaming_mode(
+            events, cutoffs, seed=7
+        )
+        assert_embeddings_bit_identical(snap_embeddings, stream_embeddings)
+        for snap_trace, stream_trace in zip(snap_traces, stream_traces):
+            assert snap_trace.time_step == stream_trace.time_step
+            assert snap_trace.num_nodes == stream_trace.num_nodes
+            assert snap_trace.num_selected == stream_trace.num_selected
+            assert snap_trace.num_pairs == stream_trace.num_pairs
+            assert snap_trace.selected_nodes == stream_trace.selected_nodes
+        assert engine.num_flushes == len(cutoffs)
+
+    def test_bit_identity_across_seeds(self):
+        events, cutoffs = small_stream(seed=23, steps=4)
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=False
+        )
+        for seed in (0, 3):
+            snap_embeddings, _ = run_snapshot_mode(network, seed=seed)
+            stream_embeddings, _, _ = run_streaming_mode(events, cutoffs, seed=seed)
+            assert_embeddings_bit_identical(snap_embeddings, stream_embeddings)
+
+    def test_step_trace_golden_values(self):
+        """Pinned StepTrace fields for a fixed seed — any refactor of the
+        walk/selection/corpus layers that shifts these is a behaviour
+        change, not a cleanup."""
+        events, cutoffs = small_stream()
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=False
+        )
+        _, traces = run_snapshot_mode(network, seed=7)
+        golden = [
+            (0, 42, 42, 2184),
+            (1, 44, 9, 468),
+            (2, 46, 9, 468),
+            (3, 48, 10, 520),
+            (4, 50, 10, 520),
+        ]
+        observed = [
+            (t.time_step, t.num_nodes, t.num_selected, t.num_pairs)
+            for t in traces
+        ]
+        assert observed == golden
+
+    def test_lcc_mode_matches_lcc_snapshot_pipeline(self):
+        events, cutoffs = small_stream(seed=5, steps=4)
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=True
+        )
+        snap_embeddings, _ = run_snapshot_mode(network, seed=1)
+        stream_embeddings, _, _ = run_streaming_mode(
+            events, cutoffs, seed=1, restrict_to_lcc=True
+        )
+        assert_embeddings_bit_identical(snap_embeddings, stream_embeddings)
+
+    def test_weighted_stream_matches_snapshot_mode(self):
+        """Weighted auto-detection on the incremental path agrees with the
+        snapshot path's is_unweighted() scan."""
+        rng = np.random.default_rng(2)
+        events = []
+        for i in range(240):
+            u, v = int(rng.integers(0, 25)), int(rng.integers(0, 25))
+            if u != v:
+                events.append(
+                    EdgeEvent(u, v, float(i), weight=float(rng.uniform(0.5, 2.5)))
+                )
+        cutoffs = [59.0, 119.0, 179.0, 239.0]
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=False
+        )
+        snap_embeddings, _ = run_snapshot_mode(network, seed=4)
+        stream_embeddings, _, _ = run_streaming_mode(events, cutoffs, seed=4)
+        assert_embeddings_bit_identical(snap_embeddings, stream_embeddings)
+
+
+class TestFlushPolicies:
+    def _events(self, count: int = 50):
+        rng = np.random.default_rng(0)
+        events = []
+        for i in range(count):
+            u, v = int(rng.integers(0, 12)), int(rng.integers(0, 12))
+            if u == v:
+                v = (v + 1) % 12
+            events.append(EdgeEvent(u, v, float(i)))
+        return events
+
+    def test_event_count_trigger(self):
+        engine = StreamingGloDyNE(
+            seed=0, policy=FlushPolicy(max_events=10), **MODEL_KWARGS
+        )
+        results = engine.ingest_many(self._events(35))
+        assert len(results) == 3
+        assert all(r.trigger == "events" for r in results)
+        assert all(r.num_events == 10 for r in results)
+        assert engine.pending_events == 5
+
+    def test_touched_edges_trigger_ignores_rewrites(self):
+        engine = StreamingGloDyNE(
+            seed=0, policy=FlushPolicy(max_touched_edges=3), **MODEL_KWARGS
+        )
+        # Re-adding the same edge repeatedly touches one edge only.
+        for i in range(5):
+            assert engine.ingest(EdgeEvent(0, 1, float(i))) is None
+        assert engine.ingest(EdgeEvent(1, 2, 5.0)) is None
+        result = engine.ingest(EdgeEvent(2, 3, 6.0))
+        assert result is not None and result.trigger == "change"
+
+    def test_wall_clock_trigger(self):
+        engine = StreamingGloDyNE(
+            seed=0, policy=FlushPolicy(max_seconds=1e-9), **MODEL_KWARGS
+        )
+        result = engine.ingest(EdgeEvent(0, 1, 0.0))
+        assert result is not None and result.trigger == "seconds"
+
+    def test_manual_policy_never_autoflushes(self):
+        engine = StreamingGloDyNE(seed=0, **MODEL_KWARGS)
+        results = engine.ingest_many(self._events(50))
+        assert results == []
+        result = engine.flush()
+        assert result.trigger == "manual"
+        assert result.num_events == 50
+        assert engine.embeddings is result.embeddings
+
+    def test_flush_result_observability_fields(self):
+        engine = StreamingGloDyNE(seed=0, **MODEL_KWARGS)
+        engine.ingest_many(self._events(30))
+        result = engine.flush()
+        assert result.time_step == 0
+        assert result.num_nodes == engine.state.graph.number_of_nodes()
+        assert result.num_edges == engine.state.graph.number_of_edges()
+        assert result.seconds > 0
+        assert result.trace.num_selected > 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FlushPolicy(max_events=0)
+        with pytest.raises(ValueError):
+            FlushPolicy(max_seconds=0.0)
+        with pytest.raises(ValueError):
+            FlushPolicy(max_touched_edges=0)
+
+    def test_flush_before_any_event_raises(self):
+        engine = StreamingGloDyNE(seed=0, **MODEL_KWARGS)
+        with pytest.raises(ValueError):
+            engine.flush()
+
+    def test_model_and_overrides_are_exclusive(self):
+        model = GloDyNE(seed=0, **MODEL_KWARGS)
+        with pytest.raises(ValueError):
+            StreamingGloDyNE(model, dim=16)
+        with pytest.raises(ValueError):
+            StreamingGloDyNE(model, seed=3)
+
+    def test_stream_opening_with_noop_removes_does_not_crash(self):
+        """A stream may open with removes of edges that never existed;
+        no trigger may fire while the graph is still empty."""
+        engine = StreamingGloDyNE(
+            seed=0, policy=FlushPolicy(max_events=2), **MODEL_KWARGS
+        )
+        for i in range(4):
+            assert engine.ingest(EdgeEvent(0, i + 1, float(i), kind="remove")) is None
+        result = engine.ingest(EdgeEvent(0, 1, 10.0))
+        assert result is not None  # first real edge: graph non-empty, fires
+        assert result.num_nodes == 2
+
+    def test_wall_clock_window_ages_from_first_event(self):
+        """An idle engine must not flush a degenerate one-event window
+        just because it was constructed long before the event arrived."""
+        engine = StreamingGloDyNE(
+            seed=0, policy=FlushPolicy(max_seconds=30.0), **MODEL_KWARGS
+        )
+        engine._window_opened -= 3600.0  # pretend construction was an hour ago
+        assert engine.ingest(EdgeEvent(0, 1, 0.0)) is None
+
+    def test_noop_remove_does_not_count_as_change(self):
+        """Removes of absent edges must not inflate the change trigger."""
+        engine = StreamingGloDyNE(
+            seed=0, policy=FlushPolicy(max_touched_edges=2), **MODEL_KWARGS
+        )
+        assert engine.ingest(EdgeEvent(1, 2, 0.0)) is None
+        # Duplicate/late removes of edges that never existed: no-ops.
+        for i in range(5):
+            assert engine.ingest(EdgeEvent(7, 8 + i, float(i), kind="remove")) is None
+        assert engine.state.num_touched_edges == 1
+        result = engine.ingest(EdgeEvent(2, 3, 9.0))
+        assert result is not None and result.trigger == "change"
+
+    def test_warm_model_handoff_matches_snapshot_mode(self):
+        """Handing a pre-warmed model to the engine must not corrupt the
+        first flush's change counts: the engine falls back to the model's
+        own diff for that flush."""
+        events, cutoffs = small_stream(seed=31, steps=4)
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=False
+        )
+        reference = GloDyNE(seed=9, **MODEL_KWARGS)
+        expected = [reference.update(snapshot) for snapshot in network]
+
+        warm = GloDyNE(seed=9, **MODEL_KWARGS)
+        warm.update(network[0])
+        engine = StreamingGloDyNE(warm)
+        windows = split_stream_at_cutoffs(events, cutoffs)
+        observed = [expected[0]]
+        # Replay the full history so the engine's state reaches network[0]
+        # silently, then flush once per remaining window.
+        engine.ingest_many(windows[0])
+        for window in windows[1:]:
+            engine.ingest_many(window)
+            observed.append(engine.flush().embeddings)
+        assert_embeddings_bit_identical(expected, observed)
+
+    def test_tuple_events_accepted(self):
+        engine = StreamingGloDyNE(seed=0, **MODEL_KWARGS)
+        engine.ingest((0, 1, 0.0))
+        engine.ingest_many([(1, 2, 1.0), (2, 0, 2.0)])
+        result = engine.flush()
+        assert result.num_nodes == 3
+
+
+class TestEventHelpers:
+    def test_network_round_trips_through_events(self):
+        events, cutoffs = small_stream(seed=9, steps=4)
+        network = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=False
+        )
+        replayed = DynamicNetwork.from_edge_stream(
+            network_to_events(network),
+            [float(t) for t in range(len(network))],
+            restrict_to_lcc=False,
+        )
+        assert len(replayed) == len(network)
+        for original, rebuilt in zip(network, replayed):
+            assert original.node_set() == rebuilt.node_set()
+            assert original.edge_set() == rebuilt.edge_set()
+
+    def test_network_to_events_covers_removals(self, churn_network):
+        events = network_to_events(churn_network)
+        assert any(e.kind == "remove" for e in events)
+        replayed = DynamicNetwork.from_edge_stream(
+            events,
+            [float(t) for t in range(len(churn_network))],
+            restrict_to_lcc=False,
+        )
+        for original, rebuilt in zip(churn_network, replayed):
+            assert original.edge_set() == rebuilt.edge_set()
+            # Documented ghost-node semantics: an edge stream cannot
+            # remove node identities, so replayed node sets may be a
+            # superset of the original's — never a subset.
+            assert original.node_set() <= rebuilt.node_set()
+
+    def test_network_to_events_emits_weight_only_changes(self):
+        from repro.graph import Graph
+
+        g0 = Graph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        g1 = Graph.from_edges([(0, 1, 5.0), (1, 2, 1.0), (2, 3, 2.0)])
+        network = DynamicNetwork([g0, g1])
+        replayed = DynamicNetwork.from_edge_stream(
+            network_to_events(network), [0.0, 1.0], restrict_to_lcc=False
+        )
+        assert replayed[1].edge_weight(0, 1) == 5.0
+        assert replayed[1].edge_weight(2, 3) == 2.0
+        assert replayed[0].edge_weight(0, 1) == 1.0
+
+    def test_split_stream_matches_from_edge_stream_windows(self):
+        events, cutoffs = small_stream(seed=13, steps=4)
+        windows = split_stream_at_cutoffs(events, cutoffs)
+        assert sum(len(w) for w in windows) <= len(events)
+        flat = [e for window in windows for e in window]
+        assert flat == sorted(flat, key=lambda e: e.time)
+        for window, cutoff in zip(windows, cutoffs):
+            assert all(e.time <= cutoff for e in window)
+
+    def test_split_stream_rejects_bad_cutoffs(self):
+        with pytest.raises(ValueError):
+            split_stream_at_cutoffs([EdgeEvent(0, 1, 0.0)], [2.0, 1.0])

@@ -1,0 +1,211 @@
+"""Property-based tests for the incremental graph state.
+
+The contract under test: replaying *any* add/remove event stream through
+:class:`repro.streaming.IncrementalGraphState` must be indistinguishable
+from batch construction — same :class:`Graph`, byte-identical CSR arrays
+versus ``CSRAdjacency.from_graph``, same LCC restriction, and window
+change counts equal to ``diff_snapshots`` / ``weighted_node_changes`` on
+the materialised snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeEvent, Graph, diff_snapshots, weighted_node_changes
+from repro.graph.components import largest_connected_component
+from repro.graph.csr import CSRAdjacency
+from repro.streaming import IncrementalCSR, IncrementalGraphState
+
+
+# Event-stream strategy: ops over a small node universe so that add,
+# re-add (weight overwrite), remove, and remove-of-absent all occur.
+def _event_ops(max_node: int = 8, max_len: int = 120):
+    op = st.tuples(
+        st.integers(min_value=0, max_value=max_node),
+        st.integers(min_value=0, max_value=max_node),
+        st.booleans(),  # True = add, False = remove
+        st.floats(min_value=0.5, max_value=3.0, allow_nan=False),
+    )
+    return st.lists(op, min_size=1, max_size=max_len)
+
+
+def _replay(ops) -> tuple[IncrementalGraphState, Graph]:
+    """Apply the same op list through both the incremental and batch path."""
+    state = IncrementalGraphState()
+    batch = Graph()
+    for t, (u, v, is_add, weight) in enumerate(ops):
+        kind = "add" if is_add else "remove"
+        state.apply(EdgeEvent(u, v, float(t), kind=kind, weight=weight))
+        if is_add:
+            batch.add_edge(u, v, weight)
+        else:
+            batch.discard_edge(u, v)
+    return state, batch
+
+
+def _assert_graphs_identical(actual: Graph, expected: Graph) -> None:
+    assert list(actual.nodes()) == list(expected.nodes())
+    assert actual.edge_set() == expected.edge_set()
+    for u, v, w in expected.weighted_edges():
+        assert actual.edge_weight(u, v) == w
+
+
+def _assert_csr_identical(actual: CSRAdjacency, expected: CSRAdjacency) -> None:
+    assert actual.nodes == expected.nodes
+    assert np.array_equal(actual.indptr, expected.indptr)
+    assert np.array_equal(actual.indices, expected.indices)
+    assert np.array_equal(actual.weights, expected.weights)
+
+
+class TestReplayEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_event_ops())
+    def test_graph_matches_batch_construction(self, ops):
+        state, batch = _replay(ops)
+        _assert_graphs_identical(state.graph, batch)
+        assert state.num_edges == batch.number_of_edges()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_event_ops())
+    def test_incremental_csr_matches_from_graph(self, ops):
+        state, batch = _replay(ops)
+        _assert_csr_identical(state.csr.to_csr(), CSRAdjacency.from_graph(batch))
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_event_ops())
+    def test_lcc_restriction_matches_batch(self, ops):
+        state, batch = _replay(ops)
+        actual = state.snapshot_view(restrict_to_lcc=True)
+        expected = largest_connected_component(batch)
+        _assert_graphs_identical(actual, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_event_ops(), seed=st.integers(min_value=0, max_value=1000))
+    def test_shuffled_stream_same_final_graph_content(self, ops, seed):
+        """Shuffling events (with times preserved per op) changes only
+        ordering metadata, never the surviving edge *content* — as long
+        as the shuffle is replayed identically through both paths."""
+        rng = np.random.default_rng(seed)
+        shuffled = [ops[i] for i in rng.permutation(len(ops))]
+        state, batch = _replay(shuffled)
+        _assert_graphs_identical(state.graph, batch)
+        _assert_csr_identical(state.csr.to_csr(), CSRAdjacency.from_graph(batch))
+
+
+class TestWindowChanges:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_event_ops(), split=st.integers(min_value=0, max_value=120))
+    def test_unweighted_changes_match_diff_snapshots(self, ops, split):
+        """Changes accumulated over a window equal the full-graph diff of
+        the window-boundary snapshots."""
+        split = min(split, len(ops))
+        state, _ = _replay(ops[:split])
+        before = state.graph.copy()
+        state.reset_window()
+        for t, (u, v, is_add, weight) in enumerate(ops[split:]):
+            kind = "add" if is_add else "remove"
+            state.apply(EdgeEvent(u, v, float(t), kind=kind, weight=weight))
+        expected = diff_snapshots(before, state.graph).node_changes
+        actual = state.window_node_changes(weighted=False)
+        assert {n: int(c) for n, c in actual.items()} == dict(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_event_ops(), split=st.integers(min_value=0, max_value=120))
+    def test_weighted_changes_match_footnote3(self, ops, split):
+        split = min(split, len(ops))
+        state, _ = _replay(ops[:split])
+        before = state.graph.copy()
+        state.reset_window()
+        for t, (u, v, is_add, weight) in enumerate(ops[split:]):
+            kind = "add" if is_add else "remove"
+            state.apply(EdgeEvent(u, v, float(t), kind=kind, weight=weight))
+        expected = weighted_node_changes(before, state.graph)
+        actual = state.window_node_changes(weighted=True)
+        assert set(actual) == set(expected)
+        for node, value in expected.items():
+            assert actual[node] == pytest.approx(value)
+
+    def test_add_then_remove_cancels_inside_window(self):
+        state = IncrementalGraphState()
+        state.apply(EdgeEvent(0, 1, 0.0))
+        state.reset_window()
+        state.apply(EdgeEvent(1, 2, 1.0))
+        state.apply(EdgeEvent(1, 2, 2.0, kind="remove"))
+        assert state.window_node_changes(weighted=False) == {}
+        assert state.window_node_changes(weighted=True) == {}
+
+
+class TestIncrementalCSRInternals:
+    def test_row_overflow_relocation_preserves_order(self):
+        csr = IncrementalCSR(initial_pool=16)
+        for v in range(1, 12):  # force several row relocations for node 0
+            csr.add_edge(0, v)
+        frozen = csr.to_csr()
+        hub = frozen.index_of[0]
+        row = frozen.indices[frozen.indptr[hub]: frozen.indptr[hub + 1]]
+        assert [frozen.nodes[i] for i in row] == list(range(1, 12))
+
+    def test_remove_then_readd_moves_neighbor_to_row_end(self):
+        csr = IncrementalCSR()
+        graph = Graph()
+        for v in (1, 2, 3):
+            csr.add_edge(0, v)
+            graph.add_edge(0, v)
+        csr.discard_edge(0, 2)
+        graph.discard_edge(0, 2)
+        csr.add_edge(0, 2)
+        graph.add_edge(0, 2)
+        _assert_csr_identical(csr.to_csr(), CSRAdjacency.from_graph(graph))
+
+    def test_discard_absent_edge_is_noop(self):
+        csr = IncrementalCSR()
+        csr.add_edge(0, 1)
+        assert not csr.discard_edge(0, 2)
+        assert not csr.discard_edge(5, 6)
+        assert csr.num_entries == 2
+
+    def test_self_loop_stored_once(self):
+        csr = IncrementalCSR()
+        graph = Graph()
+        csr.add_edge(0, 0)
+        graph.add_edge(0, 0)
+        csr.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        _assert_csr_identical(csr.to_csr(), CSRAdjacency.from_graph(graph))
+
+
+class TestStateBookkeeping:
+    def test_nonunit_weight_counter(self):
+        state = IncrementalGraphState()
+        assert not state.has_nonunit_weights
+        state.apply(EdgeEvent(0, 1, 0.0, weight=2.0))
+        assert state.has_nonunit_weights
+        state.apply(EdgeEvent(0, 1, 1.0, weight=1.0))  # overwrite back to unit
+        assert not state.has_nonunit_weights
+        state.apply(EdgeEvent(1, 2, 2.0, weight=0.5))
+        state.apply(EdgeEvent(1, 2, 3.0, kind="remove"))
+        assert not state.has_nonunit_weights
+
+    def test_near_unit_weight_matches_snapshot_tolerance(self):
+        """Weights within Graph.is_unweighted's 1e-12 tolerance must not
+        flip the weighted-change auto-detection (bit-identity guarantee)."""
+        state = IncrementalGraphState()
+        state.apply(EdgeEvent(0, 1, 0.0, weight=1.0 + 1e-13))
+        assert not state.has_nonunit_weights
+        assert state.graph.is_unweighted()
+
+    def test_window_counters(self):
+        state = IncrementalGraphState()
+        state.apply(EdgeEvent(0, 1, 0.0))
+        state.apply(EdgeEvent(0, 1, 1.0, weight=2.0))
+        state.apply(EdgeEvent(2, 3, 2.0))
+        assert state.window_events == 3
+        assert state.num_touched_edges == 2  # (0,1) touched twice
+        state.reset_window()
+        assert state.window_events == 0
+        assert state.num_touched_edges == 0
+        assert state.events_applied == 3

@@ -1,0 +1,155 @@
+"""Equivalence tests for the vectorised weighted walk stepping.
+
+``_step_weighted`` replaced a per-walker Python ``searchsorted`` loop
+with one global-offset binary search. These tests pin its semantics:
+transition frequencies must track edge-weight proportions, the looped
+reference (``_step_weighted_loop``) must agree distributionally, and on
+uniform-weight graphs the weighted path must match the uniform path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRAdjacency
+from repro.graph.static import Graph
+from repro.walks.random_walk import (
+    TRUNCATED,
+    _step_uniform,
+    _step_weighted,
+    _step_weighted_loop,
+    simulate_walks,
+)
+
+
+def star_csr(weights: dict[int, float]) -> CSRAdjacency:
+    """Hub node 0 connected to leaves with the given weights."""
+    graph = Graph()
+    for leaf, weight in weights.items():
+        graph.add_edge(0, leaf, weight)
+    return CSRAdjacency.from_graph(graph)
+
+
+def transition_frequencies(
+    csr: CSRAdjacency, stepper, num_walks: int, seed: int
+) -> dict[int, float]:
+    """Empirical first-step distribution out of node 0 under ``stepper``."""
+    walks = np.full((num_walks, 2), TRUNCATED, dtype=np.int64)
+    walks[:, 0] = csr.index_of[0]
+    stepper(csr, walks, np.random.default_rng(seed))
+    destinations = walks[:, 1]
+    assert (destinations != TRUNCATED).all()
+    total = destinations.size
+    return {
+        csr.nodes[idx]: count / total
+        for idx, count in zip(*np.unique(destinations, return_counts=True))
+    }
+
+
+class TestWeightProportions:
+    def test_frequencies_match_weight_proportions(self):
+        weights = {1: 1.0, 2: 2.0, 3: 4.0, 4: 8.0}
+        csr = star_csr(weights)
+        assert not csr.is_uniform
+        freqs = transition_frequencies(csr, _step_weighted, 40_000, seed=0)
+        total = sum(weights.values())
+        for leaf, weight in weights.items():
+            assert freqs[leaf] == pytest.approx(weight / total, abs=0.01)
+
+    def test_extreme_weight_ratio(self):
+        csr = star_csr({1: 1e-6, 2: 1.0})
+        freqs = transition_frequencies(csr, _step_weighted, 20_000, seed=1)
+        assert freqs[2] == pytest.approx(1.0, abs=0.01)
+        assert freqs.get(1, 0.0) < 0.01
+
+    def test_loop_reference_matches_weight_proportions(self):
+        weights = {1: 3.0, 2: 1.0, 3: 6.0}
+        csr = star_csr(weights)
+        freqs = transition_frequencies(csr, _step_weighted_loop, 30_000, seed=2)
+        total = sum(weights.values())
+        for leaf, weight in weights.items():
+            assert freqs[leaf] == pytest.approx(weight / total, abs=0.015)
+
+    def test_vectorized_and_loop_agree_distributionally(self):
+        weights = {1: 0.5, 2: 2.5, 3: 1.0, 4: 4.0, 5: 2.0}
+        csr = star_csr(weights)
+        vec = transition_frequencies(csr, _step_weighted, 30_000, seed=3)
+        loop = transition_frequencies(csr, _step_weighted_loop, 30_000, seed=4)
+        for leaf in weights:
+            assert vec[leaf] == pytest.approx(loop[leaf], abs=0.015)
+
+
+class TestUniformEquivalence:
+    def test_uniform_weights_match_uniform_path(self):
+        """On a uniform-weight CSR the weighted code path must reproduce
+        the uniform path's distribution."""
+        graph = Graph()
+        for leaf in range(1, 6):
+            graph.add_edge(0, leaf, 1.0)
+        csr = CSRAdjacency.from_graph(graph)
+        weighted = transition_frequencies(csr, _step_weighted, 50_000, seed=5)
+        uniform = transition_frequencies(csr, _step_uniform, 50_000, seed=6)
+        for leaf in range(1, 6):
+            assert weighted[leaf] == pytest.approx(0.2, abs=0.01)
+            assert weighted[leaf] == pytest.approx(uniform[leaf], abs=0.012)
+
+    def test_uniform_nonunit_weights_still_uniform(self):
+        """All-equal weights != 1.0 must also step uniformly."""
+        graph = Graph()
+        for leaf in range(1, 5):
+            graph.add_edge(0, leaf, 7.5)
+        csr = CSRAdjacency.from_graph(graph)
+        freqs = transition_frequencies(csr, _step_weighted, 40_000, seed=7)
+        for leaf in range(1, 5):
+            assert freqs[leaf] == pytest.approx(0.25, abs=0.01)
+
+
+class TestWalkMechanics:
+    def test_weighted_walks_stay_on_graph_edges(self):
+        rng = np.random.default_rng(8)
+        graph = Graph()
+        for _ in range(60):
+            u, v = rng.integers(0, 20, size=2)
+            if u != v:
+                graph.add_edge(int(u), int(v), float(rng.uniform(0.5, 3.0)))
+        csr = CSRAdjacency.from_graph(graph)
+        walks = simulate_walks(
+            csr, np.arange(csr.num_nodes), num_walks=2, walk_length=12, rng=rng
+        )
+        for row in walks:
+            live = row[row != TRUNCATED]
+            for a, b in zip(live, live[1:]):
+                assert graph.has_edge(csr.nodes[int(a)], csr.nodes[int(b)])
+
+    def test_truncation_at_isolated_node(self):
+        """A degree-0 start truncates immediately under the weighted path."""
+        graph = Graph()
+        graph.add_edge(0, 1, 2.0)
+        graph.add_node(2)  # isolated
+        csr = CSRAdjacency.from_graph(graph)
+        walks = np.full((2, 4), TRUNCATED, dtype=np.int64)
+        walks[0, 0] = csr.index_of[2]
+        walks[1, 0] = csr.index_of[0]
+        _step_weighted(csr, walks, np.random.default_rng(9))
+        assert (walks[0, 1:] == TRUNCATED).all()
+        assert (walks[1, 1:] != TRUNCATED).all()
+
+    def test_chosen_index_never_escapes_row(self):
+        """Stress float round-off: many steps on a weighted graph never
+        produce a neighbour outside the current node's row."""
+        rng = np.random.default_rng(10)
+        graph = Graph()
+        for u in range(30):
+            for _ in range(3):
+                v = int(rng.integers(0, 30))
+                if u != v:
+                    graph.add_edge(u, v, float(rng.uniform(1e-4, 1e4)))
+        csr = CSRAdjacency.from_graph(graph)
+        walks = simulate_walks(
+            csr, np.arange(csr.num_nodes), num_walks=4, walk_length=30, rng=rng
+        )
+        for row in walks:
+            live = row[row != TRUNCATED]
+            for a, b in zip(live, live[1:]):
+                assert int(b) in set(csr.neighbors(int(a)))
