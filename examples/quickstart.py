@@ -10,10 +10,13 @@ Runs in a few seconds. Demonstrates the three core public APIs:
 
 Usage::
 
-    python examples/quickstart.py
+    python examples/quickstart.py          # a few seconds
+    python examples/quickstart.py --tiny   # CI smoke: <1s inputs
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -26,9 +29,15 @@ from repro.tasks import (
 
 
 def main() -> None:
+    tiny = "--tiny" in sys.argv[1:]
     # A simulated Wikipedia-election-style interaction network: ~200
     # nodes, 10 daily snapshots, bursty community-local edge additions.
-    network = load_dataset("elec-sim", scale=0.6, seed=42, snapshots=10)
+    network = load_dataset(
+        "elec-sim",
+        scale=0.25 if tiny else 0.6,
+        seed=42,
+        snapshots=4 if tiny else 10,
+    )
     print(f"dataset: {network.name}")
     print(f"  snapshots      : {network.num_snapshots}")
     print(f"  final nodes    : {network[-1].number_of_nodes()}")

@@ -13,11 +13,13 @@ full-graph diffing, and per-flush latency as a first-class metric.
 
 Usage::
 
-    python examples/streaming_updates.py
+    python examples/streaming_updates.py          # a minute or so
+    python examples/streaming_updates.py --tiny   # CI smoke: seconds
 """
 
 from __future__ import annotations
 
+import sys
 import time
 
 from repro import FlushPolicy, GloDyNE, StreamingGloDyNE, load_dataset
@@ -26,8 +28,18 @@ from repro.streaming import network_to_events
 from repro.tasks import mean_precision_at_k
 
 
+def _load_network():
+    tiny = "--tiny" in sys.argv[1:]
+    return load_dataset(
+        "fbw-sim",
+        scale=0.2 if tiny else 0.6,
+        seed=5,
+        snapshots=4 if tiny else 10,
+    )
+
+
 def snapshot_mode() -> None:
-    network = load_dataset("fbw-sim", scale=0.6, seed=5, snapshots=10)
+    network = _load_network()
     model = GloDyNE(
         dim=32, alpha=0.1, num_walks=5, walk_length=20, window_size=5,
         epochs=2, seed=0,
@@ -69,7 +81,7 @@ def snapshot_mode() -> None:
 def event_mode() -> None:
     # Re-express the same dataset as a raw edge-event stream and let the
     # engine decide when to refresh: here, every 400 events.
-    network = load_dataset("fbw-sim", scale=0.6, seed=5, snapshots=10)
+    network = _load_network()
     events = network_to_events(network)
     engine = StreamingGloDyNE(
         dim=32, alpha=0.1, num_walks=5, walk_length=20, window_size=5,

@@ -34,6 +34,12 @@ from repro.core import (
 from repro.datasets import list_datasets, load_dataset
 from repro.graph import DynamicNetwork, EdgeEvent, Graph
 from repro.partition import PartitionResult, partition_graph
+from repro.serving import (
+    BruteForceIndex,
+    EmbeddingService,
+    EmbeddingStore,
+    LSHIndex,
+)
 from repro.streaming import FlushPolicy, FlushResult, StreamingGloDyNE
 
 __version__ = "1.0.0"
@@ -41,6 +47,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BCGDGlobal",
     "BCGDLocal",
+    "BruteForceIndex",
     "DynGEM",
     "DynLINE",
     "DynTriad",
@@ -48,8 +55,11 @@ __all__ = [
     "DynamicNetwork",
     "EdgeEvent",
     "EmbeddingMap",
+    "EmbeddingService",
+    "EmbeddingStore",
     "FlushPolicy",
     "FlushResult",
+    "LSHIndex",
     "GloDyNE",
     "GloDyNEConfig",
     "Graph",

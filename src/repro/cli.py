@@ -7,6 +7,8 @@ Usage::
     python -m repro evaluate --dataset elec-sim --method glodyne --task gr
     python -m repro analyze --dataset fbw-sim
     python -m repro stream --dataset elec-sim --flush-events 400
+    python -m repro serve --dataset elec-sim --store store.npz
+    python -m repro query --store store.npz --node 3 --k 10
 
 The CLI wires together the same public APIs the examples use; it exists so
 a downstream user can reproduce a single cell of a paper table without
@@ -292,6 +294,116 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_node(raw: str):
+    """CLI node ids: JSON when it parses (ints stay ints), else raw str."""
+    import json
+
+    try:
+        return json.loads(raw)
+    except (ValueError, TypeError):
+        return raw
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Stream a dataset into a versioned embedding store and save it."""
+    from repro.serving import EmbeddingStore, save_store
+    from repro.streaming import FlushPolicy, StreamingGloDyNE, network_to_events
+
+    network = load_dataset(
+        args.dataset, scale=args.scale, seed=args.data_seed,
+        snapshots=args.snapshots,
+    )
+    events = network_to_events(network)
+    walk = PROFILES[args.profile]["walk"]
+    store = EmbeddingStore()
+    engine = StreamingGloDyNE(
+        seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
+        publish_to=store, dim=args.dim, alpha=0.1, **walk,
+    )
+    started = time.perf_counter()
+    engine.ingest_many(events)
+    if engine.pending_events:
+        engine.flush()
+    elapsed = time.perf_counter() - started
+
+    rows = [
+        [
+            str(record.version),
+            str(record.time_step),
+            str(record.num_nodes),
+            str(record.dim),
+            str(record.metadata.get("trigger", "?")),
+            str(record.metadata.get("num_events", "?")),
+        ]
+        for record in store
+    ]
+    print(
+        render_table(
+            ["version", "step", "nodes", "dim", "trigger", "events"],
+            rows,
+            title=f"served {network.name}: {len(events)} events -> "
+            f"{store.num_versions} versions in {elapsed:.2f}s",
+        )
+    )
+    save_store(store, args.store)
+    print(f"wrote versioned store -> {args.store}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Query a saved embedding store: kNN lookups and edge scoring."""
+    from repro.serving import EmbeddingService, load_store
+
+    try:
+        store = load_store(args.store)
+    except (OSError, ValueError) as error:
+        print(f"cannot load store {args.store!r}: {error}", file=sys.stderr)
+        return 1
+    service = EmbeddingService(store, backend=args.backend)
+    try:
+        record = store.version(args.version)
+    except LookupError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(
+        f"store {args.store}: {store.num_versions} versions, querying "
+        f"version {record.version} ({record.num_nodes} nodes, "
+        f"dim {record.dim}, backend {service.index.backend_name})"
+    )
+    status = 0
+    if args.node is not None:
+        node = _parse_node(args.node)
+        try:
+            neighbors = service.query_knn(
+                node, k=args.k, version=args.version
+            )
+        except KeyError:
+            print(f"node {node!r} not in version {record.version}",
+                  file=sys.stderr)
+            return 1
+        rows = [[repr(n), f"{score:.4f}"] for n, score in neighbors]
+        print(
+            render_table(
+                ["node", "cosine"], rows,
+                title=f"top-{args.k} similar to {node!r}",
+            )
+        )
+    if args.edge:
+        u, v = (_parse_node(raw) for raw in args.edge)
+        try:
+            score = service.score_edge(
+                u, v, version=args.version, metric=args.metric
+            )
+        except KeyError as error:
+            print(f"cannot score edge: {error}", file=sys.stderr)
+            return 1
+        print(f"score({u!r}, {v!r}) [{args.metric}] = {score:.4f}")
+    if args.node is None and not args.edge:
+        print("nothing to do: pass --node and/or --edge", file=sys.stderr)
+        status = 2
+    return status
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GloDyNE reproduction CLI"
@@ -357,6 +469,52 @@ def make_parser() -> argparse.ArgumentParser:
         help="flush after this many distinct edges changed",
     )
 
+    serve = sub.add_parser(
+        "serve", help="stream a dataset into a versioned embedding store",
+    )
+    serve.add_argument("--dataset", default="elec-sim")
+    serve.add_argument("--dim", type=int, default=32)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--data-seed", type=int, default=0)
+    serve.add_argument("--scale", type=float, default=0.5)
+    serve.add_argument("--snapshots", type=int, default=None)
+    serve.add_argument(
+        "--profile", default="quick", choices=sorted(PROFILES),
+        help="hyper-parameter preset for the underlying GloDyNE model",
+    )
+    serve.add_argument(
+        "--flush-events", type=int, default=400,
+        help="publish a new store version after this many events",
+    )
+    serve.add_argument(
+        "--store", default="store.npz",
+        help="output path for the versioned store (.npz)",
+    )
+
+    query = sub.add_parser(
+        "query", help="kNN lookups / edge scoring against a saved store",
+    )
+    query.add_argument("--store", required=True, help="store .npz to load")
+    query.add_argument(
+        "--node", default=None,
+        help="node id to look up (JSON-parsed: 3 is an int, '\"a\"' a str)",
+    )
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument(
+        "--edge", nargs=2, metavar=("U", "V"), default=None,
+        help="score a node pair instead of / as well as a kNN lookup",
+    )
+    query.add_argument(
+        "--metric", default="cosine", choices=["cosine", "dot"],
+    )
+    query.add_argument(
+        "--backend", default="lsh", choices=["lsh", "exact"],
+    )
+    query.add_argument(
+        "--version", type=int, default=None,
+        help="store version to query (default: latest; negatives count back)",
+    )
+
     return parser
 
 
@@ -368,6 +526,8 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": cmd_evaluate,
         "analyze": cmd_analyze,
         "stream": cmd_stream,
+        "serve": cmd_serve,
+        "query": cmd_query,
     }
     return handlers[args.command](args)
 

@@ -112,15 +112,24 @@ class GloDyNE(DynamicEmbeddingMethod):
         self,
         config: GloDyNEConfig | None = None,
         seed: int | None = None,
+        publish_to=None,
         **overrides,
     ) -> None:
         """``overrides`` are forwarded to :class:`GloDyNEConfig` for the
-        common call style ``GloDyNE(dim=64, alpha=0.2, seed=1)``."""
+        common call style ``GloDyNE(dim=64, alpha=0.2, seed=1)``.
+
+        ``publish_to`` is an optional
+        :class:`repro.serving.EmbeddingStore`: every ``update`` then
+        publishes its Z^t as a new store version (snapshot-mode serving
+        hook; streaming callers set it on the engine instead, which
+        attaches richer flush metadata).
+        """
         if config is not None and overrides:
             raise ValueError("pass either a config object or keyword overrides")
         self.config = config if config is not None else GloDyNEConfig(**overrides)
         self._seed = seed
         self._strategy = get_strategy(self.config.strategy)
+        self.publish_to = publish_to
         self.reset()
 
     # ------------------------------------------------------------------
@@ -131,6 +140,12 @@ class GloDyNE(DynamicEmbeddingMethod):
         self.previous: Graph | None = None
         self.time_step = 0
         self.last_trace: StepTrace | None = None
+        # The latest update's aligned (nodes, matrix) pair — what the
+        # embedding map was built from. Publishing consumers (the
+        # streaming engine's serving hook) read this to avoid re-stacking
+        # the map row by row; the rows are shared with the map, so this
+        # retains no extra memory.
+        self.last_embedding: tuple[list[Node], np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def update(
@@ -163,7 +178,19 @@ class GloDyNE(DynamicEmbeddingMethod):
         self.time_step += 1
         nodes = list(snapshot.nodes())
         matrix = self.model.embedding_matrix(nodes)
-        return dict(zip(nodes, matrix))
+        embeddings = dict(zip(nodes, matrix))
+        self.last_embedding = (nodes, matrix)
+        if self.publish_to is not None:
+            self.publish_to.publish(
+                (nodes, matrix),
+                time_step=trace.time_step,
+                metadata={
+                    "source": "snapshot",
+                    "num_selected": trace.num_selected,
+                    "num_pairs": trace.num_pairs,
+                },
+            )
+        return embeddings
 
     # ------------------------------------------------------------------
     def _offline_stage(
@@ -173,9 +200,7 @@ class GloDyNE(DynamicEmbeddingMethod):
         if csr is None:
             csr = CSRAdjacency.from_graph(snapshot)
         start_indices = np.arange(csr.num_nodes)
-        trace = self._walk_and_train(snapshot, csr, start_indices)
-        trace.selected_nodes = list(csr.nodes)
-        return trace
+        return self._walk_and_train(snapshot, csr, start_indices)
 
     def _online_stage(
         self,
@@ -226,9 +251,7 @@ class GloDyNE(DynamicEmbeddingMethod):
             dtype=np.int64,
             count=len(selected),
         )
-        trace = self._walk_and_train(snapshot, csr, start_indices)
-        trace.selected_nodes = list(selected)
-        return trace
+        return self._walk_and_train(snapshot, csr, start_indices)
 
     def _walk_and_train(
         self,
@@ -257,9 +280,13 @@ class GloDyNE(DynamicEmbeddingMethod):
         train_on_corpus(
             self.model, corpus, row_of, self.rng, config=cfg.train_config()
         )
+        # selected_nodes is derived here, once, from the start indices that
+        # actually drove the walks — callers must not rebuild it afterwards
+        # (the regression test pins trace fields to the real selection).
         return StepTrace(
             time_step=self.time_step,
             num_nodes=snapshot.number_of_nodes(),
             num_selected=int(start_indices.size),
             num_pairs=corpus.num_pairs,
+            selected_nodes=[csr.nodes[i] for i in start_indices],
         )

@@ -22,11 +22,18 @@ from repro.graph.static import Graph
 FORMAT_VERSION = 1
 
 
-def _encode_nodes(nodes) -> np.ndarray:
+def encode_node_column(nodes) -> np.ndarray:
+    """JSON-encode node ids into an object column safe for ``.npz``.
+
+    Shared by checkpoints and the serving store
+    (:mod:`repro.serving.store`): arbitrary str/int/float ids survive a
+    round-trip without repr/eval.
+    """
     return np.array([json.dumps(node) for node in nodes], dtype=object)
 
 
-def _decode_nodes(column: np.ndarray) -> list:
+def decode_node_column(column: np.ndarray) -> list:
+    """Inverse of :func:`encode_node_column`."""
     return [json.loads(item) for item in column]
 
 
@@ -67,14 +74,14 @@ def save_checkpoint(model: GloDyNE, path: str | Path) -> None:
         format_version=np.array([FORMAT_VERSION]),
         config=np.array([config_json], dtype=object),
         time_step=np.array([model.time_step]),
-        vocab=_encode_nodes(vocab_nodes),
+        vocab=encode_node_column(vocab_nodes),
         w_in=model.model.w_in.copy(),
         w_out=model.model.w_out.copy(),
-        reservoir_nodes=_encode_nodes(reservoir.keys()),
+        reservoir_nodes=encode_node_column(reservoir.keys()),
         reservoir_values=np.array(list(reservoir.values()), dtype=np.float64),
-        prev_nodes=_encode_nodes(previous_nodes),
-        prev_edge_u=_encode_nodes([u for u, _, _ in previous_edges]),
-        prev_edge_v=_encode_nodes([v for _, v, _ in previous_edges]),
+        prev_nodes=encode_node_column(previous_nodes),
+        prev_edge_u=encode_node_column([u for u, _, _ in previous_edges]),
+        prev_edge_v=encode_node_column([v for _, v, _ in previous_edges]),
         prev_edge_w=np.array(
             [w for _, _, w in previous_edges], dtype=np.float64
         ),
@@ -97,23 +104,23 @@ def load_checkpoint(path: str | Path, seed: int | None = None) -> GloDyNE:
     config = GloDyNEConfig(**json.loads(str(archive["config"][0])))
     model = GloDyNE(config=config, seed=seed)
 
-    vocab_nodes = _decode_nodes(archive["vocab"])
+    vocab_nodes = decode_node_column(archive["vocab"])
     model.model.ensure_nodes(vocab_nodes)
     model.model._w_in[: len(vocab_nodes)] = archive["w_in"]
     model.model._w_out[: len(vocab_nodes)] = archive["w_out"]
 
-    reservoir_nodes = _decode_nodes(archive["reservoir_nodes"])
+    reservoir_nodes = decode_node_column(archive["reservoir_nodes"])
     reservoir_values = archive["reservoir_values"]
     model.reservoir.accumulate(dict(zip(reservoir_nodes, reservoir_values)))
 
-    prev_nodes = _decode_nodes(archive["prev_nodes"])
+    prev_nodes = decode_node_column(archive["prev_nodes"])
     if prev_nodes:
         previous = Graph()
         for node in prev_nodes:
             previous.add_node(node)
         for u, v, w in zip(
-            _decode_nodes(archive["prev_edge_u"]),
-            _decode_nodes(archive["prev_edge_v"]),
+            decode_node_column(archive["prev_edge_u"]),
+            decode_node_column(archive["prev_edge_v"]),
             archive["prev_edge_w"],
         ):
             previous.add_edge(u, v, float(w))

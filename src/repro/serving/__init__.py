@@ -1,0 +1,34 @@
+"""Embedding-serving subsystem: versioned store, kNN indexes, service facade.
+
+The training side (:mod:`repro.core`, :mod:`repro.streaming`) produces a
+fresh Z^t per snapshot or flush; this package is the consumption side:
+
+* :class:`~repro.serving.store.EmbeddingStore` — append-only versioned
+  snapshots that ``GloDyNE(publish_to=...)`` /
+  ``StreamingGloDyNE(publish_to=...)`` publish into;
+* :class:`~repro.serving.index.BruteForceIndex` /
+  :class:`~repro.serving.index.LSHIndex` — exact and approximate cosine
+  kNN with incremental refresh (only moved rows re-hash);
+* :class:`~repro.serving.service.EmbeddingService` — cached kNN queries,
+  link scoring, and time-travel reads.
+"""
+
+from repro.serving.index import BruteForceIndex, LSHIndex, unit_rows
+from repro.serving.service import EmbeddingService
+from repro.serving.store import (
+    EmbeddingStore,
+    VersionRecord,
+    load_store,
+    save_store,
+)
+
+__all__ = [
+    "BruteForceIndex",
+    "EmbeddingService",
+    "EmbeddingStore",
+    "LSHIndex",
+    "VersionRecord",
+    "load_store",
+    "save_store",
+    "unit_rows",
+]

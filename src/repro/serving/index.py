@@ -1,0 +1,503 @@
+"""kNN query indexes over an embedding matrix: exact and LSH backends.
+
+Serving similar-node queries is the core online workload of a dynamic
+embedding system (Barros et al., survey §7): given Z^t, return the k rows
+most cosine-similar to a query row. Two backends share one contract:
+
+* :class:`BruteForceIndex` — exact scan. O(N·d) per query; the ground
+  truth the approximate backend is measured against.
+* :class:`LSHIndex` — random-hyperplane locality-sensitive hashing
+  (Charikar, 2002) with multi-table, query-directed multi-probing.
+  Hashing is sign-of-projection, so cosine-similar rows collide; probing
+  flips the lowest-margin bits first. Candidates from all probed buckets
+  are re-ranked *exactly*, so recall is governed by candidate coverage,
+  not hash luck.
+
+Both support **incremental refresh**: after a streaming flush, only rows
+whose embedding moved more than a tolerance (plus brand-new rows) are
+re-normalised and re-hashed — the point of pairing the index with
+GloDyNE, which by design moves only the selected ~α·|V| rows per step.
+A refresh is bit-identical to a from-scratch rebuild of a fresh index
+with the same constructor parameters: hyperplanes depend only on
+``(dim, num_tables, num_bits, seed)`` and candidate sets are
+deduplicated into sorted order before the exact re-rank.
+
+Pure numpy, no external ANN dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BruteForceIndex", "LSHIndex", "unit_rows"]
+
+
+def unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalised float32 copy of ``matrix`` (zero rows stay zero)."""
+    matrix = np.asarray(matrix, dtype=np.float32)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms
+
+
+def _unit_vector(vector: np.ndarray) -> np.ndarray:
+    vector = np.asarray(vector, dtype=np.float32).ravel()
+    norm = float(np.linalg.norm(vector))
+    return vector / norm if norm > 0 else vector
+
+
+def _top_k(scores: np.ndarray, row_ids: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the top-k scores, ties broken by ascending row id.
+
+    Deterministic ordering is what makes an incremental refresh
+    bit-identical to a rebuild even when bucket layouts differ.
+    ``row_ids`` must be ascending (candidate sets are deduplicated into
+    sorted order), so a stable sort on the negated scores already breaks
+    ties by row id; the argpartition pre-pass only pays off on large
+    exact scans.
+    """
+    k = min(k, scores.size)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if scores.size <= 1024:
+        return np.argsort(-scores, kind="stable")[:k]
+    pool = np.argpartition(scores, scores.size - k)[-k:]
+    order = np.lexsort((row_ids[pool], -scores[pool].astype(np.float64)))
+    return pool[order]
+
+
+class BruteForceIndex:
+    """Exact cosine kNN by full matrix scan (the recall ground truth)."""
+
+    backend_name = "exact"
+
+    def __init__(self) -> None:
+        self._raw: np.ndarray | None = None
+        self._unit: np.ndarray | None = None
+        self.last_refresh_rows = 0
+
+    @property
+    def num_rows(self) -> int:
+        return 0 if self._raw is None else int(self._raw.shape[0])
+
+    def build(self, matrix: np.ndarray) -> None:
+        """(Re)build from scratch over ``matrix`` rows."""
+        self._raw = np.array(matrix, dtype=np.float32)
+        self._unit = unit_rows(self._raw)
+        self.last_refresh_rows = self.num_rows
+
+    def refresh(self, matrix: np.ndarray, tolerance: float = 0.0) -> int:
+        """Sync to a new matrix; re-normalise only rows that moved.
+
+        Rows ``i < num_rows`` whose max-abs change exceeds ``tolerance``
+        plus all appended rows are updated. Returns how many rows were
+        touched. The matrix may only grow (the store is append-only).
+        """
+        if self._raw is None:
+            self.build(matrix)
+            return self.num_rows
+        matrix = np.asarray(matrix, dtype=np.float32)
+        changed = _changed_rows(self._raw, matrix, tolerance)
+        if changed.size:
+            old_n = self._raw.shape[0]
+            if matrix.shape[0] != old_n:
+                raw = np.empty_like(matrix)
+                raw[:old_n] = self._raw
+                unit = np.empty_like(matrix)
+                unit[:old_n] = self._unit
+                self._raw, self._unit = raw, unit
+            self._raw[changed] = matrix[changed]
+            self._unit[changed] = unit_rows(matrix[changed])
+        self.last_refresh_rows = int(changed.size)
+        return int(changed.size)
+
+    def query(self, vector: np.ndarray, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k rows by cosine similarity: ``(row_ids, float32 scores)``."""
+        if self._unit is None:
+            raise RuntimeError("index is empty — call build() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = _unit_vector(vector)
+        scores = self._unit @ q
+        rows = np.arange(scores.size, dtype=np.int64)
+        best = _top_k(scores, rows, k)
+        return rows[best], scores[best]
+
+    def query_many(
+        self, vectors: np.ndarray, k: int = 10
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched exact kNN: one matmul scores every query at once.
+
+        The batched scan reads the matrix once per batch instead of once
+        per query — the serving-style micro-batch path both backends
+        expose for throughput benchmarking.
+        """
+        if self._unit is None:
+            raise RuntimeError("index is empty — call build() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = unit_rows(vectors)
+        scores = self._unit @ queries.T  # (N, Q)
+        rows = np.arange(scores.shape[0], dtype=np.int64)
+        results = []
+        for i in range(queries.shape[0]):
+            column = np.ascontiguousarray(scores[:, i])
+            best = _top_k(column, rows, k)
+            results.append((rows[best], column[best]))
+        return results
+
+
+def _changed_rows(
+    old: np.ndarray, new: np.ndarray, tolerance: float
+) -> np.ndarray:
+    """Rows of ``new`` that moved beyond ``tolerance`` or are brand new."""
+    old_n, new_n = old.shape[0], new.shape[0]
+    if new_n < old_n:
+        raise ValueError(
+            f"matrix shrank from {old_n} to {new_n} rows; the embedding "
+            "store is append-only, so refresh expects growth"
+        )
+    if new.shape[1] != old.shape[1]:
+        raise ValueError("embedding dimensionality changed between versions")
+    # Cheap single-pass inequality scan first; the exact tolerance test
+    # only runs on the (few) rows that changed at all.
+    moved = np.flatnonzero(np.any(new[:old_n] != old, axis=1))
+    if tolerance > 0.0 and moved.size:
+        beyond = (
+            np.max(np.abs(new[moved] - old[moved]), axis=1) > tolerance
+        )
+        moved = moved[beyond]
+    fresh = np.arange(old_n, new_n, dtype=np.int64)
+    return np.concatenate([moved, fresh]) if fresh.size else moved
+
+
+class LSHIndex:
+    """Random-hyperplane LSH with multi-table, multi-probe querying.
+
+    Parameters
+    ----------
+    num_tables, num_bits:
+        ``num_tables`` independent hash tables of ``2**num_bits`` buckets
+        each. More tables / fewer bits raise recall and cost.
+        ``num_bits=None`` (default) sizes the tables to the data at the
+        first build — ``ceil(log2(N)) - 2``, clipped to [3, 16], i.e. a
+        few rows per bucket — and freezes the choice like the
+        hyperplanes; an explicit value pins it.
+    min_candidates:
+        Probing continues (flipping the lowest-|margin| bits first,
+        query-directed multi-probe) until at least this many candidate
+        rows were gathered or probes are exhausted. ``None`` derives
+        ``max(24 * k, 192)`` per query.
+    max_probes:
+        Bit-flip rounds per table after the exact bucket (default: all
+        ``num_bits``).
+    seed:
+        Seeds the hyperplane draw. Two indexes with equal
+        ``(dim, num_tables, num_bits, seed)`` and the same ``center``
+        hash identically — the anchor for refresh/rebuild equivalence.
+    center:
+        SGNS embeddings occupy a narrow cone (every pair of unit rows
+        has high cosine), which collapses sign-of-projection hashing
+        into a handful of buckets. Hashing the *residual* around the
+        data mean restores discrimination, so the index hashes
+        ``unit_row - center``. ``None`` (default) computes the center
+        from the first ``build`` and freezes it — refreshes reuse it,
+        exactly like the hyperplanes. Pass an explicit center (e.g.
+        ``other_index.center``) to rebuild a serving index from scratch
+        with identical hashing.
+    """
+
+    backend_name = "lsh"
+
+    def __init__(
+        self,
+        num_tables: int = 8,
+        num_bits: int | None = None,
+        *,
+        seed: int = 0,
+        min_candidates: int | None = None,
+        max_probes: int | None = None,
+        center: np.ndarray | None = None,
+    ) -> None:
+        if num_tables < 1:
+            raise ValueError("num_tables must be >= 1")
+        if num_bits is not None and not (1 <= num_bits <= 62):
+            raise ValueError("num_bits must lie in [1, 62]")
+        if min_candidates is not None and min_candidates < 1:
+            raise ValueError("min_candidates must be >= 1")
+        self.num_tables = int(num_tables)
+        self.num_bits = None if num_bits is None else int(num_bits)
+        # Auto-sized tables (and an auto-derived center) may be re-sized
+        # by a serving layer when the store outgrows the first build;
+        # explicit values are a user's pin and must never be overridden.
+        self.auto_sized = num_bits is None and center is None
+        self.seed = int(seed)
+        self.min_candidates = min_candidates
+        self._max_probes_arg = max_probes
+        self.max_probes = 0  # resolved once num_bits is known
+        self._planes: np.ndarray | None = None  # (T*B, d) float32
+        self._pow2: np.ndarray | None = None
+        self._center: np.ndarray | None = (
+            None if center is None else np.asarray(center, dtype=np.float32)
+        )
+        self._center_proj: np.ndarray | None = None  # planes @ center
+        # Row buffers are capacity-doubled: the live rows are [:_n].
+        self._n = 0
+        self._raw: np.ndarray | None = None
+        self._unit: np.ndarray | None = None
+        self._codes: np.ndarray | None = None  # (N, T) int64 bucket keys
+        self._tables: list[dict[int, np.ndarray]] = []
+        self.last_refresh_rows = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._n
+
+    @property
+    def center(self) -> np.ndarray | None:
+        """Frozen hashing center (copy); None before the first build."""
+        return None if self._center is None else self._center.copy()
+
+    def _ensure_planes(self, dim: int, num_rows: int) -> None:
+        if self._planes is None:
+            if self.num_bits is None:
+                # A few rows per bucket: tables sized to the first build,
+                # then frozen (refreshes must hash identically).
+                self.num_bits = int(
+                    np.clip(np.ceil(np.log2(max(num_rows, 2))) - 2, 3, 16)
+                )
+            self.max_probes = (
+                self.num_bits
+                if self._max_probes_arg is None
+                else min(self._max_probes_arg, self.num_bits)
+            )
+            self._pow2 = (1 << np.arange(self.num_bits, dtype=np.int64))
+            rng = np.random.default_rng(self.seed)
+            self._planes = rng.standard_normal(
+                (self.num_tables * self.num_bits, dim)
+            ).astype(np.float32)
+        elif self._planes.shape[1] != dim:
+            raise ValueError(
+                f"index was built for dim {self._planes.shape[1]}, got {dim}"
+            )
+
+    def _hash_rows(self, unit: np.ndarray) -> np.ndarray:
+        """Bucket key per (row, table): sign-pattern packed to int64.
+
+        ``x @ planes.T - center_proj`` equals ``(x - center) @ planes.T``
+        with the center projection hoisted out of the per-row work.
+        """
+        bits = (unit @ self._planes.T - self._center_proj) > 0.0  # (n, T*B)
+        bits = bits.reshape(unit.shape[0], self.num_tables, self.num_bits)
+        return bits @ self._pow2  # (n, T)
+
+    # ------------------------------------------------------------------
+    def _grow_to(self, size: int, dim: int) -> None:
+        """Capacity-double the row buffers (amortised O(1) per new row)."""
+        capacity = 0 if self._raw is None else self._raw.shape[0]
+        if size <= capacity:
+            return
+        new_capacity = max(16, capacity)
+        while new_capacity < size:
+            new_capacity *= 2
+        raw = np.empty((new_capacity, dim), dtype=np.float32)
+        unit = np.empty((new_capacity, dim), dtype=np.float32)
+        codes = np.empty((new_capacity, self.num_tables), dtype=np.int64)
+        if self._n:
+            raw[: self._n] = self._raw[: self._n]
+            unit[: self._n] = self._unit[: self._n]
+            codes[: self._n] = self._codes[: self._n]
+        self._raw, self._unit, self._codes = raw, unit, codes
+
+    def build(self, matrix: np.ndarray) -> None:
+        """Hash every row into all tables from scratch."""
+        matrix = np.asarray(matrix, dtype=np.float32)
+        n, dim = matrix.shape
+        self._ensure_planes(dim, n)
+        self._n = n
+        self._raw = np.array(matrix)
+        self._unit = unit_rows(matrix)
+        if self._center is None:
+            self._center = self._unit.mean(axis=0)
+        elif self._center.shape != (dim,):
+            raise ValueError("center dimensionality does not match matrix")
+        self._center_proj = self._planes @ self._center
+        self._codes = self._hash_rows(self._unit)
+        self._tables = []
+        for t in range(self.num_tables):
+            table: dict[int, np.ndarray] = {}
+            if n:
+                codes = self._codes[:, t]
+                order = np.argsort(codes, kind="stable")
+                sorted_codes = codes[order]
+                boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+                for chunk in np.split(order, boundaries):
+                    table[int(codes[chunk[0]])] = chunk
+            self._tables.append(table)
+        self.last_refresh_rows = n
+
+    def refresh(self, matrix: np.ndarray, tolerance: float = 0.0) -> int:
+        """Re-hash only rows that moved beyond ``tolerance`` (plus new rows).
+
+        Returns the number of rows re-hashed. Equivalent to
+        ``build(matrix)`` on a fresh index with the same frozen
+        configuration (seed, bits, center) — buckets may order members
+        differently internally, but query results are identical because
+        candidates are deduplicated into sorted order before the exact
+        re-rank.
+        """
+        if self._raw is None:
+            self.build(matrix)
+            return self.num_rows
+        matrix = np.asarray(matrix, dtype=np.float32)
+        old_n = self._n
+        changed = _changed_rows(self._raw[:old_n], matrix, tolerance)
+        if not changed.size:
+            self.last_refresh_rows = 0
+            return 0
+        self._grow_to(matrix.shape[0], matrix.shape[1])
+        self._n = matrix.shape[0]
+        self._raw[changed] = matrix[changed]
+        new_unit = unit_rows(matrix[changed])
+        self._unit[changed] = new_unit
+        new_codes = self._hash_rows(new_unit)  # (len(changed), T)
+        # `changed` is ascending with moved rows (< old_n) first.
+        num_moved = int(np.searchsorted(changed, old_n))
+        changed_list = changed.tolist()
+        new_codes_list = new_codes.tolist()
+        old_codes_list = self._codes[changed[:num_moved]].tolist()
+        for t in range(self.num_tables):
+            table = self._tables[t]
+            # Evict moved rows whose bucket changed, grouped per bucket.
+            evict: dict[int, list[int]] = {}
+            insert: dict[int, list[int]] = {}
+            for j, row in enumerate(changed_list):
+                code = new_codes_list[j][t]
+                if j < num_moved:
+                    old_code = old_codes_list[j][t]
+                    if old_code == code:
+                        continue
+                    evict.setdefault(old_code, []).append(row)
+                insert.setdefault(code, []).append(row)
+            for code, rows in evict.items():
+                gone = set(rows)
+                kept = [x for x in table[code].tolist() if x not in gone]
+                if kept:
+                    table[code] = np.asarray(kept, dtype=np.int64)
+                else:
+                    del table[code]
+            for code, rows in insert.items():
+                fresh = np.asarray(rows, dtype=np.int64)
+                existing = table.get(code)
+                table[code] = (
+                    fresh if existing is None else np.concatenate([existing, fresh])
+                )
+        self._codes[changed] = new_codes
+        self.last_refresh_rows = int(changed.size)
+        return int(changed.size)
+
+    # ------------------------------------------------------------------
+    def _gather_and_rank(
+        self, q: np.ndarray, codes: list, proj: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared query core: bucket gather, multi-probe, exact re-rank.
+
+        ``codes`` is one bucket key per table (Python ints), ``proj`` the
+        (T*B,) hyperplane projections of the unit query ``q``.
+        """
+        tables = self._tables
+        parts: list[np.ndarray] = []
+        gathered = 0
+        for t, code in enumerate(codes):
+            bucket = tables[t].get(code)
+            if bucket is not None:
+                parts.append(bucket)
+                gathered += bucket.size
+        target = (
+            self.min_candidates
+            if self.min_candidates is not None
+            else max(24 * k, 192)
+        )
+        if gathered < target and self.max_probes:
+            # Query-directed probing: flip the least confident bits first.
+            flip_order = np.argsort(
+                np.abs(proj).reshape(self.num_tables, self.num_bits), axis=1
+            ).tolist()
+            for r in range(self.max_probes):
+                for t, code in enumerate(codes):
+                    bucket = tables[t].get(code ^ (1 << flip_order[t][r]))
+                    if bucket is not None:
+                        parts.append(bucket)
+                        gathered += bucket.size
+                if gathered >= target:
+                    break
+        if not parts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        if len(parts) == 1:
+            # One bucket has no duplicates, but refresh appends rows out
+            # of order and _top_k's tie-break needs ascending row ids.
+            candidates = np.sort(parts[0])
+        else:
+            # Sorted dedup; a Python set beats np.unique by ~5x at the
+            # few-hundred-candidate sizes this serves.
+            merged: set[int] = set()
+            for part in parts:
+                merged.update(part.tolist())
+            candidates = np.fromiter(
+                sorted(merged), dtype=np.int64, count=len(merged)
+            )
+        scores = self._unit[candidates] @ q
+        best = _top_k(scores, candidates, k)
+        return candidates[best], scores[best]
+
+    def query(self, vector: np.ndarray, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k by cosine: ``(row_ids, float32 scores)``.
+
+        Probes the exact bucket of each table first, then flips bits in
+        ascending |projection| order (the least confident bits) until
+        ``min_candidates`` rows were gathered; the candidate set is then
+        re-ranked exactly.
+        """
+        if self._unit is None:
+            raise RuntimeError("index is empty — call build() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = _unit_vector(vector)
+        proj = self._planes @ q - self._center_proj  # (T*B,)
+        codes = (
+            (proj > 0.0).reshape(self.num_tables, self.num_bits) @ self._pow2
+        ).tolist()
+        return self._gather_and_rank(q, codes, proj, k)
+
+    def query_many(
+        self, vectors: np.ndarray, k: int = 10
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched approximate kNN: hashing amortised across the batch.
+
+        Normalisation, hyperplane projection, and bucket-key packing run
+        as three matrix ops for the whole micro-batch; only the bucket
+        gather and the (small) exact re-rank remain per query. This is
+        the serving hot path — per-query numpy call overhead is what
+        dominates single-vector latency at a few thousand rows.
+        """
+        if self._unit is None:
+            raise RuntimeError("index is empty — call build() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = unit_rows(vectors)
+        projs = queries @ self._planes.T - self._center_proj  # (Q, T*B)
+        codes = (
+            (projs > 0.0).reshape(-1, self.num_tables, self.num_bits)
+            @ self._pow2
+        ).tolist()
+        return [
+            self._gather_and_rank(queries[i], codes[i], projs[i], k)
+            for i in range(queries.shape[0])
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LSHIndex(rows={self.num_rows}, tables={self.num_tables}, "
+            f"bits={self.num_bits})"
+        )

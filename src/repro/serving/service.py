@@ -1,0 +1,272 @@
+"""EmbeddingService: the query-side facade over store + index.
+
+The store records versions; the index answers kNN at the *latest*
+version; the service ties them together with the operations an online
+consumer actually calls:
+
+* :meth:`~EmbeddingService.query_knn` — similar-node lookup with an LRU
+  result cache keyed on ``(version, node, k)`` (a version bump naturally
+  invalidates: new keys, old entries age out);
+* :meth:`~EmbeddingService.score_edge` — link scoring for a node pair
+  (cosine via the :mod:`repro.tasks.link_prediction` scorer, or raw dot);
+* :meth:`~EmbeddingService.embed_at` — time-travel read of any retained
+  version;
+* :meth:`~EmbeddingService.refresh` — incremental index sync after the
+  trainer published a new version (only moved rows re-hash).
+
+Queries pinned to a historical version bypass the index and scan that
+version's matrix exactly — history is small and cold, the latest version
+is where the traffic goes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+import numpy as np
+
+from repro.base import EmbeddingMap
+from repro.serving.index import (
+    BruteForceIndex,
+    LSHIndex,
+    _top_k,
+    _unit_vector,
+    unit_rows,
+)
+from repro.serving.store import EmbeddingStore
+from repro.tasks.link_prediction import score_pairs
+
+Node = Hashable
+
+_BACKENDS = ("lsh", "exact")
+
+
+class EmbeddingService:
+    """Versioned kNN / link-scoring service over an :class:`EmbeddingStore`.
+
+    Parameters
+    ----------
+    store:
+        The system of record; the service never mutates it.
+    backend:
+        ``"lsh"`` (default) or ``"exact"``; ignored when ``index`` is
+        given.
+    index:
+        A pre-configured index instance (e.g. an :class:`LSHIndex` with
+        tuned table/bit counts).
+    refresh_tolerance:
+        Max-abs per-row movement below which a row is *not* re-hashed on
+        :meth:`refresh`. 0.0 re-hashes on any change; serving-grade
+        defaults keep it tiny but non-zero so float32 jitter does not
+        force work.
+    cache_size:
+        Entries in the LRU query cache (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        *,
+        backend: str = "lsh",
+        index: BruteForceIndex | LSHIndex | None = None,
+        refresh_tolerance: float = 1e-7,
+        cache_size: int = 1024,
+    ) -> None:
+        if index is None:
+            if backend not in _BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; choose from {_BACKENDS}"
+                )
+            index = LSHIndex() if backend == "lsh" else BruteForceIndex()
+        self.store = store
+        self.index = index
+        self.refresh_tolerance = float(refresh_tolerance)
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[tuple, list] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Normalised matrices of recently time-travelled versions
+        # (immutable once published, so a tiny LRU is safe).
+        self._unit_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._indexed_version: int | None = None
+        # Rows at the last full build — when the store outgrows this by
+        # 4x, an auto-sized LSH index re-builds with re-derived table
+        # bits/center instead of degrading into mega-buckets.
+        self._sized_rows = 0
+
+    # ------------------------------------------------------------------
+    # index lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def indexed_version(self) -> int | None:
+        """Store version the index currently serves (None before first)."""
+        return self._indexed_version
+
+    def refresh(self) -> int:
+        """Sync the index to the store's latest version.
+
+        Incremental: only rows that moved beyond ``refresh_tolerance``
+        (plus new nodes) re-hash. A version with *fewer* rows than the
+        indexed one (node deletions shrank the snapshot) falls back to a
+        full rebuild — index rows are positional and cannot shrink
+        incrementally. Returns the number of rows touched; 0 when
+        already current.
+        """
+        latest = self.store.latest
+        if self._indexed_version == latest.version:
+            return 0
+        if (
+            isinstance(self.index, LSHIndex)
+            and self.index.auto_sized
+            and self._sized_rows
+            and latest.num_nodes > 4 * self._sized_rows
+        ):
+            # The store outgrew the first build's auto-sizing: start a
+            # fresh index so table bits and the hashing center re-derive
+            # from the current distribution instead of degrading.
+            self.index = LSHIndex(
+                num_tables=self.index.num_tables,
+                seed=self.index.seed,
+                min_candidates=self.index.min_candidates,
+                max_probes=self.index._max_probes_arg,
+            )
+            self._indexed_version = None
+        if self._indexed_version is None or latest.num_nodes < self.index.num_rows:
+            self.index.build(latest.matrix)
+            touched = latest.num_nodes
+            self._sized_rows = latest.num_nodes
+        else:
+            touched = self.index.refresh(
+                latest.matrix, tolerance=self.refresh_tolerance
+            )
+        self._indexed_version = latest.version
+        return touched
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_knn(
+        self,
+        node: Node,
+        k: int = 10,
+        *,
+        version: int | None = None,
+        exclude_self: bool = True,
+    ) -> list[tuple[Node, float]]:
+        """The ``k`` nodes most cosine-similar to ``node``.
+
+        ``version=None`` follows the store's head through the index
+        (refreshing it incrementally when the store advanced — the index
+        is built lazily on the first such query); an explicit version
+        time-travels via an exact scan of that version's matrix. Results
+        are ``(node, cosine)`` pairs, best first.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if version is None:
+            self.refresh()  # lazy build / incremental follow-head; no-op
+        record = self.store.version(version)
+        # A pinned version scans exactly while the index path may be
+        # approximate — results from the two paths must never share a
+        # cache entry, even for the same (version, node, k).
+        use_index = version is None and self._indexed_version == record.version
+        key = (record.version, node, k, exclude_self, use_index)
+        if self.cache_size:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return list(cached)
+            self.cache_misses += 1
+        query_vector = record.vector(node)  # KeyError for unknown nodes
+        fetch = k + 1 if exclude_self else k
+        if use_index:
+            rows, scores = self.index.query(query_vector, fetch)
+        else:
+            rows, scores = self._exact_scan(record, query_vector, fetch)
+        result: list[tuple[Node, float]] = []
+        self_row = record.row_of[node]
+        for row, score in zip(rows, scores):
+            if exclude_self and int(row) == self_row:
+                continue
+            result.append((record.nodes[int(row)], float(score)))
+            if len(result) == k:
+                break
+        if self.cache_size:
+            self._cache[key] = result
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return list(result)
+
+    def score_edge(
+        self,
+        u: Node,
+        v: Node,
+        *,
+        version: int | None = None,
+        metric: str = "cosine",
+    ) -> float:
+        """Similarity score of the (u, v) pair at a version.
+
+        ``cosine`` routes through the same scorer the link-prediction
+        task uses (:func:`repro.tasks.link_prediction.score_pairs`), so a
+        served score is exactly the quantity Table 2 AUCs are computed
+        from; ``dot`` is the unnormalised inner product.
+        """
+        record = self.store.version(version)
+        a, b = record.vector(u), record.vector(v)
+        if metric == "cosine":
+            embeddings: EmbeddingMap = {u: a, v: b}
+            scores, keep = score_pairs(embeddings, [(u, v)])
+            assert bool(keep[0])
+            return float(scores[0])
+        if metric == "dot":
+            return float(np.asarray(a, dtype=np.float64) @ b)
+        raise ValueError(f"unknown metric {metric!r}; choose cosine or dot")
+
+    def embed_at(self, version: int | None = None) -> EmbeddingMap:
+        """Time-travel read: the full embedding map of ``version``."""
+        return self.store.version(version).as_map()
+
+    # ------------------------------------------------------------------
+    def _exact_scan(
+        self, record, vector: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact cosine top-k against a pinned (historical) version.
+
+        The version's normalised matrix is memoised (versions are
+        immutable), so repeat time-travel queries pay the O(N*d)
+        normalisation once.
+        """
+        unit = self._unit_cache.get(record.version)
+        if unit is None:
+            unit = unit_rows(record.matrix)
+            self._unit_cache[record.version] = unit
+            if len(self._unit_cache) > 4:
+                self._unit_cache.popitem(last=False)
+        else:
+            self._unit_cache.move_to_end(record.version)
+        scores = unit @ _unit_vector(vector)
+        rows = np.arange(scores.size, dtype=np.int64)
+        best = _top_k(scores, rows, k)
+        return rows[best], scores[best]
+
+    @property
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+            "capacity": self.cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EmbeddingService(backend={self.index.backend_name}, "
+            f"versions={self.store.num_versions}, "
+            f"indexed={self._indexed_version})"
+        )

@@ -1,0 +1,235 @@
+"""Snapshot-versioned embedding store — the serving system of record.
+
+Every GloDyNE update (snapshot mode) or StreamingGloDyNE flush produces a
+full embedding map Z^t. The store keeps each one as an immutable
+*version*: an append-only sequence of ``(nodes, float32 matrix, metadata)``
+records. Versions are what make online serving safe — a query pinned to
+version ``v`` keeps reading the same rows while the trainer publishes
+``v+1``, and "what did this node look like three flushes ago"
+(:meth:`EmbeddingService.embed_at <repro.serving.service.EmbeddingService.embed_at>`)
+is a plain list index, not a replay.
+
+Storage is float32: serving reads never need the float64 training
+precision, and halving the bytes doubles how many versions fit in memory.
+Persistence reuses the JSON node-column codec of
+:mod:`repro.core.persistence` so arbitrary str/int node ids survive a
+save/load round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Mapping, Sequence
+
+import json
+
+import numpy as np
+
+from repro.base import EmbeddingMap
+from repro.core.persistence import decode_node_column, encode_node_column
+
+Node = Hashable
+
+STORE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One published embedding snapshot.
+
+    ``matrix`` row ``i`` is the embedding of ``nodes[i]``; ``row_of``
+    inverts that. The matrix is marked read-only — serving consumers share
+    it zero-copy and must not mutate history.
+    """
+
+    version: int
+    time_step: int
+    nodes: tuple[Node, ...]
+    matrix: np.ndarray  # float32, shape (len(nodes), dim), read-only
+    metadata: dict = field(default_factory=dict)
+    row_of: dict[Node, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def dim(self) -> int:
+        return int(self.matrix.shape[1])
+
+    def vector(self, node: Node) -> np.ndarray:
+        """Embedding of ``node`` at this version (read-only view)."""
+        try:
+            return self.matrix[self.row_of[node]]
+        except KeyError:
+            raise KeyError(
+                f"node {node!r} is not present in version {self.version}"
+            ) from None
+
+    def as_map(self) -> EmbeddingMap:
+        """Materialise the version as a node -> vector dict (copies rows)."""
+        return {node: self.matrix[i].copy() for i, node in enumerate(self.nodes)}
+
+
+class EmbeddingStore:
+    """Append-only sequence of :class:`VersionRecord` embedding snapshots."""
+
+    def __init__(self) -> None:
+        self._versions: list[VersionRecord] = []
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        embeddings: EmbeddingMap | tuple[Sequence[Node], np.ndarray],
+        *,
+        time_step: int | None = None,
+        metadata: Mapping | None = None,
+    ) -> int:
+        """Append a new version; returns its id (0-based, monotonic).
+
+        ``embeddings`` is either the embedding map an update/flush
+        returned, or an already-aligned ``(nodes, matrix)`` pair. Rows are
+        down-cast to float32 and frozen.
+        """
+        if isinstance(embeddings, tuple):
+            nodes, matrix = embeddings
+            nodes = tuple(nodes)
+            # np.array (not asarray): the store must own the rows it
+            # freezes, never the caller's buffer.
+            matrix = np.array(matrix, dtype=np.float32)
+            if matrix.ndim != 2 or matrix.shape[0] != len(nodes):
+                raise ValueError(
+                    "matrix must be 2-D with one row per node "
+                    f"(got shape {matrix.shape} for {len(nodes)} nodes)"
+                )
+        else:
+            nodes = tuple(embeddings)
+            if not nodes:
+                raise ValueError("cannot publish an empty embedding map")
+            matrix = np.stack(
+                [np.asarray(embeddings[n], dtype=np.float32) for n in nodes]
+            )
+        if matrix.size == 0:
+            raise ValueError("cannot publish an empty embedding matrix")
+        matrix.setflags(write=False)
+        version = len(self._versions)
+        record = VersionRecord(
+            version=version,
+            time_step=version if time_step is None else int(time_step),
+            nodes=nodes,
+            matrix=matrix,
+            metadata=dict(metadata) if metadata else {},
+            row_of={node: i for i, node in enumerate(nodes)},
+        )
+        self._versions.append(record)
+        return version
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def num_versions(self) -> int:
+        return len(self._versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    @property
+    def latest(self) -> VersionRecord:
+        if not self._versions:
+            raise LookupError("store has no published versions yet")
+        return self._versions[-1]
+
+    def resolve_version(self, version: int | None) -> int:
+        """Normalise ``None`` / negative ids to an absolute version id."""
+        if not self._versions:
+            raise LookupError("store has no published versions yet")
+        if version is None:
+            return len(self._versions) - 1
+        index = int(version)
+        if index < 0:
+            index += len(self._versions)
+        if not (0 <= index < len(self._versions)):
+            raise LookupError(
+                f"version {version} not in store (have 0..{len(self) - 1})"
+            )
+        return index
+
+    def version(self, version: int | None = None) -> VersionRecord:
+        """Fetch a version record (default / ``None`` / ``-1``: latest)."""
+        return self._versions[self.resolve_version(version)]
+
+    def vector(self, node: Node, version: int | None = None) -> np.ndarray:
+        """Embedding of ``node`` at ``version`` (read-only view)."""
+        return self.version(version).vector(node)
+
+    def __iter__(self):
+        return iter(self._versions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self._versions:
+            return "EmbeddingStore(versions=0)"
+        head = self._versions[-1]
+        return (
+            f"EmbeddingStore(versions={len(self)}, "
+            f"latest={head.num_nodes}x{head.dim})"
+        )
+
+
+# ----------------------------------------------------------------------
+# persistence (single .npz per store)
+# ----------------------------------------------------------------------
+def save_store(store: EmbeddingStore, path: str | Path) -> None:
+    """Serialise a store to one ``.npz`` archive.
+
+    Layout: a JSON manifest (format version + per-version time step and
+    metadata) plus, per version ``i``, a node column ``v{i}_nodes`` and a
+    float32 matrix ``v{i}_matrix``.
+    """
+    manifest = {
+        "format_version": STORE_FORMAT_VERSION,
+        "versions": [
+            {
+                "version": record.version,
+                "time_step": record.time_step,
+                "metadata": record.metadata,
+            }
+            for record in store
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "manifest": np.array([json.dumps(manifest)], dtype=object)
+    }
+    for record in store:
+        arrays[f"v{record.version}_nodes"] = encode_node_column(record.nodes)
+        arrays[f"v{record.version}_matrix"] = np.asarray(record.matrix)
+    # Write through a handle so the archive lands at exactly ``path``
+    # (np.savez silently appends .npz to suffix-less names otherwise,
+    # leaving the caller's path dangling).
+    with open(path, "wb") as handle:
+        np.savez(handle, allow_pickle=True, **arrays)
+
+
+def load_store(path: str | Path) -> EmbeddingStore:
+    """Restore a store saved by :func:`save_store`."""
+    archive = np.load(path, allow_pickle=True)
+    manifest = json.loads(str(archive["manifest"][0]))
+    fmt = int(manifest["format_version"])
+    if fmt != STORE_FORMAT_VERSION:
+        raise ValueError(
+            f"store format {fmt} != supported {STORE_FORMAT_VERSION}"
+        )
+    store = EmbeddingStore()
+    for entry in manifest["versions"]:
+        v = int(entry["version"])
+        nodes = decode_node_column(archive[f"v{v}_nodes"])
+        matrix = archive[f"v{v}_matrix"]
+        store.publish(
+            (nodes, matrix),
+            time_step=int(entry["time_step"]),
+            metadata=entry.get("metadata") or {},
+        )
+    return store

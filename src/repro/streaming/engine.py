@@ -130,6 +130,12 @@ class StreamingGloDyNE:
         hand precomputed changes/CSR to the model (the LCC node set is a
         moving subset of the full state), so it falls back to the
         diff-based snapshot machinery.
+    publish_to:
+        Optional :class:`repro.serving.EmbeddingStore`. Every flush then
+        publishes its embeddings as a new store version, tagged with the
+        flush trigger/event-count/latency metadata — the producer side
+        of the serving subsystem. Set the hook here *or* on the model,
+        not both (both set would publish each flush twice).
     seed, **overrides:
         Forwarded to :class:`GloDyNE` when ``model`` is not given, e.g.
         ``StreamingGloDyNE(dim=64, alpha=0.1, seed=0)``.
@@ -141,6 +147,7 @@ class StreamingGloDyNE:
         *,
         policy: FlushPolicy | None = None,
         restrict_to_lcc: bool = False,
+        publish_to=None,
         seed: int | None = None,
         **overrides,
     ) -> None:
@@ -148,6 +155,7 @@ class StreamingGloDyNE:
             raise ValueError("pass either a model or keyword overrides")
         self.model = model if model is not None else GloDyNE(seed=seed, **overrides)
         self.policy = policy if policy is not None else FlushPolicy()
+        self.publish_to = publish_to
         self.restrict_to_lcc = restrict_to_lcc
         self.state = IncrementalGraphState()
         self.last_result: FlushResult | None = None
@@ -267,6 +275,20 @@ class StreamingGloDyNE:
         )
         self.last_result = result
         self.num_flushes += 1
+        if self.publish_to is not None:
+            # The model's aligned (nodes, matrix) pair skips the store's
+            # per-node dict re-stacking on the serving hot path.
+            self.publish_to.publish(
+                self.model.last_embedding,
+                time_step=result.time_step,
+                metadata={
+                    "source": "stream",
+                    "trigger": trigger,
+                    "num_events": window_events,
+                    "num_selected": result.trace.num_selected,
+                    "flush_seconds": result.seconds,
+                },
+            )
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

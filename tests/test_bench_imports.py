@@ -43,6 +43,7 @@ def test_bench_suite_is_complete():
         "bench_datasets_overview",
         "bench_ablation_reservoir",
         "bench_streaming_throughput",
+        "bench_serving_qps",
     }
     assert expected <= names
 

@@ -111,3 +111,63 @@ class TestAnalyze:
         assert code == 0
         out = capsys.readouterr().out
         assert "cells" in out
+
+
+class TestServeAndQuery:
+    def _serve(self, tmp_path, capsys):
+        store_path = tmp_path / "store.npz"
+        code = main(
+            [
+                "serve", "--dataset", "elec-sim", "--scale", "0.25",
+                "--snapshots", "4", "--dim", "8", "--flush-events", "100",
+                "--store", str(store_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote versioned store" in out
+        assert store_path.exists()
+        return store_path
+
+    def test_serve_then_query_knn(self, tmp_path, capsys):
+        store_path = self._serve(tmp_path, capsys)
+        code = main(
+            ["query", "--store", str(store_path), "--node", "0", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-3 similar to 0" in out
+
+    def test_query_edge_scoring(self, tmp_path, capsys):
+        store_path = self._serve(tmp_path, capsys)
+        code = main(
+            [
+                "query", "--store", str(store_path), "--edge", "0", "1",
+                "--metric", "dot", "--backend", "exact",
+            ]
+        )
+        assert code == 0
+        assert "[dot]" in capsys.readouterr().out
+
+    def test_query_pinned_version(self, tmp_path, capsys):
+        store_path = self._serve(tmp_path, capsys)
+        code = main(
+            [
+                "query", "--store", str(store_path), "--node", "0",
+                "--version", "0",
+            ]
+        )
+        assert code == 0
+        assert "querying version 0" in capsys.readouterr().out
+
+    def test_query_unknown_node_fails(self, tmp_path, capsys):
+        store_path = self._serve(tmp_path, capsys)
+        code = main(
+            ["query", "--store", str(store_path), "--node", "999999"]
+        )
+        assert code == 1
+        assert "not in version" in capsys.readouterr().err
+
+    def test_query_without_work_exits_2(self, tmp_path, capsys):
+        store_path = self._serve(tmp_path, capsys)
+        assert main(["query", "--store", str(store_path)]) == 2

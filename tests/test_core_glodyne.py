@@ -172,3 +172,63 @@ class TestQuality:
         }
         random_scores = mean_precision_at_k(random_embeddings, final, [10])
         assert scores[10] > 3 * random_scores[10]
+
+
+class TestStepTraceIntegrity:
+    """Regression: trace fields are built once, from the walked selection.
+
+    ``selected_nodes`` used to be rebuilt as a second list after
+    ``_walk_and_train`` returned; it is now derived inside the trace
+    construction from the start indices that actually drove the walks,
+    so the trace can never drift from the real selection.
+    """
+
+    def test_offline_trace_matches_snapshot(self, karate_like):
+        model = GloDyNE(**small_config(), seed=0)
+        model.update(karate_like)
+        trace = model.last_trace
+        assert trace.time_step == 0
+        assert trace.num_nodes == karate_like.number_of_nodes()
+        assert trace.selected_nodes == list(karate_like.nodes())
+        assert trace.num_selected == len(trace.selected_nodes)
+
+    def test_online_trace_matches_strategy_output(self, tiny_network):
+        model = GloDyNE(**small_config(), seed=0)
+        captured: list[list] = []
+        inner = model._strategy
+
+        def spy(context, count):
+            selected = inner(context, count)
+            captured.append(list(selected))
+            return selected
+
+        model._strategy = spy
+        for snapshot in tiny_network:
+            model.update(snapshot)
+            trace = model.last_trace
+            assert trace.num_selected == len(trace.selected_nodes)
+            assert set(trace.selected_nodes) <= snapshot.node_set()
+            if trace.time_step > 0:
+                # The trace must report exactly what the selection
+                # strategy returned, in order.
+                assert trace.selected_nodes == captured[-1]
+        assert len(captured) == tiny_network.num_snapshots - 1
+
+    def test_trace_consistent_on_streaming_fast_path(self, tiny_network):
+        from repro.graph.csr import CSRAdjacency
+        from repro.graph.diff import diff_snapshots
+
+        model = GloDyNE(**small_config(), seed=3)
+        previous = None
+        for snapshot in tiny_network:
+            changes = (
+                diff_snapshots(previous, snapshot).node_changes
+                if previous is not None
+                else None
+            )
+            csr = CSRAdjacency.from_graph(snapshot)
+            model.update(snapshot, changes=changes, csr=csr)
+            trace = model.last_trace
+            assert trace.num_selected == len(trace.selected_nodes)
+            assert set(trace.selected_nodes) <= snapshot.node_set()
+            previous = snapshot

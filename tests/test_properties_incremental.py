@@ -1,0 +1,129 @@
+"""Property tests for the removal/weight-update paths of IncrementalCSR.
+
+PR 1's equivalence suite mostly exercised additions; these strategies
+bias the op mix toward removals and weight overwrites, replay every
+sequence through :class:`repro.streaming.IncrementalCSR`, and assert the
+frozen CSR is byte-identical to ``CSRAdjacency.from_graph`` on a Graph
+mirror of the same sequence — including the dict-ordering contract
+(overwrite keeps position, remove shifts left, re-add appends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.graph.csr import CSRAdjacency
+from repro.streaming import IncrementalCSR
+
+# Op kinds: weight-heavy mix over a small universe so the same edge gets
+# added, overwritten, removed, and re-added many times per sequence.
+_OP = st.tuples(
+    st.sampled_from(["add", "remove", "update"]),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+    st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+)
+
+
+def _replay(ops):
+    inc = IncrementalCSR()
+    mirror = Graph()
+    for kind, u, v, weight in ops:
+        if kind == "remove":
+            inc.discard_edge(u, v)
+            mirror.discard_edge(u, v)
+        else:
+            # "update" is an overwrite-add: same path, but the strategy
+            # makes re-weighting an existing edge an explicit, frequent op.
+            inc.add_edge(u, v, weight)
+            mirror.add_edge(u, v, weight)
+    return inc, mirror
+
+
+def _assert_matches_from_graph(inc: IncrementalCSR, mirror: Graph) -> None:
+    frozen = inc.to_csr()
+    expected = CSRAdjacency.from_graph(mirror)
+    assert frozen.nodes == expected.nodes
+    assert np.array_equal(frozen.indptr, expected.indptr)
+    assert np.array_equal(frozen.indices, expected.indices)
+    assert np.array_equal(frozen.weights, expected.weights)
+
+
+class TestRemovalAndWeightUpdates:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=st.lists(_OP, min_size=1, max_size=150))
+    def test_mixed_sequence_matches_batch_freeze(self, ops):
+        inc, mirror = _replay(ops)
+        _assert_matches_from_graph(inc, mirror)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(_OP, min_size=1, max_size=80),
+        drain=st.booleans(),
+    )
+    def test_remove_everything_then_rebuild(self, ops, drain):
+        # Removal-path stress: after replay, strip every live edge (and
+        # optionally re-add them) — rows must stay coherent throughout.
+        inc, mirror = _replay(ops)
+        live = list(mirror.edges())
+        for u, v in live:
+            assert inc.discard_edge(u, v)
+            mirror.discard_edge(u, v)
+        _assert_matches_from_graph(inc, mirror)
+        assert inc.num_entries == 0
+        if drain:
+            for i, (u, v) in enumerate(live):
+                inc.add_edge(u, v, 1.0 + i)
+                mirror.add_edge(u, v, 1.0 + i)
+            _assert_matches_from_graph(inc, mirror)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(_OP, min_size=1, max_size=120))
+    def test_degrees_and_entry_count_track_mirror(self, ops):
+        inc, mirror = _replay(ops)
+        for node in mirror.nodes():
+            assert inc.degree(node) == mirror.degree(node)
+        expected_entries = sum(mirror.degree(n) for n in mirror.nodes())
+        assert inc.num_entries == expected_entries
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(_OP, min_size=1, max_size=120))
+    def test_weight_overwrites_preserve_position(self, ops):
+        # Overwriting a live edge's weight must not move the neighbour
+        # inside its row: the frozen index arrays equal a replay where the
+        # overwrite never happened, only the weights differ.
+        inc, mirror = _replay(ops)
+        live = list(mirror.edges())
+        if not live:
+            return
+        for i, (u, v) in enumerate(live):
+            inc.add_edge(u, v, 100.0 + i)
+            mirror.add_edge(u, v, 100.0 + i)
+        before = inc.to_csr()
+        _assert_matches_from_graph(inc, mirror)
+        again = inc.to_csr()
+        assert np.array_equal(before.indices, again.indices)
+        assert before.nodes == again.nodes
+
+    def test_remove_of_absent_and_unknown_nodes(self):
+        inc = IncrementalCSR()
+        assert not inc.discard_edge("a", "b")  # both unknown
+        inc.add_edge("a", "b", 2.0)
+        assert not inc.discard_edge("a", "zzz")  # one unknown
+        assert inc.discard_edge("a", "b")
+        assert not inc.discard_edge("a", "b")  # already gone
+        assert inc.degree("a") == inc.degree("b") == 0
+
+    def test_self_loop_remove_path(self):
+        inc = IncrementalCSR()
+        mirror = Graph()
+        inc.add_edge(1, 1, 2.5)
+        mirror.add_edge(1, 1, 2.5)
+        inc.add_edge(1, 2, 1.0)
+        mirror.add_edge(1, 2, 1.0)
+        assert inc.discard_edge(1, 1)
+        mirror.discard_edge(1, 1)
+        _assert_matches_from_graph(inc, mirror)

@@ -1,0 +1,176 @@
+"""Unit and property tests for the kNN index backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import BruteForceIndex, LSHIndex, unit_rows
+
+
+def _clustered(rng, clusters=10, per=40, dim=16, spread=0.4):
+    centers = rng.standard_normal((clusters, dim)) * 3.0
+    return np.vstack(
+        [c + rng.standard_normal((per, dim)) * spread for c in centers]
+    )
+
+
+def _recall(index, truth, matrix, queries, k=10):
+    hits = 0
+    for q in queries:
+        approx = set(index.query(matrix[q], k)[0].tolist())
+        exact = set(truth.query(matrix[q], k)[0].tolist())
+        hits += len(approx & exact)
+    return hits / (len(queries) * k)
+
+
+class TestBruteForce:
+    def test_exact_top1_is_self(self):
+        rng = np.random.default_rng(0)
+        matrix = _clustered(rng)
+        index = BruteForceIndex()
+        index.build(matrix)
+        for row in (0, 17, 399):
+            rows, scores = index.query(matrix[row], 3)
+            assert rows[0] == row
+            assert scores[0] == pytest.approx(1.0, abs=1e-5)
+            assert np.all(np.diff(scores) <= 1e-7)  # descending
+
+    def test_matches_manual_cosine(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((50, 8))
+        index = BruteForceIndex()
+        index.build(matrix)
+        q = rng.standard_normal(8)
+        rows, scores = index.query(q, 5)
+        unit = unit_rows(matrix)
+        manual = unit @ (q / np.linalg.norm(q)).astype(np.float32)
+        expected = np.argsort(-manual.astype(np.float64), kind="stable")[:5]
+        assert np.array_equal(rows, expected)
+        assert np.allclose(scores, manual[expected], atol=1e-6)
+
+    def test_k_larger_than_rows(self):
+        index = BruteForceIndex()
+        index.build(np.eye(3))
+        rows, scores = index.query(np.array([1.0, 0, 0]), 10)
+        assert rows.size == 3
+
+    def test_refresh_only_touches_moved_rows(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((30, 4))
+        index = BruteForceIndex()
+        index.build(matrix)
+        moved = matrix.copy()
+        moved[5] += 1.0
+        grown = np.vstack([moved, rng.standard_normal((2, 4))])
+        assert index.refresh(grown, tolerance=1e-6) == 3  # 1 moved + 2 new
+        assert index.num_rows == 32
+        rows, _ = index.query(grown[31], 1)
+        assert rows[0] == 31
+
+    def test_error_paths(self):
+        index = BruteForceIndex()
+        with pytest.raises(RuntimeError):
+            index.query(np.ones(3), 1)
+        index.build(np.eye(3))
+        with pytest.raises(ValueError):
+            index.query(np.ones(3), 0)
+        with pytest.raises(ValueError, match="shrank"):
+            index.refresh(np.eye(2))
+        with pytest.raises(ValueError, match="dimensionality"):
+            index.refresh(np.ones((3, 4)))
+
+
+class TestLSH:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LSHIndex(num_tables=0)
+        with pytest.raises(ValueError):
+            LSHIndex(num_bits=0)
+        with pytest.raises(ValueError):
+            LSHIndex(num_bits=63)
+        with pytest.raises(ValueError):
+            LSHIndex(min_candidates=0)
+
+    def test_recall_on_clustered_data(self):
+        rng = np.random.default_rng(3)
+        matrix = _clustered(rng)
+        truth = BruteForceIndex()
+        truth.build(matrix)
+        index = LSHIndex(seed=0)
+        index.build(matrix)
+        queries = list(range(0, matrix.shape[0], 7))
+        assert _recall(index, truth, matrix, queries) >= 0.9
+
+    def test_scores_are_exact_cosines(self):
+        # Candidates are re-ranked exactly: every returned score must
+        # match the brute-force cosine for that row.
+        rng = np.random.default_rng(4)
+        matrix = _clustered(rng, clusters=4, per=25)
+        index = LSHIndex(seed=1)
+        index.build(matrix)
+        unit = unit_rows(matrix)
+        q = matrix[3]
+        qn = (q / np.linalg.norm(q)).astype(np.float32)
+        rows, scores = index.query(q, 5)
+        assert np.allclose(scores, (unit[rows] @ qn).astype(np.float64))
+
+    def test_refresh_identical_to_rebuild(self):
+        rng = np.random.default_rng(5)
+        matrix = _clustered(rng, clusters=6, per=30, dim=12)
+        index = LSHIndex(seed=2)
+        index.build(matrix)
+
+        updated = matrix.copy()
+        moved = rng.choice(matrix.shape[0], 12, replace=False)
+        updated[moved] += rng.standard_normal((12, 12)) * 0.8
+        updated = np.vstack([updated, rng.standard_normal((7, 12))])
+
+        touched = index.refresh(
+            np.asarray(updated, dtype=np.float32), tolerance=1e-9
+        )
+        assert touched == 12 + 7
+
+        # A from-scratch rebuild of *the same serving index* reuses the
+        # frozen hashing center (like the hyperplane seed); without it
+        # the rebuild would derive a new center from the new matrix and
+        # hash into different buckets.
+        rebuilt = LSHIndex(
+            seed=2, num_bits=index.num_bits, center=index.center
+        )
+        rebuilt.build(np.asarray(updated, dtype=np.float32))
+        for q in range(0, updated.shape[0], 5):
+            a_rows, a_scores = index.query(updated[q], 10)
+            b_rows, b_scores = rebuilt.query(updated[q], 10)
+            assert np.array_equal(a_rows, b_rows)
+            assert np.array_equal(a_scores, b_scores)
+
+    def test_refresh_below_tolerance_is_noop(self):
+        rng = np.random.default_rng(6)
+        matrix = rng.standard_normal((40, 8)).astype(np.float32)
+        index = LSHIndex(seed=0)
+        index.build(matrix)
+        jittered = matrix + 1e-9
+        assert index.refresh(jittered, tolerance=1e-6) == 0
+        assert index.last_refresh_rows == 0
+
+    def test_refresh_on_empty_index_builds(self):
+        index = LSHIndex(seed=0)
+        matrix = np.random.default_rng(0).standard_normal((10, 4))
+        assert index.refresh(np.asarray(matrix, dtype=np.float32)) == 10
+        assert index.num_rows == 10
+
+    def test_deterministic_across_instances(self):
+        rng = np.random.default_rng(7)
+        matrix = _clustered(rng, clusters=3, per=20, dim=8)
+        a, b = LSHIndex(seed=9), LSHIndex(seed=9)
+        a.build(matrix)
+        b.build(matrix)
+        rows_a, scores_a = a.query(matrix[1], 8)
+        rows_b, scores_b = b.query(matrix[1], 8)
+        assert np.array_equal(rows_a, rows_b)
+        assert np.array_equal(scores_a, scores_b)
+
+    def test_query_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            LSHIndex().query(np.ones(4), 1)

@@ -1,0 +1,139 @@
+"""Unit tests for the versioned embedding store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import EmbeddingStore, load_store, save_store
+from repro.serving.store import STORE_FORMAT_VERSION
+
+
+def _store_with_versions(num: int = 3, dim: int = 8) -> EmbeddingStore:
+    rng = np.random.default_rng(7)
+    store = EmbeddingStore()
+    for t in range(num):
+        nodes = [f"n{i}" for i in range(10 + t)]  # grows like a vocab
+        matrix = rng.standard_normal((len(nodes), dim))
+        store.publish((nodes, matrix), time_step=t, metadata={"t": t})
+    return store
+
+
+class TestPublish:
+    def test_publish_from_map_and_tuple_agree(self):
+        rng = np.random.default_rng(0)
+        nodes = ["a", "b", "c"]
+        matrix = rng.standard_normal((3, 4))
+        as_map = {n: matrix[i] for i, n in enumerate(nodes)}
+
+        s1, s2 = EmbeddingStore(), EmbeddingStore()
+        s1.publish(as_map, time_step=0)
+        s2.publish((nodes, matrix), time_step=0)
+        assert s1.latest.nodes == s2.latest.nodes
+        assert np.array_equal(s1.latest.matrix, s2.latest.matrix)
+
+    def test_versions_are_monotonic_and_float32(self):
+        store = _store_with_versions(3)
+        assert [r.version for r in store] == [0, 1, 2]
+        assert store.num_versions == len(store) == 3
+        for record in store:
+            assert record.matrix.dtype == np.float32
+
+    def test_matrix_is_frozen(self):
+        store = _store_with_versions(1)
+        with pytest.raises(ValueError):
+            store.latest.matrix[0, 0] = 99.0
+
+    def test_empty_publishes_rejected(self):
+        store = EmbeddingStore()
+        with pytest.raises(ValueError):
+            store.publish({})
+        with pytest.raises(ValueError):
+            store.publish(([], np.empty((0, 4))))
+        with pytest.raises(ValueError):
+            store.publish((["a"], np.zeros((2, 3))))  # misaligned
+
+    def test_default_time_step_is_version(self):
+        store = EmbeddingStore()
+        store.publish({"a": np.ones(2)})
+        store.publish({"a": np.ones(2)})
+        assert [r.time_step for r in store] == [0, 1]
+
+
+class TestReads:
+    def test_version_resolution(self):
+        store = _store_with_versions(3)
+        assert store.version().version == 2
+        assert store.version(None).version == 2
+        assert store.version(-1).version == 2
+        assert store.version(-3).version == 0
+        assert store.version(1).version == 1
+        with pytest.raises(LookupError):
+            store.version(3)
+        with pytest.raises(LookupError):
+            store.version(-4)
+
+    def test_empty_store_raises(self):
+        store = EmbeddingStore()
+        with pytest.raises(LookupError):
+            _ = store.latest
+        with pytest.raises(LookupError):
+            store.version(0)
+
+    def test_vector_and_unknown_node(self):
+        store = _store_with_versions(2)
+        record = store.version(0)
+        assert np.array_equal(store.vector("n3", 0), record.matrix[3])
+        with pytest.raises(KeyError):
+            store.vector("missing", 0)
+
+    def test_as_map_copies(self):
+        store = _store_with_versions(1)
+        emap = store.latest.as_map()
+        emap["n0"][:] = 0.0  # mutating the copy must not touch the store
+        assert not np.allclose(store.latest.matrix[0], 0.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        store = _store_with_versions(3)
+        path = tmp_path / "store.npz"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.num_versions == 3
+        for original, restored in zip(store, loaded):
+            assert restored.nodes == original.nodes
+            assert restored.time_step == original.time_step
+            assert restored.metadata == original.metadata
+            assert np.array_equal(restored.matrix, original.matrix)
+
+    def test_int_node_ids_survive(self, tmp_path):
+        store = EmbeddingStore()
+        store.publish(([1, 2, 3], np.eye(3)), time_step=0)
+        path = tmp_path / "store.npz"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.latest.nodes == (1, 2, 3)  # ints, not "1"/"2"/"3"
+
+    def test_suffixless_path_round_trips(self, tmp_path):
+        # np.savez appends .npz to bare names; save_store must write to
+        # exactly the requested path so a later load finds it.
+        store = _store_with_versions(1)
+        path = tmp_path / "mystore"
+        save_store(store, path)
+        assert path.exists()
+        assert load_store(path).num_versions == 1
+
+    def test_format_version_guard(self, tmp_path):
+        store = _store_with_versions(1)
+        path = tmp_path / "store.npz"
+        save_store(store, path)
+        import json
+
+        archive = dict(np.load(path, allow_pickle=True))
+        manifest = json.loads(str(archive["manifest"][0]))
+        manifest["format_version"] = STORE_FORMAT_VERSION + 1
+        archive["manifest"] = np.array([json.dumps(manifest)], dtype=object)
+        np.savez(path, allow_pickle=True, **archive)
+        with pytest.raises(ValueError, match="format"):
+            load_store(path)

@@ -1,0 +1,103 @@
+"""Property tests for the negative-sampling machinery.
+
+The paper draws negatives "from a unigram distribution P_{D^t}" raised to
+the word2vec 3/4 power; these tests pin that contract empirically: the
+alias table's sampling frequencies must converge to ``counts ** 0.75``
+(normalised) within a statistical tolerance, for any corpus count vector
+— and the degenerate corpora (all-zero counts, empty input) must fail
+loudly rather than silently mis-sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sgns import build_noise_table
+from repro.walks.alias import AliasTable
+
+
+def _empirical_frequencies(table: AliasTable, draws: int, seed: int):
+    rng = np.random.default_rng(seed)
+    samples = table.sample(rng, size=draws)
+    return np.bincount(samples, minlength=table.n) / draws
+
+
+class TestNoiseTableConvergence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=500), min_size=2, max_size=24
+        ).filter(lambda c: sum(1 for x in c if x > 0) >= 2),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_frequencies_converge_to_unigram_power(self, counts, seed):
+        counts = np.asarray(counts, dtype=np.int64)
+        table, present = build_noise_table(counts, power=0.75)
+
+        # Only non-zero-count nodes participate, in ascending index order.
+        assert np.array_equal(present, np.flatnonzero(counts > 0))
+        assert table.n == present.size
+
+        expected = counts[present].astype(np.float64) ** 0.75
+        expected /= expected.sum()
+        draws = 60_000
+        observed = _empirical_frequencies(table, draws, seed)
+        # Normal-approximation bound: ~5 sigma per cell plus a small
+        # absolute floor keeps the test deterministic-in-practice while
+        # still catching any systematic distortion of the distribution.
+        sigma = np.sqrt(expected * (1.0 - expected) / draws)
+        assert np.all(np.abs(observed - expected) <= 5.0 * sigma + 1e-3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(power=st.sampled_from([0.25, 0.5, 0.75, 1.0]))
+    def test_power_parameter_reshapes_distribution(self, power):
+        counts = np.array([1, 16, 256], dtype=np.int64)
+        table, present = build_noise_table(counts, power=power)
+        expected = counts.astype(np.float64) ** power
+        expected /= expected.sum()
+        observed = _empirical_frequencies(table, 80_000, seed=0)
+        assert np.allclose(observed, expected, atol=0.01)
+
+    def test_unigram_heavy_tail_dampened(self):
+        # The whole point of the 3/4 power: frequent nodes are sampled
+        # *less* than proportionally, rare nodes more.
+        counts = np.array([1, 10_000], dtype=np.int64)
+        table, _ = build_noise_table(counts, power=0.75)
+        observed = _empirical_frequencies(table, 50_000, seed=1)
+        raw_share = 10_000 / 10_001
+        assert observed[1] < raw_share
+        assert observed[0] > 1 / 10_001
+
+
+class TestErrorPaths:
+    def test_zero_count_corpus_rejected(self):
+        with pytest.raises(ValueError, match="no occurrences"):
+            build_noise_table(np.zeros(8, dtype=np.int64))
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="no occurrences"):
+            build_noise_table(np.empty(0, dtype=np.int64))
+
+    def test_alias_table_input_validation(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.empty(0))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([[1.0, 2.0]]))  # not 1-D
+        with pytest.raises(ValueError):
+            AliasTable(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([np.inf, 1.0]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([np.nan]))
+        with pytest.raises(ValueError):
+            AliasTable(np.zeros(4))  # sums to zero
+
+    def test_single_survivor_always_sampled(self):
+        counts = np.array([0, 7, 0], dtype=np.int64)
+        table, present = build_noise_table(counts)
+        assert np.array_equal(present, [1])
+        rng = np.random.default_rng(0)
+        assert np.all(table.sample(rng, size=256) == 0)
