@@ -16,15 +16,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import SEEDS, bench_network, write_result
+from common import SEEDS, bench_network, pick, write_result
 from repro import GloDyNE
 from repro.experiments import format_mean_std, render_table, run_method
 from repro.tasks import graph_reconstruction_over_time, link_prediction_over_time
 
-DATASETS = ["as733-sim", "elec-sim"]
+DATASETS = pick(["as733-sim", "elec-sim"], ["elec-sim"])
 K_EVAL = 10
-KWARGS = dict(
-    dim=32, alpha=0.1, num_walks=5, walk_length=20, window_size=5, epochs=2
+KWARGS = pick(
+    dict(dim=32, alpha=0.1, num_walks=5, walk_length=20, window_size=5,
+         epochs=2),
+    dict(dim=16, alpha=0.1, num_walks=3, walk_length=12, window_size=3,
+         epochs=1),
 )
 
 
@@ -92,3 +95,26 @@ def test_ablation_reservoir_bias(benchmark):
             result["biased"]["gr"].mean()
             >= result["uniform"]["gr"].mean() - 0.05
         )
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("ablation_reservoir", tags=("ablation",))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_ablation()
+    metrics = {}
+    for dataset, result in summary.items():
+        slug = dataset.replace("-", "_")
+        metrics[f"{slug}_gr_biased"] = float(result["biased"]["gr"].mean())
+        metrics[f"{slug}_gr_uniform"] = float(result["uniform"]["gr"].mean())
+        metrics[f"{slug}_lp_biased"] = float(result["biased"]["lp"].mean())
+        metrics[f"{slug}_lp_uniform"] = float(result["uniform"]["lp"].mean())
+    return {
+        "metrics": metrics,
+        "config": {"datasets": DATASETS, "k": K_EVAL, **KWARGS},
+        "summary": text,
+    }

@@ -48,3 +48,28 @@ def test_datasets_overview(benchmark):
             name == "as733-sim"
         )
         assert summary.mean_changed_edges_per_step > 0
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("datasets_overview", tags=("datasets",))
+def run_bench(tiny: bool) -> dict:
+    text, summaries = build_overview()
+    metrics = {}
+    for name, summary in summaries.items():
+        slug = name.replace("-", "_")
+        metrics[f"{slug}_final_nodes"] = summary.final_nodes
+        metrics[f"{slug}_final_edges"] = summary.final_edges
+        metrics[f"{slug}_snapshots"] = summary.num_snapshots
+        metrics[f"{slug}_mean_changed_edges"] = (
+            summary.mean_changed_edges_per_step
+        )
+    return {
+        "metrics": metrics,
+        "config": {"datasets": DATASET_NAMES},
+        "summary": text,
+    }

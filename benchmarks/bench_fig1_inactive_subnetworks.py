@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import bench_network, write_result
+from common import bench_network, pick, write_result
 from repro.analysis import inactive_subnetworks
 from repro.experiments import render_table
 
-DATASETS = ["elec-sim", "hepph-sim", "fbw-sim"]
+DATASETS = pick(["elec-sim", "hepph-sim", "fbw-sim"], ["elec-sim"])
 CELL_SIZE = 15  # scaled from the paper's ~50-node cells
 MIN_STREAK = 5
 
@@ -66,3 +66,29 @@ def test_fig1_inactive_subnetworks(benchmark):
         assert report.inactive_fraction > 0.05, (
             f"too few inactive cells on {dataset}"
         )
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("fig1_inactive_subnetworks", tags=("paper", "analysis"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_fig1_inactive()
+    metrics = {}
+    for dataset, report in summary.items():
+        slug = dataset.replace("-", "_")
+        metrics[f"{slug}_inactive_fraction"] = report.inactive_fraction
+        metrics[f"{slug}_cells_with_streak"] = report.cells_with_streak
+        metrics[f"{slug}_num_cells"] = report.num_cells
+    return {
+        "metrics": metrics,
+        "config": {
+            "datasets": DATASETS,
+            "cell_size": CELL_SIZE,
+            "min_streak": MIN_STREAK,
+        },
+        "summary": text,
+    }

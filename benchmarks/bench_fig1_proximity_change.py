@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import bench_network, write_result
+from common import bench_network, pick, write_result
 from repro.analysis import proximity_change_profile
 from repro.experiments import render_table
 
-DATASETS = ["elec-sim", "hepph-sim", "fbw-sim"]
+DATASETS = pick(["elec-sim", "hepph-sim", "fbw-sim"], ["elec-sim"])
 
 
 def build_fig1_proximity() -> tuple[str, dict]:
@@ -60,3 +60,22 @@ def test_fig1_proximity_change(benchmark):
     # 82-21k, depend on |V|^2; our graphs are ~100x smaller.)
     for dataset, mean in summary.items():
         assert mean > 5.0, f"Δsp/edge suspiciously small on {dataset}"
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("fig1_proximity_change", tags=("paper", "analysis"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_fig1_proximity()
+    return {
+        "metrics": {
+            f"{dataset.replace('-', '_')}_mean_dsp_per_edge": mean
+            for dataset, mean in summary.items()
+        },
+        "config": {"datasets": DATASETS, "max_sources": 48},
+        "summary": text,
+    }

@@ -8,7 +8,6 @@ Skip-Gram regime. The bench emits the scatter's coordinates as a table
 
 from __future__ import annotations
 
-import numpy as np
 
 from common import DATASET_NAMES, METHOD_NAMES, collect_metric, write_result
 from repro.experiments import render_table
@@ -89,3 +88,23 @@ def test_fig2_effectiveness_efficiency(benchmark):
     # And GloDyNE's effectiveness stays near the per-dataset best AUC on
     # at least half the datasets (the 'top-left corner' effectiveness).
     assert summary["close_to_best"] >= summary["evaluable"] / 2
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("fig2_effectiveness_efficiency", tags=("paper", "perf"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_fig2()
+    return {
+        "metrics": dict(summary),
+        "config": {
+            "datasets": DATASET_NAMES,
+            "methods": METHOD_NAMES,
+            "skipgram_regime": SKIPGRAM_REGIME,
+        },
+        "summary": text,
+    }

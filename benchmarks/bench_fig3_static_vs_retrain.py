@@ -10,15 +10,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import SEEDS, bench_network, write_result
+from common import SEEDS, bench_network, pick, write_result
 from repro.core import SGNSRetrain, SGNSStatic
 from repro.experiments import render_table
 from repro.tasks import per_step_precision
 
-DATASETS = ["as733-sim", "elec-sim"]
+DATASETS = pick(["as733-sim", "elec-sim"], ["elec-sim"])
 K_EVAL = 10
-VARIANT_KWARGS = dict(
-    dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2
+VARIANT_KWARGS = pick(
+    dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2),
+    dict(dim=16, num_walks=3, walk_length=12, window_size=3, epochs=1),
 )
 
 
@@ -67,3 +68,24 @@ def test_fig3_static_vs_retrain(benchmark):
         assert np.mean(static[-3:]) < static[0]
         # Paper shape 3: retrain stays roughly level (no such decay).
         assert np.mean(retrain[-3:]) > 0.75 * retrain[0]
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("fig3_static_vs_retrain", tags=("paper", "variants"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_fig3()
+    metrics = {}
+    for dataset, curves in summary.items():
+        slug = dataset.replace("-", "_")
+        metrics[f"{slug}_static_mean"] = float(np.mean(curves["static"][1:]))
+        metrics[f"{slug}_retrain_mean"] = float(np.mean(curves["retrain"][1:]))
+    return {
+        "metrics": metrics,
+        "config": {"datasets": DATASETS, "k": K_EVAL, **VARIANT_KWARGS},
+        "summary": text,
+    }

@@ -9,15 +9,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import SEEDS, bench_network, write_result
+from common import SEEDS, bench_network, pick, write_result
 from repro.core import SGNSIncrement, SGNSRetrain
 from repro.experiments import render_table
 from repro.tasks import per_step_precision
 
-DATASETS = ["as733-sim", "elec-sim"]
+DATASETS = pick(["as733-sim", "elec-sim"], ["elec-sim"])
 K_EVAL = 10
-VARIANT_KWARGS = dict(
-    dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2
+VARIANT_KWARGS = pick(
+    dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2),
+    dict(dim=16, num_walks=3, walk_length=12, window_size=3, epochs=1),
 )
 
 
@@ -71,3 +72,26 @@ def test_fig4_increment_vs_retrain(benchmark):
         assert np.mean(increment[1:]) >= np.mean(retrain[1:]) - 0.01, (
             f"incremental learning lost to retraining on {dataset}"
         )
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("fig4_increment_vs_retrain", tags=("paper", "variants"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_fig4()
+    metrics = {}
+    for dataset, curves in summary.items():
+        slug = dataset.replace("-", "_")
+        metrics[f"{slug}_increment_mean"] = float(
+            np.mean(curves["increment"][1:])
+        )
+        metrics[f"{slug}_retrain_mean"] = float(np.mean(curves["retrain"][1:]))
+    return {
+        "metrics": metrics,
+        "config": {"datasets": DATASETS, "k": K_EVAL, **VARIANT_KWARGS},
+        "summary": text,
+    }

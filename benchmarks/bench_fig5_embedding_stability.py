@@ -16,14 +16,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import bench_network, write_result
+from common import bench_network, pick, write_result
 from repro.core import GloDyNE, SGNSRetrain
 from repro.experiments import render_table
 from repro.ml import PCA, procrustes_disparity
 from repro.tasks import per_step_precision  # noqa: F401 (doc cross-ref)
 
 DATASET = "elec-sim"
-KWARGS = dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2)
+KWARGS = pick(
+    dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2),
+    dict(dim=16, num_walks=3, walk_length=12, window_size=3, epochs=1),
+)
 
 
 def rotation_benefit(embeddings_per_step, network) -> list[float]:
@@ -95,3 +98,22 @@ def test_fig5_embedding_stability(benchmark):
         "GloDyNE should need less rotation than retrain"
     )
     assert summary["retrain"] > 2 * summary["glodyne"]
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("fig5_embedding_stability", tags=("paper", "stability"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_fig5()
+    return {
+        "metrics": {
+            "glodyne_rotation_benefit": summary["glodyne"],
+            "retrain_rotation_benefit": summary["retrain"],
+        },
+        "config": {"dataset": DATASET, **KWARGS},
+        "summary": text,
+    }

@@ -10,15 +10,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import SEEDS, bench_network, write_result
+from common import SEEDS, bench_network, pick, write_result
 from repro import GloDyNE
 from repro.experiments import render_table, run_method
 from repro.tasks import graph_reconstruction_over_time
 
-DATASETS = ["as733-sim", "elec-sim"]
-ALPHAS = [0.01, 0.05, 0.1, 0.3, 0.5, 1.0]
+DATASETS = pick(["as733-sim", "elec-sim"], ["elec-sim"])
+ALPHAS = pick([0.01, 0.05, 0.1, 0.3, 0.5, 1.0], [0.05, 0.1, 1.0])
 K_EVAL = 10
-KWARGS = dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2)
+KWARGS = pick(
+    dict(dim=32, num_walks=5, walk_length=20, window_size=5, epochs=2),
+    dict(dim=16, num_walks=3, walk_length=12, window_size=3, epochs=1),
+)
 
 
 def sweep_alpha(dataset: str) -> dict[float, tuple[float, float]]:
@@ -76,3 +79,27 @@ def test_fig6_alpha_tradeoff(benchmark):
         assert curve[mid_alpha][0] > 0.85 * curve[full_alpha][0]
         # Paper shape 3: alpha = 1.0 costs much more time than alpha = 0.1.
         assert curve[full_alpha][1] > 1.5 * curve[mid_alpha][1]
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("fig6_alpha_tradeoff", tags=("paper", "ablation"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_fig6()
+    metrics = {}
+    for dataset, curve in summary.items():
+        slug = dataset.replace("-", "_")
+        for alpha, (score, seconds) in curve.items():
+            alpha_slug = str(alpha).replace(".", "p")
+            metrics[f"{slug}_a{alpha_slug}_precision"] = score
+            metrics[f"{slug}_a{alpha_slug}_seconds"] = seconds
+    return {
+        "metrics": metrics,
+        "config": {"datasets": DATASETS, "alphas": ALPHAS, "k": K_EVAL,
+                   **KWARGS},
+        "summary": text,
+    }

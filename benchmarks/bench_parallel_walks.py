@@ -1,0 +1,264 @@
+"""Parallel hot path: walk-corpus throughput and mega-batch negatives.
+
+Two claims measured, matching :mod:`repro.parallel`'s design:
+
+1. **Multi-worker corpus generation** — ``generate_walks(workers=4)``
+   over shared-memory CSR buffers vs the serial path on a >= 5k-node
+   community graph. The outputs are equivalence-checked in-bench
+   (identical shape; identical corpus-pair structure on a graph with no
+   degree-0 truncation). Speedup scales with physical cores: the
+   committed JSON records ``host.cpu_count`` so a 1-core container's
+   honest ~1x is never mistaken for a regression of the 4-core >= 2x.
+2. **Negative prefetch** — ``TrainConfig(negative_prefetch=32)`` draws
+   SGNS negatives once per mega-batch instead of once per minibatch;
+   measured as a train-round timing against the legacy per-minibatch
+   stream.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/run_all.py --only parallel_walks --json out/
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import write_result
+from repro.bench import register_bench
+from repro.bench.telemetry import effective_cpu_count
+from repro.experiments import render_table
+from repro.graph.csr import CSRAdjacency
+from repro.graph.static import Graph
+from repro.parallel import DEFAULT_CHUNK_STARTS, generate_walks
+from repro.sgns.model import SGNSModel
+from repro.sgns.trainer import TrainConfig, train_on_corpus
+from repro.walks.corpus import build_pair_corpus
+
+WORKERS = 4
+CHUNK_STARTS = DEFAULT_CHUNK_STARTS
+
+
+def walk_benchmark_graph(num_nodes: int, seed: int = 0) -> Graph:
+    """Ring-of-communities graph with min degree 2 (no walk truncation).
+
+    Truncation-free matters for the equivalence check: on such a graph
+    every walk reaches full length, so serial and chunked corpora must
+    agree exactly in shape and per-node pair counts, whatever the rng.
+    """
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    comm_size = 25
+    for base in range(0, num_nodes, comm_size):
+        nodes = list(range(base, min(base + comm_size, num_nodes)))
+        for i, u in enumerate(nodes):
+            graph.add_edge(u, nodes[(i + 1) % len(nodes)])
+        for _ in range(len(nodes) * 3):
+            i, j = rng.integers(0, len(nodes), size=2)
+            if i != j:
+                graph.add_edge(nodes[int(i)], nodes[int(j)])
+    for _ in range(num_nodes // 3):
+        u, v = rng.integers(0, num_nodes, size=2)
+        if u != v:
+            graph.add_edge(int(u), int(v))
+    return graph
+
+
+def _cpu_count() -> int:
+    return effective_cpu_count() or 1
+
+
+def run_corpus_throughput(
+    num_nodes: int = 5000,
+    num_walks: int = 10,
+    walk_length: int = 80,
+    window_size: int = 10,
+    workers: int = WORKERS,
+) -> tuple[str, dict]:
+    graph = walk_benchmark_graph(num_nodes)
+    csr = CSRAdjacency.from_graph(graph)
+    starts = np.arange(csr.num_nodes)
+
+    # Warm the pool (process spawn is a one-time cost, not throughput)
+    # and the serial path's caches before timing either.
+    generate_walks(csr, starts[:256], 1, 5, np.random.default_rng(0),
+                   workers=workers, chunk_starts=CHUNK_STARTS)
+    generate_walks(csr, starts[:256], 1, 5, np.random.default_rng(0))
+
+    began = time.perf_counter()
+    serial_walks = generate_walks(
+        csr, starts, num_walks, walk_length, np.random.default_rng(1)
+    )
+    serial_corpus = build_pair_corpus(serial_walks, window_size, csr.num_nodes)
+    serial_s = time.perf_counter() - began
+
+    began = time.perf_counter()
+    parallel_walks = generate_walks(
+        csr, starts, num_walks, walk_length, np.random.default_rng(1),
+        workers=workers, chunk_starts=CHUNK_STARTS,
+    )
+    parallel_corpus = build_pair_corpus(
+        parallel_walks, window_size, csr.num_nodes
+    )
+    parallel_s = time.perf_counter() - began
+
+    # Equivalence: different rng streams, same corpus structure.
+    assert parallel_walks.shape == serial_walks.shape
+    assert parallel_corpus.num_pairs == serial_corpus.num_pairs
+    assert int(parallel_corpus.counts.sum()) == int(serial_corpus.counts.sum())
+
+    transitions = serial_walks.shape[0] * (walk_length - 1)
+    stats = {
+        "nodes": csr.num_nodes,
+        "edges": csr.num_edges,
+        "walks": int(serial_walks.shape[0]),
+        "pairs": serial_corpus.num_pairs,
+        "workers": workers,
+        "cpu_count": _cpu_count(),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / max(parallel_s, 1e-9),
+        "serial_transitions_per_sec": transitions / max(serial_s, 1e-9),
+        "parallel_transitions_per_sec": transitions / max(parallel_s, 1e-9),
+    }
+    text = render_table(
+        ["path", "seconds", "transitions/sec"],
+        [
+            ["serial (workers=1)", f"{serial_s:.3f}s",
+             f"{stats['serial_transitions_per_sec']:,.0f}"],
+            [f"parallel (workers={workers})", f"{parallel_s:.3f}s",
+             f"{stats['parallel_transitions_per_sec']:,.0f}"],
+            ["speedup", f"{stats['speedup']:.2f}x",
+             f"({stats['cpu_count']} cores available)"],
+        ],
+        title=(
+            f"walk corpus generation: {csr.num_nodes} nodes, "
+            f"{stats['walks']} walks x {walk_length} steps"
+        ),
+    )
+    return text, stats
+
+
+def run_negative_prefetch(
+    num_nodes: int = 2000,
+    num_walks: int = 5,
+    walk_length: int = 40,
+    window_size: int = 5,
+    dim: int = 64,
+    prefetch: int = 32,
+) -> tuple[str, dict]:
+    graph = walk_benchmark_graph(num_nodes, seed=3)
+    csr = CSRAdjacency.from_graph(graph)
+    walks = generate_walks(
+        csr, np.arange(csr.num_nodes), num_walks, walk_length,
+        np.random.default_rng(2),
+    )
+    corpus = build_pair_corpus(walks, window_size, csr.num_nodes)
+
+    def train_round(negative_prefetch: int) -> float:
+        model = SGNSModel(dim, rng=np.random.default_rng(0))
+        model.ensure_nodes(csr.nodes)
+        row_of = model.vocab.indices(csr.nodes)
+        config = TrainConfig(
+            epochs=1, batch_size=1024, negative_prefetch=negative_prefetch
+        )
+        began = time.perf_counter()
+        train_on_corpus(
+            model, corpus, row_of, np.random.default_rng(5), config=config
+        )
+        return time.perf_counter() - began
+
+    train_round(1)  # warm caches/allocators outside timing
+    legacy_s = train_round(1)
+    mega_s = train_round(prefetch)
+    stats = {
+        "pairs": corpus.num_pairs,
+        "prefetch": prefetch,
+        "legacy_s": legacy_s,
+        "mega_s": mega_s,
+        "speedup": legacy_s / max(mega_s, 1e-9),
+    }
+    text = render_table(
+        ["negative drawing", "seconds", "pairs/sec"],
+        [
+            ["per minibatch (prefetch=1)", f"{legacy_s:.3f}s",
+             f"{corpus.num_pairs / max(legacy_s, 1e-9):,.0f}"],
+            [f"per mega-batch (prefetch={prefetch})", f"{mega_s:.3f}s",
+             f"{corpus.num_pairs / max(mega_s, 1e-9):,.0f}"],
+            ["speedup", f"{stats['speedup']:.2f}x", ""],
+        ],
+        title=f"SGNS train round over {corpus.num_pairs} pairs (d={dim})",
+    )
+    return text, stats
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_parallel_corpus_throughput(benchmark):
+    text, stats = benchmark.pedantic(
+        run_corpus_throughput, rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_result("parallel_walks.txt", text)
+    # The >= 2x gate holds where the hardware can deliver it; a 1-core
+    # container can only assert the engine is not pathologically slower.
+    if stats["cpu_count"] >= 4:
+        assert stats["speedup"] >= 2.0, stats
+    else:
+        assert stats["speedup"] > 0.3, stats
+
+
+def test_negative_prefetch_not_slower(benchmark):
+    text, stats = benchmark.pedantic(
+        run_negative_prefetch, rounds=1, iterations=1
+    )
+    print("\n" + text)
+    write_result("parallel_negative_prefetch.txt", text)
+    # Mega-batch drawing removes sampler round-trips; allow scheduler
+    # noise but catch a real regression.
+    assert stats["speedup"] > 0.8, stats
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+@register_bench("parallel_walks", tags=("perf", "walks", "sgns"))
+def run_bench(tiny: bool) -> dict:
+    corpus_kwargs = (
+        dict(num_nodes=600, num_walks=3, walk_length=15, window_size=3)
+        if tiny
+        else dict(num_nodes=5000, num_walks=10, walk_length=80, window_size=10)
+    )
+    prefetch_kwargs = (
+        dict(num_nodes=400, num_walks=3, walk_length=15, window_size=3, dim=16)
+        if tiny
+        else dict()
+    )
+    corpus_text, corpus_stats = run_corpus_throughput(**corpus_kwargs)
+    prefetch_text, prefetch_stats = run_negative_prefetch(**prefetch_kwargs)
+    return {
+        "metrics": {
+            "corpus_speedup": corpus_stats["speedup"],
+            "corpus_serial_s": corpus_stats["serial_s"],
+            "corpus_parallel_s": corpus_stats["parallel_s"],
+            "serial_transitions_per_sec":
+                corpus_stats["serial_transitions_per_sec"],
+            "parallel_transitions_per_sec":
+                corpus_stats["parallel_transitions_per_sec"],
+            "nodes": corpus_stats["nodes"],
+            "edges": corpus_stats["edges"],
+            "pairs": corpus_stats["pairs"],
+            "prefetch_speedup": prefetch_stats["speedup"],
+            "prefetch_legacy_s": prefetch_stats["legacy_s"],
+            "prefetch_mega_s": prefetch_stats["mega_s"],
+        },
+        "config": {
+            "workers": corpus_stats["workers"],
+            "chunk_starts": CHUNK_STARTS,
+            "negative_prefetch": prefetch_stats["prefetch"],
+            **{f"corpus_{k}": v for k, v in corpus_kwargs.items()},
+        },
+        "summary": corpus_text + "\n\n" + prefetch_text,
+    }

@@ -320,3 +320,47 @@ def main(argv: list[str] | None = None) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(main())
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("serving_qps", tags=("perf", "serving"))
+def run_bench(tiny: bool) -> dict:
+    if tiny:
+        matrix = embed_graph(community_graph(600), 32)
+        sections = [
+            run_query_throughput(num_queries=100, matrix=matrix),
+            run_refresh_latency(new_rows=10, rounds=4, matrix=matrix),
+        ]
+        qps, refresh = (stats for _, stats in sections)
+        metrics = {
+            "lsh_single_qps": qps["lsh_qps"],
+            "brute_single_qps": qps["brute_qps"],
+            "qps_speedup": qps["speedup"],
+            "recall_at_k": qps["recall_at_k"],
+            "refresh_speedup": refresh["speedup"],
+        }
+    else:
+        sections = run_full_suite()
+        qps128, qps256, refresh = (stats for _, stats in sections)
+        metrics = {
+            "lsh_single_qps_d128": qps128["lsh_qps"],
+            "brute_single_qps_d128": qps128["brute_qps"],
+            "qps_speedup_d128": qps128["speedup"],
+            "recall_at_k_d128": qps128["recall_at_k"],
+            "lsh_single_qps_d256": qps256["lsh_qps"],
+            "brute_single_qps_d256": qps256["brute_qps"],
+            "qps_speedup_d256": qps256["speedup"],
+            "recall_at_k_d256": qps256["recall_at_k"],
+            "refresh_speedup": refresh["speedup"],
+        }
+    return {
+        "metrics": metrics,
+        "config": {"lsh": LSH_PARAMS, "batch_size": BATCH_SIZE,
+                   "tiny_nodes": 600 if tiny else 5000},
+        "summary": "\n\n".join(text for text, _ in sections),
+    }

@@ -286,3 +286,49 @@ def main(argv: list[str] | None = None) -> int:
 
 if __name__ == "__main__":
     raise SystemExit(main())
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("streaming_throughput", tags=("perf", "streaming"))
+def run_bench(tiny: bool) -> dict:
+    if tiny:
+        engine_text, engine = run_engine_throughput(
+            num_nodes=120, num_steps=5, events_per_step=80, flush_every=120
+        )
+        csr_text, csr = run_csr_maintenance(
+            num_nodes=400, num_updates=8, delta_per_update=5
+        )
+        step_text, step = run_weighted_stepping(
+            num_nodes=200, num_walkers=100, walk_length=15
+        )
+    else:
+        engine_text, engine = run_engine_throughput()
+        csr_text, csr = run_csr_maintenance()
+        step_text, step = run_weighted_stepping()
+    return {
+        "metrics": {
+            "events_per_sec": engine["events_per_sec"],
+            "ingest_events_per_sec": engine["ingest_events_per_sec"],
+            "flush_mean_s": engine["flush_mean_s"],
+            "flush_max_s": engine["flush_max_s"],
+            "flushes": engine["flushes"],
+            "csr_incremental_s": csr["incremental_s"],
+            "csr_rebuild_s": csr["rebuild_s"],
+            "csr_speedup": csr["speedup"],
+            "weighted_vectorized_s": step["vectorized_s"],
+            "weighted_looped_s": step["looped_s"],
+            "weighted_speedup": step["speedup"],
+        },
+        "config": {
+            "events": engine["events"],
+            "csr_edges": csr["edges"],
+            "weighted_transitions": step["transitions"],
+            **WALK_KWARGS,
+        },
+        "summary": "\n\n".join([engine_text, csr_text, step_text]),
+    }

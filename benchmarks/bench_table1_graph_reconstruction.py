@@ -100,3 +100,30 @@ def test_table1_graph_reconstruction(benchmark):
             f"{wins[incremental]}"
         )
     assert summary["glodyne_mean"] > 0.5
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("table1_graph_reconstruction", tags=("paper", "gr"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_table1()
+    return {
+        "metrics": {
+            "cells": summary["cells"],
+            "glodyne_mean_precision": summary["glodyne_mean"],
+            **{
+                f"wins_{method.lower()}": count
+                for method, count in summary["wins"].items()
+            },
+        },
+        "config": {
+            "datasets": DATASET_NAMES,
+            "methods": METHOD_NAMES,
+            "ks": GR_KS,
+        },
+        "summary": text,
+    }

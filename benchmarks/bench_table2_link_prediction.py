@@ -68,3 +68,23 @@ def test_table2_link_prediction(benchmark):
     assert summary["near_best"] >= summary["num_growth"] - 1
     # ... and meaningfully above chance on average.
     assert summary["glodyne_mean_auc"] > 0.55
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("table2_link_prediction", tags=("paper", "lp"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_table2()
+    return {
+        "metrics": {
+            "glodyne_mean_auc": summary["glodyne_mean_auc"],
+            "near_best": summary["near_best"],
+            "num_growth_datasets": summary["num_growth"],
+        },
+        "config": {"datasets": DATASET_NAMES, "methods": METHOD_NAMES},
+        "summary": text,
+    }

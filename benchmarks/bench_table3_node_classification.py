@@ -8,10 +8,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from common import METHOD_NAMES, NC_RATIOS, collect_metric, write_result
+from common import METHOD_NAMES, NC_RATIOS, collect_metric, pick, write_result
 from repro.experiments import annotate_cell, render_table
 
-LABELED = ["cora-sim", "dblp-sim"]
+LABELED = pick(["cora-sim", "dblp-sim"], ["cora-sim"])
 
 
 def build_table3() -> tuple[str, dict]:
@@ -73,3 +73,28 @@ def test_table3_node_classification(benchmark):
         assert "GloDyNE" in ranked[:2], f"GloDyNE not top-2 on {dataset}"
     # Cora (clean labels) easier than DBLP (noisy labels) for GloDyNE.
     assert summary["cora-sim"]["GloDyNE"] > summary["dblp-sim"]["GloDyNE"]
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("table3_node_classification", tags=("paper", "nc"))
+def run_bench(tiny: bool) -> dict:
+    text, summary = build_table3()
+    metrics = {}
+    for dataset, means in summary.items():
+        slug = dataset.replace("-", "_")
+        for method, value in means.items():
+            metrics[f"{slug}_micro_f1_{method.lower()}"] = value
+    return {
+        "metrics": metrics,
+        "config": {
+            "datasets": LABELED,
+            "methods": METHOD_NAMES,
+            "ratios": NC_RATIOS,
+        },
+        "summary": text,
+    }

@@ -18,7 +18,7 @@ from common import (
     METHOD_NAMES,
     bench_network,
     collect_metric,
-    make_method,
+    pick,
     write_result,
 )
 from repro.experiments import format_mean_std, render_table, run_method
@@ -64,7 +64,7 @@ def build_scalability_sweep() -> tuple[str, dict]:
     rows = []
     times: dict[str, list[float]] = {"GloDyNE": [], "SGNS-retrain": [], "BCGDl": []}
     sizes = []
-    for scale in (0.5, 1.0, 2.0):
+    for scale in pick((0.5, 1.0, 2.0), (0.2, 0.4)):
         network = load_dataset("fbw-sim", scale=scale, seed=7, snapshots=6)
         n = network[-1].number_of_nodes()
         sizes.append(n)
@@ -131,3 +131,32 @@ def test_table4_scalability(benchmark):
     # Within the Skip-Gram regime GloDyNE is the fastest at every size.
     for glodyne_t, retrain_t in zip(times["GloDyNE"], times["SGNS-retrain"]):
         assert glodyne_t < retrain_t
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("table4_wall_clock", tags=("paper", "perf"))
+def run_bench(tiny: bool) -> dict:
+    table_text, means = build_table4()
+    sweep_text, sweep = build_scalability_sweep()
+    metrics = {}
+    for method, per_dataset in means.items():
+        if per_dataset:
+            metrics[f"mean_seconds_{method.lower()}"] = float(
+                np.mean(list(per_dataset.values()))
+            )
+    for name, series in sweep["times"].items():
+        slug = name.lower().replace("-", "_")
+        metrics[f"sweep_growth_{slug}"] = float(
+            series[-1] / max(series[0], 1e-9)
+        )
+    metrics["sweep_largest_n"] = sweep["sizes"][-1]
+    return {
+        "metrics": metrics,
+        "config": {"datasets": DATASET_NAMES, "methods": METHOD_NAMES},
+        "summary": table_text + "\n\n" + sweep_text,
+    }

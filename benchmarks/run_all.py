@@ -1,0 +1,100 @@
+"""Unified benchmark orchestrator — the single entry point for perf runs.
+
+Replaces running the ``bench_*.py`` scripts by hand: every bench module
+registers a callable with :mod:`repro.bench`, this script discovers and
+runs them, and each bench emits a schema-validated ``BENCH_<name>.json``
+(metrics + git SHA + config + host info) next to a human summary on
+stdout.
+
+Usage::
+
+    # CI smoke: every bench under the tiny profile, JSON artifacts to out/
+    PYTHONPATH=src python benchmarks/run_all.py --tiny --json out/
+
+    # Full run of selected benches, refreshing the committed trajectory
+    PYTHONPATH=src python benchmarks/run_all.py \
+        --only parallel_walks,streaming_throughput --json benchmarks/results/
+
+    # What is registered?
+    PYTHONPATH=src python benchmarks/run_all.py --list
+
+The tiny profile also shrinks the shared dataset/method grids in
+``benchmarks/common.py`` (via ``REPRO_BENCH_TINY=1``, set *before* the
+bench modules import it), so a tiny suite finishes in CI minutes while
+exercising every registered bench end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+# Allow `python benchmarks/run_all.py` without PYTHONPATH=src.
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke profile: shrunk datasets/methods, seconds per bench",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="write one BENCH_<name>.json per bench into DIR",
+    )
+    parser.add_argument(
+        "--only", metavar="NAME[,NAME...]", default=None,
+        help="comma-separated bench names (default: every registered bench)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered benches and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        # Must precede bench-module imports: common.py freezes its grids
+        # (datasets, methods, seeds, walk budgets) at import time.
+        os.environ["REPRO_BENCH_TINY"] = "1"
+
+    from repro.bench.orchestrator import discover, run_suite
+    from repro.bench.registry import registered_benches
+
+    discover(BENCH_DIR)
+
+    if args.list:
+        for spec in registered_benches():
+            tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"{spec.name}{tags}")
+        return 0
+
+    names = None
+    if args.only:
+        names = [name.strip() for name in args.only.split(",") if name.strip()]
+    json_dir = Path(args.json) if args.json else None
+
+    def reset_shared_caches() -> None:
+        # Each bench's `seconds` must measure the bench, not its position
+        # in the run order: drop the memoized evaluation runs that the
+        # table/figure benches share through benchmarks/common.py.
+        common = sys.modules.get("common")
+        if common is not None:
+            common.reset_run_cache()
+
+    run_suite(
+        names, tiny=args.tiny, json_dir=json_dir,
+        before_each=reset_shared_caches,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,7 +87,7 @@ def main() -> None:
     first = store.version(0)
     if node in first.row_of:
         then = service.query_knn(node, k=3, version=0)
-        print(f"\nsame node at version 0 (time travel, exact scan):")
+        print("\nsame node at version 0 (time travel, exact scan):")
         for neighbor, score in then:
             print(f"  {neighbor!r:>6}  cosine {score:.3f}")
 

@@ -18,7 +18,6 @@ from typing import Hashable
 import numpy as np
 
 from repro.base import DynamicEmbeddingMethod, EmbeddingMap
-from repro.graph.csr import CSRAdjacency
 from repro.graph.static import Graph
 from repro.ml.optim import Adam
 

@@ -55,6 +55,7 @@ class TNE(DynamicEmbeddingMethod):
         epochs: int = 5,
         decay: float = 0.6,
         seed: int | None = None,
+        workers: int = 1,
     ) -> None:
         """``decay`` is the weight of history in the temporal pooling:
         ``F^t = decay * F^{t-1} + (1 - decay) * Z^t_aligned``.
@@ -72,6 +73,7 @@ class TNE(DynamicEmbeddingMethod):
             window_size=window_size,
             negative=negative,
             epochs=epochs,
+            workers=workers,
         )
         self.decay = float(decay)
         self._seed = seed

@@ -1,0 +1,34 @@
+"""Benchmark orchestration: registry, schema, and machine-readable telemetry.
+
+Every script under ``benchmarks/`` registers one or more callables with
+:func:`register_bench`; the orchestrator (``benchmarks/run_all.py``)
+discovers them, runs each under a profile (``tiny`` for CI smokes,
+``full`` for committed numbers), and emits one ``BENCH_<name>.json``
+per bench — metrics plus the context needed to compare runs across
+commits: git SHA, config, host info, wall-clock. The schema is pinned
+(:data:`~repro.bench.schema.SCHEMA_ID`) and every document is validated
+before it is written, so the committed files under
+``benchmarks/results/`` form a machine-readable perf trajectory.
+"""
+
+from repro.bench.registry import (
+    BenchSpec,
+    get_bench,
+    register_bench,
+    registered_benches,
+    run_registered,
+)
+from repro.bench.schema import SCHEMA_ID, validate_result
+from repro.bench.telemetry import git_info, host_info
+
+__all__ = [
+    "BenchSpec",
+    "SCHEMA_ID",
+    "get_bench",
+    "git_info",
+    "host_info",
+    "register_bench",
+    "registered_benches",
+    "run_registered",
+    "validate_result",
+]

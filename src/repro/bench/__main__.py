@@ -1,0 +1,6 @@
+"""``python -m repro.bench <file-or-dir>...`` — validate bench JSON."""
+
+from repro.bench.schema import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Discovery and suite execution behind ``benchmarks/run_all.py``.
+
+``discover`` imports every ``bench_*.py`` in a directory so their
+``@register_bench`` decorators populate the registry; ``run_suite``
+executes a selection under one profile, writes ``BENCH_<name>.json``
+per bench, and renders a one-line-per-bench closing table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.registry import get_bench, registered_benches, run_registered
+
+
+def discover(bench_dir: Path) -> list[str]:
+    """Import every ``bench_*.py`` under ``bench_dir``; returns module names.
+
+    The directory is prepended to ``sys.path`` for the duration so the
+    bench modules' ``import common`` resolves, matching how pytest runs
+    them via ``benchmarks/conftest.py``.
+    """
+    bench_dir = Path(bench_dir).resolve()
+    inserted = str(bench_dir)
+    sys.path.insert(0, inserted)
+    loaded = []
+    try:
+        for path in sorted(bench_dir.glob("bench_*.py")):
+            # Key the module cache by resolved path, not stem: two bench
+            # directories may both contain a bench_foo.py and each must
+            # execute (and register) independently.
+            digest = hashlib.sha1(str(path).encode()).hexdigest()[:8]
+            module_name = f"_repro_bench_{path.stem}_{digest}"
+            if module_name in sys.modules:
+                loaded.append(module_name)
+                continue
+            spec = importlib.util.spec_from_file_location(module_name, path)
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[module_name] = module
+            try:
+                spec.loader.exec_module(module)
+            except BaseException:
+                # Never cache a half-initialized module: a retry must
+                # re-exec it, not silently skip its registrations.
+                sys.modules.pop(module_name, None)
+                raise
+            loaded.append(module_name)
+    finally:
+        sys.path.remove(inserted)
+    return loaded
+
+
+def write_doc(doc: dict, json_dir: Path) -> Path:
+    json_dir.mkdir(parents=True, exist_ok=True)
+    path = json_dir / f"BENCH_{doc['name']}.json"
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def run_suite(
+    names: list[str] | None,
+    tiny: bool,
+    json_dir: Path | None,
+    stream=None,
+    before_each: Callable[[], None] | None = None,
+) -> list[dict]:
+    """Run benches (all registered when ``names`` is None) and emit JSON.
+
+    Any bench raising aborts the suite — the orchestrator's contract is
+    "every registered bench produced a valid document", not "most did".
+    Unknown names abort *before* anything runs, so a typo in a selection
+    cannot waste a long suite. ``before_each`` runs ahead of every bench
+    (``run_all.py`` uses it to reset shared caches so each document's
+    ``seconds`` measures the bench itself, not its position in the run
+    order).
+    """
+    out = stream if stream is not None else sys.stdout
+    selected = (
+        [spec.name for spec in registered_benches()]
+        if names is None
+        else list(names)
+    )
+    for name in selected:
+        get_bench(name)  # fail fast on typos, before any bench runs
+    docs = []
+    for name in selected:
+        if before_each is not None:
+            before_each()
+        print(f"== {name} ({'tiny' if tiny else 'full'}) ==", file=out)
+        doc = run_registered(name, tiny=tiny)
+        if doc["summary"]:
+            print(doc["summary"], file=out)
+        if json_dir is not None:
+            path = write_doc(doc, json_dir)
+            print(f"-> {path}", file=out)
+        print(file=out)
+        docs.append(doc)
+
+    width = max((len(d["name"]) for d in docs), default=4)
+    print("bench".ljust(width), "seconds", "metrics", file=out)
+    for doc in docs:
+        print(
+            doc["name"].ljust(width),
+            f"{doc['seconds']:7.2f}",
+            len(doc["metrics"]),
+            file=out,
+        )
+    return docs

@@ -1,0 +1,131 @@
+"""Bench registry: named callables producing structured results.
+
+A bench module registers an entry point with::
+
+    from repro.bench import register_bench
+
+    @register_bench("parallel_walks")
+    def run_bench(tiny: bool) -> dict:
+        ...
+        return {
+            "metrics": {"speedup": 2.3, "nodes": 5000},
+            "config": {"workers": 4, "num_walks": 10},
+            "summary": rendered_table,
+        }
+
+The callable does the measuring and returns the payload; the registry
+wraps it with timing, host/git telemetry, and schema validation
+(:func:`run_registered`), producing the final ``BENCH_<name>.json``
+document the orchestrator writes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.schema import SCHEMA_ID, valid_name, validate_result
+from repro.bench.telemetry import git_info, host_info
+
+#: Environment flag the bench modules' shared grids key off at import
+#: time (see ``benchmarks/common.py``). :func:`run_registered` refuses a
+#: profile that disagrees with it — otherwise a ``tiny=True`` run over
+#: modules imported at full scale would stamp full-scale numbers with
+#: ``profile: "tiny"`` and silently corrupt the trajectory.
+TINY_ENV = "REPRO_BENCH_TINY"
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered bench: its name, entry point, and search tags."""
+
+    name: str
+    fn: Callable[[bool], dict]
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+
+_REGISTRY: dict[str, BenchSpec] = {}
+
+
+def register_bench(name: str, *, tags: tuple[str, ...] = ()):
+    """Decorator registering ``fn(tiny: bool) -> dict`` under ``name``.
+
+    Re-registering a name replaces the previous entry: bench modules get
+    imported under several module names (pytest, the orchestrator's
+    discovery, direct execution) and the latest definition must win
+    rather than exploding on the second import.
+    """
+    if not valid_name(name):
+        raise ValueError(f"bench name must match [a-z0-9_]+, got {name!r}")
+
+    def decorate(fn: Callable[[bool], dict]) -> Callable[[bool], dict]:
+        _REGISTRY[name] = BenchSpec(name=name, fn=fn, tags=tuple(tags))
+        return fn
+
+    return decorate
+
+
+def get_bench(name: str) -> BenchSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none discovered>"
+        raise KeyError(f"unknown bench {name!r}; registered: {known}") from None
+
+
+def registered_benches() -> list[BenchSpec]:
+    """All registered benches, sorted by name for stable run order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def run_registered(name: str, tiny: bool = False) -> dict:
+    """Run one bench and assemble its schema-valid document.
+
+    The payload's ``metrics`` must be non-empty scalars; ``config`` and
+    ``summary`` are optional. A payload that produces an invalid document
+    raises ``ValueError`` listing every schema problem — a bench with
+    broken telemetry must fail loudly, not commit garbage trajectory.
+
+    The ``tiny`` flag must agree with the :data:`TINY_ENV` environment
+    flag (exported *before* the bench modules were imported, as
+    ``benchmarks/run_all.py --tiny`` does): bench modules freeze their
+    grids at import time, so a disagreeing flag would mislabel the
+    emitted profile.
+    """
+    env_tiny = os.environ.get(TINY_ENV) == "1"
+    if tiny != env_tiny:
+        raise ValueError(
+            f"profile mismatch: run_registered(tiny={tiny}) but {TINY_ENV}="
+            f"{os.environ.get(TINY_ENV)!r}; export {TINY_ENV}=1 before "
+            "importing bench modules for a tiny run (run_all.py --tiny "
+            "does this), or drop the flag for a full run"
+        )
+    spec = get_bench(name)
+    started = time.perf_counter()
+    payload = spec.fn(tiny)
+    seconds = time.perf_counter() - started
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"bench {name!r} returned {type(payload).__name__}, expected dict"
+        )
+    doc = {
+        "schema": SCHEMA_ID,
+        "name": spec.name,
+        "profile": "tiny" if tiny else "full",
+        "status": "ok",
+        "seconds": round(seconds, 4),
+        "created_unix": time.time(),
+        "metrics": payload.get("metrics", {}),
+        "config": dict(payload.get("config", {})),
+        "host": host_info(),
+        "git": git_info(),
+        "summary": payload.get("summary", ""),
+    }
+    problems = validate_result(doc)
+    if problems:
+        raise ValueError(
+            f"bench {name!r} produced an invalid document: " + "; ".join(problems)
+        )
+    return doc

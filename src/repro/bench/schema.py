@@ -1,0 +1,172 @@
+"""The ``BENCH_<name>.json`` document schema and its validator.
+
+The validator is hand-rolled (no third-party dependency) and doubles as
+the schema's executable documentation. Run it over emitted files with::
+
+    python -m repro.bench.schema benchmarks/results/
+    python -m repro.bench.schema out/BENCH_parallel_walks.json
+
+Exit status is non-zero when any document fails, and every problem is
+listed with its JSON path — this is what CI runs against the orchestrator
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Bumped on breaking document changes; consumers filter on it.
+SCHEMA_ID = "repro.bench/v1"
+
+PROFILES = ("tiny", "full")
+
+_SCALAR = (int, float, str, bool, type(None))
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def valid_name(name) -> bool:
+    """The one definition of a bench name: non-empty ``[a-z0-9_]+``."""
+    return (
+        isinstance(name, str)
+        and name != ""
+        and all(
+            c.isascii() and (c.isalnum() or c == "_") and not c.isupper()
+            for c in name
+        )
+    )
+
+
+def validate_result(doc) -> list[str]:
+    """Validate one bench document; returns a list of problems (empty = ok).
+
+    Required shape::
+
+        {
+          "schema": "repro.bench/v1",
+          "name": "<[a-z0-9_]+>",
+          "profile": "tiny" | "full",
+          "status": "ok",
+          "seconds": <number >= 0>,          # bench wall-clock
+          "created_unix": <number>,          # epoch seconds
+          "metrics": {str: scalar},          # >= 1 numeric entry
+          "config": {str: json},             # bench parameters
+          "host": {"python", "platform", "cpu_count", "numpy"},
+          "git": {"sha", "branch", "dirty"}, # nullable (no repo / no git)
+          "summary": str                     # human-readable rendering
+        }
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+
+    def check(condition: bool, message: str) -> bool:
+        if not condition:
+            problems.append(message)
+        return condition
+
+    check(doc.get("schema") == SCHEMA_ID,
+          f"schema: expected {SCHEMA_ID!r}, got {doc.get('schema')!r}")
+    name = doc.get("name")
+    check(valid_name(name), f"name: {name!r} must match non-empty [a-z0-9_]+")
+    check(doc.get("profile") in PROFILES,
+          f"profile: must be one of {PROFILES}, got {doc.get('profile')!r}")
+    check(doc.get("status") == "ok",
+          f"status: expected 'ok', got {doc.get('status')!r}")
+    check(_is_number(doc.get("seconds")) and doc["seconds"] >= 0,
+          "seconds: non-negative number required")
+    check(_is_number(doc.get("created_unix")),
+          "created_unix: number required")
+    check(isinstance(doc.get("summary"), str), "summary: string required")
+
+    metrics = doc.get("metrics")
+    if check(isinstance(metrics, dict) and metrics,
+             "metrics: non-empty object required"):
+        numeric = 0
+        for key, value in metrics.items():
+            if not isinstance(key, str):
+                problems.append(f"metrics: non-string key {key!r}")
+            if not isinstance(value, _SCALAR):
+                problems.append(
+                    f"metrics[{key!r}]: scalar required, got {type(value).__name__}"
+                )
+            elif _is_number(value):
+                numeric += 1
+        check(numeric >= 1, "metrics: at least one numeric entry required")
+
+    config = doc.get("config")
+    if check(isinstance(config, dict), "config: object required"):
+        try:
+            json.dumps(config)
+        except (TypeError, ValueError) as error:
+            problems.append(f"config: not JSON-serializable ({error})")
+
+    host = doc.get("host")
+    if check(isinstance(host, dict), "host: object required"):
+        for field, kind in (
+            ("python", str), ("platform", str), ("numpy", str),
+        ):
+            check(isinstance(host.get(field), kind),
+                  f"host.{field}: {kind.__name__} required")
+        check(isinstance(host.get("cpu_count"), int) or host.get("cpu_count") is None,
+              "host.cpu_count: int or null required")
+
+    git = doc.get("git")
+    if check(isinstance(git, dict), "git: object required"):
+        for field in ("sha", "branch"):
+            check(field in git, f"git.{field}: key required")
+            value = git.get(field)
+            check(value is None or isinstance(value, str),
+                  f"git.{field}: string or null required")
+        dirty = git.get("dirty", "missing")
+        check(dirty is None or isinstance(dirty, bool),
+              "git.dirty: bool or null required")
+
+    return problems
+
+
+def validate_file(path: Path) -> list[str]:
+    """Load and validate one JSON file; IO/parse failures are problems too."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        return [f"unreadable: {error}"]
+    return validate_result(doc)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate ``BENCH_*.json`` files / directories given as arguments."""
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.bench.schema <file-or-dir> ...",
+              file=sys.stderr)
+        return 2
+    paths: list[Path] = []
+    for arg in args:
+        root = Path(arg)
+        if root.is_dir():
+            paths.extend(sorted(root.glob("BENCH_*.json")))
+        else:
+            paths.append(root)
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        problems = validate_file(path)
+        if problems:
+            failures += 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    raise SystemExit(main())

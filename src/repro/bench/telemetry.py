@@ -1,0 +1,75 @@
+"""Host and git context attached to every bench document.
+
+A perf number without its environment is noise: the committed JSON
+trajectory is only comparable across PRs because each document records
+the interpreter, platform, core count, numpy version, and the exact
+commit it was measured at.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+
+def effective_cpu_count() -> int | None:
+    """Cores actually schedulable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count()
+
+
+def host_info() -> dict:
+    """Interpreter/platform/core facts relevant to perf comparability."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": effective_cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+def _git(repo_root: Path, *args: str) -> str | None:
+    try:
+        output = subprocess.run(
+            ["git", *args],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return output or None
+
+
+def git_info(repo_root: Path | None = None) -> dict:
+    """Commit identity of the measured tree; all-null outside a repo.
+
+    The default root is the source checkout containing this file; when
+    the package is installed elsewhere (site-packages) that directory is
+    not a repo root, and rather than pick up whatever unrelated repo
+    happens to enclose it, the provenance is reported as null.
+    """
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parents[3]
+        if not (repo_root / ".git").exists():
+            return {"sha": None, "branch": None, "dirty": None}
+    sha = _git(repo_root, "rev-parse", "HEAD")
+    branch = _git(repo_root, "rev-parse", "--abbrev-ref", "HEAD")
+    dirty: bool | None = None
+    if sha is not None:
+        status = _git(repo_root, "status", "--porcelain")
+        # _git maps empty output (a clean tree) to None, and returns None
+        # on failure too — disambiguate with a second cheap call.
+        dirty = bool(status) if status is not None else (
+            False if _git(repo_root, "rev-parse", "--git-dir") else None
+        )
+    return {"sha": sha, "branch": branch, "dirty": dirty}

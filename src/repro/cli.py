@@ -60,20 +60,25 @@ PROFILES = {
 }
 
 
-def _builders(profile: dict) -> dict:
+def _builders(profile: dict, workers: int = 1) -> dict:
     walk = profile["walk"]
     iters = profile["bcgd_iterations"]
     dyngem = profile["dyngem"]
+    # Only the Skip-Gram-walk methods have a parallel hot path; the dense
+    # baselines ignore --workers.
+    walk_par = dict(walk, workers=workers)
     return {
         "glodyne": lambda dim, seed: GloDyNE(
-            dim=dim, alpha=0.1, seed=seed, **walk
+            dim=dim, alpha=0.1, seed=seed, **walk_par
         ),
-        "sgns-static": lambda dim, seed: SGNSStatic(dim=dim, seed=seed, **walk),
+        "sgns-static": lambda dim, seed: SGNSStatic(
+            dim=dim, seed=seed, **walk_par
+        ),
         "sgns-retrain": lambda dim, seed: SGNSRetrain(
-            dim=dim, seed=seed, **walk
+            dim=dim, seed=seed, **walk_par
         ),
         "sgns-increment": lambda dim, seed: SGNSIncrement(
-            dim=dim, seed=seed, **walk
+            dim=dim, seed=seed, **walk_par
         ),
         "bcgd-global": lambda dim, seed: BCGDGlobal(
             dim=dim, iterations=iters, seed=seed
@@ -84,7 +89,7 @@ def _builders(profile: dict) -> dict:
         "dyngem": lambda dim, seed: DynGEM(dim=dim, seed=seed, **dyngem),
         "dynline": lambda dim, seed: DynLINE(dim=dim, seed=seed),
         "dyntriad": lambda dim, seed: DynTriad(dim=dim, seed=seed),
-        "tne": lambda dim, seed: TNE(dim=dim, seed=seed, **walk),
+        "tne": lambda dim, seed: TNE(dim=dim, seed=seed, **walk_par),
     }
 
 
@@ -92,10 +97,10 @@ METHOD_NAMES = sorted(_builders(PROFILES["quick"]))
 
 
 def build_method(
-    name: str, dim: int, seed: int, profile: str = "quick"
+    name: str, dim: int, seed: int, profile: str = "quick", workers: int = 1
 ) -> DynamicEmbeddingMethod:
     try:
-        builders = _builders(PROFILES[profile])
+        builders = _builders(PROFILES[profile], workers=workers)
     except KeyError:
         raise SystemExit(
             f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
@@ -139,7 +144,9 @@ def cmd_embed(args: argparse.Namespace) -> int:
         args.dataset, scale=args.scale, seed=args.data_seed,
         snapshots=args.snapshots,
     )
-    method = build_method(args.method, args.dim, args.seed, args.profile)
+    method = build_method(
+        args.method, args.dim, args.seed, args.profile, workers=args.workers
+    )
     started = time.perf_counter()
     result = run_method(method, network)
     elapsed = time.perf_counter() - started
@@ -150,6 +157,13 @@ def cmd_embed(args: argparse.Namespace) -> int:
         f"embedded {network.name}: {network.num_snapshots} snapshots "
         f"in {elapsed:.2f}s ({result.total_seconds:.2f}s embedding time)"
     )
+    traces = [t for t in result.step_traces if t is not None]
+    if traces:
+        print(
+            f"per step: {np.mean([t.num_selected for t in traces]):.0f} "
+            f"selected nodes, {np.mean([t.num_pairs for t in traces]):,.0f} "
+            "training pairs (mean)"
+        )
     if args.out:
         final = result.embeddings[-1]
         nodes = sorted(final, key=repr)
@@ -167,7 +181,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         args.dataset, scale=args.scale, seed=args.data_seed,
         snapshots=args.snapshots,
     )
-    method = build_method(args.method, args.dim, args.seed, args.profile)
+    method = build_method(
+        args.method, args.dim, args.seed, args.profile, workers=args.workers
+    )
     result = run_method(method, network)
     if not result.ok:
         print(f"n/a: {result.not_available}", file=sys.stderr)
@@ -258,7 +274,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(f"invalid flush policy: {error}") from None
     engine = StreamingGloDyNE(
-        seed=args.seed, policy=policy, dim=args.dim, alpha=0.1, **walk
+        seed=args.seed, policy=policy, dim=args.dim, alpha=0.1,
+        workers=args.workers, **walk,
     )
     started = time.perf_counter()
     results = engine.ingest_many(events)
@@ -318,7 +335,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     store = EmbeddingStore()
     engine = StreamingGloDyNE(
         seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
-        publish_to=store, dim=args.dim, alpha=0.1, **walk,
+        publish_to=store, dim=args.dim, alpha=0.1,
+        workers=args.workers, **walk,
     )
     started = time.perf_counter()
     engine.ingest_many(events)
@@ -424,6 +442,11 @@ def make_parser() -> argparse.ArgumentParser:
             "--profile", default="quick", choices=sorted(PROFILES),
             help="hyper-parameter preset (paper = §5.1.2 settings)",
         )
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="walk-generation worker processes (1 = serial, "
+            "bit-identical to the pre-parallel path)",
+        )
 
     embed = sub.add_parser("embed", help="embed a dynamic network")
     common(embed)
@@ -457,6 +480,10 @@ def make_parser() -> argparse.ArgumentParser:
         help="hyper-parameter preset for the underlying GloDyNE model",
     )
     stream.add_argument(
+        "--workers", type=int, default=1,
+        help="walk-generation worker processes for each flush",
+    )
+    stream.add_argument(
         "--flush-events", type=int, default=400,
         help="flush after this many events (None-able via 0)",
     )
@@ -481,6 +508,10 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--profile", default="quick", choices=sorted(PROFILES),
         help="hyper-parameter preset for the underlying GloDyNE model",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="walk-generation worker processes for each flush",
     )
     serve.add_argument(
         "--flush-events", type=int, default=400,

@@ -32,10 +32,10 @@ from repro.core.selection import SelectionContext, get_strategy
 from repro.graph.csr import CSRAdjacency
 from repro.graph.diff import diff_snapshots, weighted_node_changes
 from repro.graph.static import Graph
+from repro.parallel import DEFAULT_CHUNK_STARTS, generate_walks
 from repro.sgns.model import SGNSModel
 from repro.sgns.trainer import TrainConfig, train_on_corpus
 from repro.walks.corpus import build_pair_corpus
-from repro.walks.random_walk import simulate_walks
 
 Node = Hashable
 
@@ -70,6 +70,20 @@ class GloDyNEConfig:
     # for Step 3's walk sampler. p = q = 1 is the paper's Eq. (5).
     walk_p: float = 1.0
     walk_q: float = 1.0
+    # Parallel hot path (:mod:`repro.parallel`). workers=1 is the legacy
+    # serial path, bit-identical under a fixed seed; workers>=2 walks
+    # fixed-size start chunks on a process pool (output invariant to the
+    # worker count, see the engine's determinism contract). Biased
+    # (p/q != 1) walks always run serially. ``negative_prefetch=None``
+    # auto-selects mega-batch negative drawing for the parallel profile.
+    workers: int = 1
+    chunk_starts: int = DEFAULT_CHUNK_STARTS
+    negative_prefetch: int | None = None
+
+    #: Minibatches per negative mega-batch when workers >= 2 and
+    #: ``negative_prefetch`` is left on auto. A constant (never derived
+    #: from the worker count) so workers=2 and workers=8 train the same.
+    PARALLEL_NEGATIVE_PREFETCH = 32
 
     def __post_init__(self) -> None:
         if self.walk_p <= 0 or self.walk_q <= 0:
@@ -80,6 +94,18 @@ class GloDyNEConfig:
             raise ValueError("dim must be >= 1")
         if self.walk_length < 2:
             raise ValueError("walk_length must be >= 2 to form any pair")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_starts < 1:
+            raise ValueError("chunk_starts must be >= 1")
+        if self.negative_prefetch is not None and self.negative_prefetch < 1:
+            raise ValueError("negative_prefetch must be >= 1 (or None)")
+
+    def resolved_negative_prefetch(self) -> int:
+        """Effective mega-batch size: explicit value, else profile default."""
+        if self.negative_prefetch is not None:
+            return self.negative_prefetch
+        return self.PARALLEL_NEGATIVE_PREFETCH if self.workers >= 2 else 1
 
     def train_config(self) -> TrainConfig:
         return TrainConfig(
@@ -88,6 +114,7 @@ class GloDyNEConfig:
             lr=self.lr,
             min_lr=self.min_lr,
             batch_size=self.batch_size,
+            negative_prefetch=self.resolved_negative_prefetch(),
         )
 
 
@@ -261,8 +288,9 @@ class GloDyNE(DynamicEmbeddingMethod):
     ) -> StepTrace:
         cfg = self.config
         if cfg.walk_p == 1.0 and cfg.walk_q == 1.0:
-            walks = simulate_walks(
-                csr, start_indices, cfg.num_walks, cfg.walk_length, self.rng
+            walks = generate_walks(
+                csr, start_indices, cfg.num_walks, cfg.walk_length, self.rng,
+                workers=cfg.workers, chunk_starts=cfg.chunk_starts,
             )
         else:
             from repro.walks.biased import simulate_biased_walks

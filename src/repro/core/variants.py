@@ -23,10 +23,10 @@ from repro.base import DynamicEmbeddingMethod, EmbeddingMap
 from repro.core.glodyne import GloDyNEConfig
 from repro.graph.csr import CSRAdjacency
 from repro.graph.static import Graph
+from repro.parallel import generate_walks
 from repro.sgns.model import SGNSModel
 from repro.sgns.trainer import train_on_corpus
 from repro.walks.corpus import build_pair_corpus
-from repro.walks.random_walk import simulate_walks
 
 
 def _deepwalk_round(
@@ -35,14 +35,20 @@ def _deepwalk_round(
     config: GloDyNEConfig,
     rng: np.random.Generator,
 ) -> None:
-    """One full DeepWalk training round (walks from every node)."""
+    """One full DeepWalk training round (walks from every node).
+
+    Honours ``config.workers``: the variants share GloDyNE's parallel
+    walk engine (serial and bit-identical at workers=1).
+    """
     csr = CSRAdjacency.from_graph(snapshot)
-    walks = simulate_walks(
+    walks = generate_walks(
         csr,
         np.arange(csr.num_nodes),
         config.num_walks,
         config.walk_length,
         rng,
+        workers=config.workers,
+        chunk_starts=config.chunk_starts,
     )
     corpus = build_pair_corpus(walks, config.window_size, csr.num_nodes)
     model.ensure_nodes(csr.nodes)

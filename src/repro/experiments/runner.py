@@ -30,6 +30,10 @@ class RunResult:
     dataset_name: str
     embeddings: list[EmbeddingMap] = field(default_factory=list)
     step_seconds: list[float] = field(default_factory=list)
+    # Per-step diagnostics for methods that expose them (GloDyNE's
+    # ``last_trace``); None entries for methods that do not. The CLI's
+    # ``embed`` command summarises these (selected-node / pair counts).
+    step_traces: list = field(default_factory=list)
     not_available: str | None = None
 
     @property
@@ -59,6 +63,7 @@ def run_method(
             start = time.perf_counter()
             embeddings = method.update(snapshot)
             result.step_seconds.append(time.perf_counter() - start)
+            result.step_traces.append(getattr(method, "last_trace", None))
             if keep_embeddings:
                 result.embeddings.append(embeddings)
     except UnsupportedDynamicsError as exc:

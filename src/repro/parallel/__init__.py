@@ -1,0 +1,35 @@
+"""Multi-worker random-walk corpus generation (the parallel hot path).
+
+Walk simulation is embarrassingly parallel across start nodes, and the
+frozen :class:`~repro.graph.csr.CSRAdjacency` buffers are plain numpy
+arrays — so the engine ships them to a process pool once per snapshot via
+``multiprocessing.shared_memory`` and fans the start nodes out in fixed-
+size chunks. Determinism is part of the contract:
+
+* ``workers=1`` bypasses the engine entirely and replays today's serial
+  path bit for bit (same rng stream, same output);
+* ``workers>=2`` derives one child ``SeedSequence`` per *chunk* (never
+  per worker), so the corpus depends only on the parent rng state and
+  the chunk size — two pools of different sizes, or the in-process
+  fallback, produce identical walks.
+"""
+
+from repro.parallel.engine import (
+    DEFAULT_CHUNK_STARTS,
+    SharedCSR,
+    chunk_plan,
+    generate_corpus,
+    generate_walks,
+    shutdown_pools,
+    spawn_chunk_seeds,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_STARTS",
+    "SharedCSR",
+    "chunk_plan",
+    "generate_corpus",
+    "generate_walks",
+    "shutdown_pools",
+    "spawn_chunk_seeds",
+]

@@ -1,0 +1,335 @@
+"""Process-pool walk generation over shared-memory CSR buffers.
+
+The hot loop of every snapshot update is Step 3: ``r`` truncated walks of
+length ``l`` from each selected node. Walks from different start nodes
+are independent, so the engine
+
+1. freezes the snapshot CSR into ``multiprocessing.shared_memory`` blocks
+   (:class:`SharedCSR`) — workers attach zero-copy views instead of
+   unpickling megabytes of adjacency per task;
+2. splits the start nodes into fixed-size chunks (:func:`chunk_plan`);
+3. spawns one deterministic child ``SeedSequence`` per chunk
+   (:func:`spawn_chunk_seeds`) and walks each chunk with its own
+   ``Generator``;
+4. concatenates the chunk results in chunk order.
+
+Because seeding is per *chunk* and chunk boundaries depend only on
+``chunk_starts``, the output is invariant to the worker count and to
+whether a pool was used at all — ``workers=2`` equals ``workers=8``
+equals the in-process fallback, bit for bit. ``workers=1`` skips the
+engine and runs the legacy serial path on the caller's rng unchanged.
+
+Pool processes are reused across calls (one pool per worker count,
+shut down atexit); a pool that cannot be created or breaks mid-flight
+degrades to in-process chunk execution with identical results.
+"""
+
+from __future__ import annotations
+
+import atexit
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.csr import CSRAdjacency
+from repro.walks.corpus import PairCorpus, build_pair_corpus
+from repro.walks.random_walk import simulate_walks
+
+#: Start nodes per chunk. Part of the determinism contract: changing it
+#: changes which child SeedSequence drives which walk, so it is a config
+#: knob (``GloDyNEConfig.chunk_starts``) recorded in bench telemetry, not
+#: something derived from the worker count.
+DEFAULT_CHUNK_STARTS = 128
+
+_MAX_ENTROPY = 2**63
+
+
+class SharedCSR:
+    """A CSR adjacency copied into shared-memory blocks for worker attach.
+
+    Only the arrays the walk steppers touch are shared: ``indptr`` and
+    ``indices`` always, plus the zero-prefixed global cumulative weight
+    array for non-uniform graphs (the steppers never read raw weights).
+    Use as a context manager; exit closes *and unlinks* the blocks.
+    """
+
+    def __init__(self, csr: CSRAdjacency) -> None:
+        self._blocks: list[shared_memory.SharedMemory] = []
+        arrays = {"indptr": csr.indptr, "indices": csr.indices}
+        if not csr.is_uniform:
+            arrays["gcum"] = csr.global_cumulative_weights()
+        described = {}
+        try:
+            for name, array in arrays.items():
+                block = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                self._blocks.append(block)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+                view[:] = array
+                described[name] = (block.name, array.shape, array.dtype.str)
+        except BaseException:
+            self.close()
+            raise
+        #: Picklable description workers use to attach (:func:`_attach_view`).
+        self.spec = {
+            "num_nodes": csr.num_nodes,
+            "uniform": csr.is_uniform,
+            "arrays": described,
+        }
+
+    def close(self) -> None:
+        """Release and unlink every block (idempotent)."""
+        for block in self._blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+        self._blocks = []
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _SharedCSRView:
+    """Duck-typed stand-in for :class:`CSRAdjacency` inside a worker.
+
+    Exposes exactly the surface :func:`simulate_walks` and its steppers
+    read — ``num_nodes``, ``is_uniform``, ``degrees``, ``indptr``,
+    ``indices``, ``global_cumulative_weights`` — backed by the attached
+    shared-memory buffers, with no node-id list and no index dict.
+    """
+
+    def __init__(self, spec: dict, attached: dict[str, np.ndarray]) -> None:
+        self.num_nodes: int = spec["num_nodes"]
+        self.is_uniform: bool = spec["uniform"]
+        self.indptr = attached["indptr"]
+        self.indices = attached["indices"]
+        self._gcum = attached.get("gcum")
+        self.degrees = np.diff(self.indptr)
+
+    def global_cumulative_weights(self) -> np.ndarray:
+        assert self._gcum is not None
+        return self._gcum
+
+
+def _attach_view(
+    spec: dict,
+) -> tuple[_SharedCSRView, list[shared_memory.SharedMemory]]:
+    blocks: list[shared_memory.SharedMemory] = []
+    attached: dict[str, np.ndarray] = {}
+    for name, (block_name, shape, dtype) in spec["arrays"].items():
+        block = shared_memory.SharedMemory(name=block_name)
+        blocks.append(block)
+        attached[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+    return _SharedCSRView(spec, attached), blocks
+
+
+def _walk_chunk(
+    spec: dict,
+    out: tuple[str, tuple[int, int], int],
+    starts: np.ndarray,
+    num_walks: int,
+    walk_length: int,
+    seed: np.random.SeedSequence,
+) -> None:
+    """Pool task: walk one chunk against the shared CSR. Top-level for pickling.
+
+    Results are written straight into the shared output matrix described
+    by ``out`` (block name, full shape, this chunk's starting row) — the
+    walk rows never round-trip through pickle, which on a full snapshot
+    is tens of megabytes per update.
+    """
+    out_name, out_shape, row_offset = out
+    view, blocks = _attach_view(spec)
+    out_block = shared_memory.SharedMemory(name=out_name)
+    try:
+        rng = np.random.default_rng(seed)
+        walks = simulate_walks(view, starts, num_walks, walk_length, rng)
+        matrix = np.ndarray(out_shape, dtype=np.int64, buffer=out_block.buf)
+        matrix[row_offset: row_offset + walks.shape[0]] = walks
+    finally:
+        out_block.close()
+        for block in blocks:
+            block.close()
+
+
+# ----------------------------------------------------------------------
+# deterministic chunking
+# ----------------------------------------------------------------------
+def chunk_plan(num_starts: int, chunk_starts: int) -> list[slice]:
+    """Fixed-size slices over the start array (last chunk may be short)."""
+    if chunk_starts < 1:
+        raise ValueError("chunk_starts must be >= 1")
+    return [
+        slice(lo, min(lo + chunk_starts, num_starts))
+        for lo in range(0, num_starts, chunk_starts)
+    ]
+
+
+def spawn_chunk_seeds(
+    rng: np.random.Generator, num_chunks: int
+) -> list[np.random.SeedSequence]:
+    """One child SeedSequence per chunk, rooted in the caller's rng state.
+
+    Exactly one draw is consumed from ``rng`` regardless of the chunk
+    count, so the parent stream advances the same way for every graph
+    size — and the children depend only on that draw, never on how many
+    workers later execute them.
+    """
+    entropy = int(rng.integers(0, _MAX_ENTROPY))
+    return np.random.SeedSequence(entropy).spawn(num_chunks)
+
+
+# ----------------------------------------------------------------------
+# pool lifecycle
+# ----------------------------------------------------------------------
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOL_UNAVAILABLE = False
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor | None:
+    """A cached pool of ``workers`` processes, or None when unavailable."""
+    global _POOL_UNAVAILABLE
+    if _POOL_UNAVAILABLE:
+        return None
+    pool = _POOLS.get(workers)
+    if pool is None:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError) as error:  # pragma: no cover - env dep
+            _POOL_UNAVAILABLE = True
+            warnings.warn(
+                f"process pool unavailable ({error}); walk generation "
+                "falls back to in-process chunk execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached pool (atexit hook; safe to call any time)."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def generate_walks(
+    csr: CSRAdjacency,
+    start_indices,
+    num_walks: int,
+    walk_length: int,
+    rng: np.random.Generator,
+    *,
+    workers: int = 1,
+    chunk_starts: int = DEFAULT_CHUNK_STARTS,
+) -> np.ndarray:
+    """Truncated walks from ``start_indices`` — serial or chunked-parallel.
+
+    ``workers=1`` is the legacy serial path on the caller's rng, bit for
+    bit. ``workers>=2`` runs the chunked engine; its output is invariant
+    to the worker count and to pool availability (see module docstring).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    starts = np.asarray(start_indices, dtype=np.int64)
+    if workers == 1:
+        return simulate_walks(csr, starts, num_walks, walk_length, rng)
+
+    chunks = chunk_plan(starts.size, chunk_starts)
+    seeds = spawn_chunk_seeds(rng, len(chunks))
+    if starts.size == 0:
+        return np.empty((0, walk_length), dtype=np.int64)
+
+    if len(chunks) > 1:
+        pool = _get_pool(workers)
+        if pool is not None:
+            shape = (starts.size * num_walks, walk_length)
+            out_block = None
+            try:
+                out_block = shared_memory.SharedMemory(
+                    create=True, size=max(1, shape[0] * shape[1] * 8)
+                )
+                with SharedCSR(csr) as shared:
+                    futures = [
+                        pool.submit(
+                            _walk_chunk,
+                            shared.spec,
+                            (out_block.name, shape, chunk.start * num_walks),
+                            starts[chunk],
+                            num_walks,
+                            walk_length,
+                            seed,
+                        )
+                        for chunk, seed in zip(chunks, seeds)
+                    ]
+                    for future in futures:
+                        future.result()
+                    return np.array(
+                        np.ndarray(shape, dtype=np.int64, buffer=out_block.buf)
+                    )
+            except (BrokenProcessPool, OSError) as error:
+                _discard_pool(workers, error)
+                # fall through to the in-process path — same results.
+            finally:
+                if out_block is not None:
+                    out_block.close()
+                    out_block.unlink()
+
+    return np.concatenate(
+        [
+            simulate_walks(
+                csr, starts[chunk], num_walks, walk_length,
+                np.random.default_rng(seed),
+            )
+            for chunk, seed in zip(chunks, seeds)
+        ]
+    )
+
+
+def _discard_pool(workers: int, error: BaseException) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    warnings.warn(
+        f"walk worker pool failed ({error}); this call ran its chunks "
+        "in-process (results are identical by construction) and a fresh "
+        "pool will be created on the next parallel call",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def generate_corpus(
+    csr: CSRAdjacency,
+    start_indices,
+    num_walks: int,
+    walk_length: int,
+    window_size: int,
+    rng: np.random.Generator,
+    *,
+    workers: int = 1,
+    chunk_starts: int = DEFAULT_CHUNK_STARTS,
+) -> PairCorpus:
+    """Walks plus sliding-window pair corpus in one call (Eq. 5 + Eq. 6)."""
+    walks = generate_walks(
+        csr, start_indices, num_walks, walk_length, rng,
+        workers=workers, chunk_starts=chunk_starts,
+    )
+    return build_pair_corpus(walks, window_size, csr.num_nodes)

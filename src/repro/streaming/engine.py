@@ -138,7 +138,10 @@ class StreamingGloDyNE:
         not both (both set would publish each flush twice).
     seed, **overrides:
         Forwarded to :class:`GloDyNE` when ``model`` is not given, e.g.
-        ``StreamingGloDyNE(dim=64, alpha=0.1, seed=0)``.
+        ``StreamingGloDyNE(dim=64, alpha=0.1, seed=0)``. This includes
+        the parallel hot-path knobs (``workers=4`` walks each flush's
+        selected nodes on the shared-memory process pool; ``workers=1``
+        keeps flushes bit-identical to the serial engine).
     """
 
     def __init__(

@@ -28,7 +28,7 @@ snapshot-mode embeddings exactly under a fixed seed.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Hashable
 
 import numpy as np
 

@@ -35,15 +35,15 @@ class AliasTable:
         small = [i for i in range(n) if scaled[i] < 1.0]
         large = [i for i in range(n) if scaled[i] >= 1.0]
         while small and large:
-            s = small.pop()
-            l = large.pop()
-            probability[s] = scaled[s]
-            alias[s] = l
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0
-            if scaled[l] < 1.0:
-                small.append(l)
+            donor = small.pop()
+            receiver = large.pop()
+            probability[donor] = scaled[donor]
+            alias[donor] = receiver
+            scaled[receiver] = (scaled[receiver] + scaled[donor]) - 1.0
+            if scaled[receiver] < 1.0:
+                small.append(receiver)
             else:
-                large.append(l)
+                large.append(receiver)
         # Remaining entries are 1.0 within float error.
         for i in small + large:
             probability[i] = 1.0

@@ -1,0 +1,374 @@
+"""Regression suite for the bench orchestrator (:mod:`repro.bench`).
+
+Covers the registry and schema in-process, the discovery + suite
+execution path against synthetic bench modules, and — the end-to-end
+contract CI depends on — that ``benchmarks/run_all.py --tiny`` emits a
+schema-valid ``BENCH_<name>.json`` for every registered bench.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import registry as registry_mod
+from repro.bench.orchestrator import discover, run_suite, write_doc
+from repro.bench.registry import (
+    get_bench,
+    register_bench,
+    registered_benches,
+    run_registered,
+)
+from repro.bench.schema import SCHEMA_ID, validate_file, validate_result
+from repro.bench.telemetry import git_info, host_info
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RUN_ALL = REPO_ROOT / "benchmarks" / "run_all.py"
+
+
+@pytest.fixture()
+def clean_registry(monkeypatch):
+    monkeypatch.setattr(registry_mod, "_REGISTRY", {})
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_register_and_run(clean_registry, monkeypatch):
+    @register_bench("demo_bench", tags=("x",))
+    def run_bench(tiny: bool) -> dict:
+        return {
+            "metrics": {"value": 2.0 if tiny else 4.0},
+            "config": {"knob": 3},
+            "summary": "demo",
+        }
+
+    spec = get_bench("demo_bench")
+    assert spec.tags == ("x",)
+    assert [s.name for s in registered_benches()] == ["demo_bench"]
+
+    monkeypatch.setenv("REPRO_BENCH_TINY", "1")
+    doc = run_registered("demo_bench", tiny=True)
+    assert validate_result(doc) == []
+    assert doc["metrics"] == {"value": 2.0}
+    assert doc["profile"] == "tiny"
+    assert doc["config"] == {"knob": 3}
+
+    monkeypatch.delenv("REPRO_BENCH_TINY")
+    doc_full = run_registered("demo_bench", tiny=False)
+    assert doc_full["metrics"] == {"value": 4.0}
+    assert doc_full["profile"] == "full"
+
+
+def test_run_registered_refuses_profile_env_mismatch(clean_registry, monkeypatch):
+    @register_bench("demo_bench")
+    def run_bench(tiny: bool) -> dict:
+        return {"metrics": {"v": 1}}
+
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    with pytest.raises(ValueError, match="profile mismatch"):
+        run_registered("demo_bench", tiny=True)
+    monkeypatch.setenv("REPRO_BENCH_TINY", "1")
+    with pytest.raises(ValueError, match="profile mismatch"):
+        run_registered("demo_bench", tiny=False)
+
+
+def test_reregistration_replaces(clean_registry):
+    @register_bench("demo_bench")
+    def first(tiny: bool) -> dict:
+        return {"metrics": {"v": 1}}
+
+    @register_bench("demo_bench")
+    def second(tiny: bool) -> dict:
+        return {"metrics": {"v": 2}}
+
+    assert run_registered("demo_bench")["metrics"] == {"v": 2}
+    assert len(registered_benches()) == 1
+
+
+def test_register_rejects_bad_names(clean_registry):
+    for bad in ("", "Upper", "has-dash", "sp ace"):
+        with pytest.raises(ValueError):
+            register_bench(bad)
+
+
+def test_unknown_bench_lists_known(clean_registry):
+    @register_bench("known")
+    def run_bench(tiny: bool) -> dict:
+        return {"metrics": {"v": 1}}
+
+    with pytest.raises(KeyError, match="known"):
+        get_bench("nope")
+
+
+def test_run_registered_rejects_bad_payloads(clean_registry):
+    @register_bench("no_metrics")
+    def run_bench(tiny: bool) -> dict:
+        return {"summary": "empty"}
+
+    with pytest.raises(ValueError, match="invalid document"):
+        run_registered("no_metrics")
+
+    @register_bench("not_a_dict")
+    def run_bench2(tiny: bool):
+        return 42
+
+    with pytest.raises(ValueError, match="expected dict"):
+        run_registered("not_a_dict")
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+def good_doc() -> dict:
+    return {
+        "schema": SCHEMA_ID,
+        "name": "demo_bench",
+        "profile": "tiny",
+        "status": "ok",
+        "seconds": 0.5,
+        "created_unix": 1_700_000_000.0,
+        "metrics": {"qps": 120.5, "label": "fast"},
+        "config": {"workers": 4},
+        "host": host_info(),
+        "git": git_info(),
+        "summary": "table",
+    }
+
+
+def test_schema_accepts_valid_document():
+    assert validate_result(good_doc()) == []
+
+
+@pytest.mark.parametrize(
+    "mutation, fragment",
+    [
+        (lambda d: d.update(schema="other/v9"), "schema"),
+        (lambda d: d.update(name="Bad-Name"), "name"),
+        (lambda d: d.update(profile="huge"), "profile"),
+        (lambda d: d.update(status="crashed"), "status"),
+        (lambda d: d.update(seconds=-1), "seconds"),
+        (lambda d: d.update(metrics={}), "metrics"),
+        (lambda d: d.update(metrics={"only": "strings"}), "numeric"),
+        (lambda d: d.update(metrics={"bad": [1, 2]}), "scalar"),
+        (lambda d: d.update(host={"python": 3}), "host"),
+        (lambda d: d.update(git={"sha": 5, "branch": None, "dirty": None}),
+         "git.sha"),
+        (lambda d: d.pop("summary"), "summary"),
+        (lambda d: d.update(config="nope"), "config"),
+    ],
+)
+def test_schema_rejects_mutations(mutation, fragment):
+    doc = good_doc()
+    mutation(doc)
+    problems = validate_result(doc)
+    assert problems, f"mutation {fragment} slipped through"
+    assert any(fragment in p for p in problems)
+
+
+def test_schema_rejects_non_object():
+    assert validate_result([1, 2]) == ["document is not a JSON object"]
+
+
+def test_validate_file_reports_unreadable(tmp_path):
+    missing = tmp_path / "BENCH_missing.json"
+    assert any("unreadable" in p for p in validate_file(missing))
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert any("unreadable" in p for p in validate_file(bad))
+
+
+def test_schema_cli_validates_directory(tmp_path, capsys):
+    from repro.bench.schema import main
+
+    write_doc(good_doc(), tmp_path)
+    assert main([str(tmp_path)]) == 0
+    broken = dict(good_doc(), status="crashed")
+    (tmp_path / "BENCH_broken.json").write_text(
+        json.dumps(broken), encoding="utf-8"
+    )
+    assert main([str(tmp_path)]) == 1
+    assert main([]) == 2
+    assert main([str(tmp_path / "empty-subdir")]) == 1
+
+
+# ----------------------------------------------------------------------
+# discovery + suite execution (synthetic bench dir)
+# ----------------------------------------------------------------------
+def synthetic_bench_dir(tmp_path: Path, marker: str) -> Path:
+    bench_dir = tmp_path / "benches"
+    bench_dir.mkdir()
+    (bench_dir / f"bench_synth_{marker}.py").write_text(
+        "from repro.bench import register_bench\n"
+        f"@register_bench('synth_{marker}')\n"
+        "def run_bench(tiny):\n"
+        "    return {'metrics': {'value': 1.5, 'tiny': tiny},\n"
+        "            'config': {}, 'summary': 'synthetic'}\n",
+        encoding="utf-8",
+    )
+    return bench_dir
+
+
+def test_discover_and_run_suite(tmp_path, clean_registry, monkeypatch):
+    bench_dir = synthetic_bench_dir(tmp_path, "alpha")
+    loaded = discover(bench_dir)
+    assert len(loaded) == 1
+    assert loaded[0].startswith("_repro_bench_bench_synth_alpha_")
+    # Re-discovery is idempotent (module already in sys.modules).
+    assert discover(bench_dir) == loaded
+
+    monkeypatch.setenv("REPRO_BENCH_TINY", "1")
+    out_dir = tmp_path / "json"
+    docs = run_suite(None, tiny=True, json_dir=out_dir,
+                     stream=open(os.devnull, "w"))
+    assert [d["name"] for d in docs] == ["synth_alpha"]
+    emitted = out_dir / "BENCH_synth_alpha.json"
+    assert emitted.exists()
+    assert validate_file(emitted) == []
+    loaded_doc = json.loads(emitted.read_text(encoding="utf-8"))
+    assert loaded_doc["metrics"]["tiny"] is True
+
+
+def test_discover_same_stem_in_two_dirs_loads_both(tmp_path, clean_registry):
+    dir_a = tmp_path / "a"
+    dir_a.mkdir()
+    (dir_a / "bench_same.py").write_text(
+        "from repro.bench import register_bench\n"
+        "@register_bench('from_dir_a')\n"
+        "def run_bench(tiny):\n"
+        "    return {'metrics': {'v': 1}}\n",
+        encoding="utf-8",
+    )
+    dir_b = tmp_path / "b"
+    dir_b.mkdir()
+    (dir_b / "bench_same.py").write_text(
+        "from repro.bench import register_bench\n"
+        "@register_bench('from_dir_b')\n"
+        "def run_bench(tiny):\n"
+        "    return {'metrics': {'v': 2}}\n",
+        encoding="utf-8",
+    )
+    discover(dir_a)
+    discover(dir_b)
+    assert {s.name for s in registered_benches()} == {"from_dir_a", "from_dir_b"}
+
+
+def test_discover_failed_import_is_retryable(tmp_path, clean_registry):
+    bench_dir = tmp_path / "benches"
+    bench_dir.mkdir()
+    bad = bench_dir / "bench_flaky.py"
+    bad.write_text("raise RuntimeError('boom')\n", encoding="utf-8")
+    with pytest.raises(RuntimeError, match="boom"):
+        discover(bench_dir)
+    bad.write_text(
+        "from repro.bench import register_bench\n"
+        "@register_bench('flaky')\n"
+        "def run_bench(tiny):\n"
+        "    return {'metrics': {'v': 1}}\n",
+        encoding="utf-8",
+    )
+    discover(bench_dir)
+    assert {s.name for s in registered_benches()} == {"flaky"}
+
+
+def test_run_suite_rejects_unknown_name_before_running(
+    tmp_path, clean_registry, monkeypatch
+):
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    ran = []
+
+    @register_bench("real")
+    def run_bench(tiny: bool) -> dict:
+        ran.append(True)
+        return {"metrics": {"v": 1}}
+
+    with pytest.raises(KeyError, match="typo_bench"):
+        run_suite(["real", "typo_bench"], tiny=False, json_dir=None,
+                  stream=open(os.devnull, "w"))
+    assert ran == [], "a bench ran before the typo was caught"
+
+
+def test_run_suite_before_each_hook(tmp_path, clean_registry, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    calls = []
+
+    @register_bench("one")
+    def run_one(tiny: bool) -> dict:
+        return {"metrics": {"v": 1}}
+
+    @register_bench("two")
+    def run_two(tiny: bool) -> dict:
+        return {"metrics": {"v": 2}}
+
+    run_suite(None, tiny=False, json_dir=None,
+              stream=open(os.devnull, "w"),
+              before_each=lambda: calls.append(True))
+    assert calls == [True, True]
+
+
+def test_run_suite_selects_by_name(tmp_path, clean_registry, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    bench_dir = synthetic_bench_dir(tmp_path, "beta")
+    discover(bench_dir)
+
+    @register_bench("other")
+    def run_bench(tiny: bool) -> dict:
+        return {"metrics": {"v": 1}}
+
+    docs = run_suite(["synth_beta"], tiny=False, json_dir=None,
+                     stream=open(os.devnull, "w"))
+    assert [d["name"] for d in docs] == ["synth_beta"]
+
+
+# ----------------------------------------------------------------------
+# end-to-end: run_all.py --tiny emits valid JSON for every bench
+# ----------------------------------------------------------------------
+def run_all(args: list[str], timeout: int = 540) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, str(RUN_ALL), *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_run_all_list_names_every_bench_module():
+    result = run_all(["--list"], timeout=120)
+    assert result.returncode == 0, result.stderr
+    names = {line.split()[0] for line in result.stdout.splitlines() if line}
+    bench_files = {
+        p.stem for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    }
+    # Every bench module registers at least one entry whose name matches
+    # the module stem (minus the bench_ prefix).
+    assert {f"bench_{name}" for name in names} >= bench_files
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_E2E") == "0",
+    reason="tiny-suite e2e disabled (CI runs it in the bench-telemetry job)",
+)
+def test_run_all_tiny_emits_valid_json_for_every_bench(tmp_path):
+    listing = run_all(["--list"], timeout=120)
+    assert listing.returncode == 0, listing.stderr
+    expected = {
+        line.split()[0] for line in listing.stdout.splitlines() if line
+    }
+    assert expected, "no benches registered"
+
+    out_dir = tmp_path / "out"
+    result = run_all(["--tiny", "--json", str(out_dir)])
+    assert result.returncode == 0, result.stdout + result.stderr
+
+    emitted = {p.name for p in out_dir.glob("BENCH_*.json")}
+    assert emitted == {f"BENCH_{name}.json" for name in expected}
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        problems = validate_file(path)
+        assert problems == [], f"{path.name}: {problems}"
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["profile"] == "tiny"

@@ -14,7 +14,6 @@ from repro.core.selection import (
     select_s3,
     select_s4,
 )
-from repro.graph import Graph
 from repro.partition import partition_graph
 
 

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.analysis import DatasetSummary, summarize_network
+from repro.analysis import summarize_network
 from repro.core import GloDyNE
 from repro.experiments import run_sweep
 from repro.graph import DynamicNetwork, Graph

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import GloDyNE, UnsupportedDynamicsError
+from repro import GloDyNE
 from repro.core.selection import SelectionContext
 from repro.datasets import list_datasets, load_dataset
 from repro.experiments import run_method

@@ -1,0 +1,383 @@
+"""Determinism goldens and engine mechanics for :mod:`repro.parallel`.
+
+The contracts under test, in order of importance:
+
+1. ``workers=1`` is bit-identical to the pre-parallel serial path — the
+   engine must be invisible until explicitly enabled;
+2. ``workers>=2`` output is invariant to the worker count and to pool
+   availability (per-chunk seeding, never per-worker);
+3. serial and chunked corpora are structurally equivalent (same shapes
+   and pair counts on truncation-free graphs) even though their rng
+   streams differ;
+4. the mega-batch negative path (``negative_prefetch``) defaults off and
+   reproduces the legacy stream exactly at prefetch=1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.parallel.engine as engine_mod
+from repro import GloDyNE, StreamingGloDyNE
+from repro.core.glodyne import GloDyNEConfig
+from repro.datasets import load_dataset
+from repro.graph.csr import CSRAdjacency
+from repro.graph.dynamic import DynamicNetwork
+from repro.graph.static import Graph
+from repro.parallel import (
+    SharedCSR,
+    chunk_plan,
+    generate_corpus,
+    generate_walks,
+    spawn_chunk_seeds,
+)
+from repro.sgns.model import SGNSModel
+from repro.sgns.trainer import TrainConfig, train_on_corpus
+from repro.walks.corpus import build_pair_corpus
+from repro.walks.random_walk import simulate_walks
+
+
+def dense_graph(num_nodes: int = 150, degree: int = 4, seed: int = 0) -> Graph:
+    """Connected graph with min degree >= 1 (walks never truncate)."""
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    for u in range(1, num_nodes):
+        for v in rng.choice(u, size=min(u, degree), replace=False):
+            graph.add_edge(u, int(v))
+    return graph
+
+
+def weighted_graph(num_nodes: int = 120, seed: int = 1) -> Graph:
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    for u in range(1, num_nodes):
+        for v in rng.choice(u, size=min(u, 3), replace=False):
+            graph.add_edge(u, int(v), float(rng.uniform(0.5, 3.0)))
+    return graph
+
+
+@pytest.fixture()
+def csr() -> CSRAdjacency:
+    return CSRAdjacency.from_graph(dense_graph())
+
+
+@pytest.fixture()
+def network() -> DynamicNetwork:
+    return load_dataset("elec-sim", scale=0.25, seed=0, snapshots=4)
+
+
+GLODYNE_KWARGS = dict(
+    dim=12, alpha=0.2, num_walks=2, walk_length=8, window_size=3, epochs=1
+)
+
+
+def embeddings_equal(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for step_a, step_b in zip(a, b):
+        if set(step_a) != set(step_b):
+            return False
+        if not all(np.array_equal(step_a[n], step_b[n]) for n in step_a):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# 1. workers=1 is the legacy serial path, bit for bit
+# ----------------------------------------------------------------------
+def test_workers1_walks_bit_identical_to_serial(csr):
+    starts = np.arange(csr.num_nodes)
+    legacy = simulate_walks(csr, starts, 3, 10, np.random.default_rng(7))
+    via_engine = generate_walks(
+        csr, starts, 3, 10, np.random.default_rng(7), workers=1
+    )
+    assert np.array_equal(legacy, via_engine)
+
+
+def test_workers1_embeddings_bit_identical_to_default(network):
+    default = GloDyNE(seed=0, **GLODYNE_KWARGS).fit(network)
+    explicit = GloDyNE(seed=0, workers=1, **GLODYNE_KWARGS).fit(network)
+    assert embeddings_equal(default, explicit)
+
+
+def test_workers1_streaming_flush_unchanged(network):
+    from repro.streaming import network_to_events
+
+    events = network_to_events(network)
+    serial = StreamingGloDyNE(seed=0, **GLODYNE_KWARGS)
+    serial.ingest_many(events)
+    flush_serial = serial.flush()
+    explicit = StreamingGloDyNE(seed=0, workers=1, **GLODYNE_KWARGS)
+    explicit.ingest_many(events)
+    flush_explicit = explicit.flush()
+    assert set(flush_serial.embeddings) == set(flush_explicit.embeddings)
+    for node in flush_serial.embeddings:
+        assert np.array_equal(
+            flush_serial.embeddings[node], flush_explicit.embeddings[node]
+        )
+
+
+# ----------------------------------------------------------------------
+# 2. chunked mode is invariant to worker count and pool availability
+# ----------------------------------------------------------------------
+def test_worker_count_invariance(csr):
+    starts = np.arange(csr.num_nodes)
+    walks = {
+        workers: generate_walks(
+            csr, starts, 2, 9, np.random.default_rng(3),
+            workers=workers, chunk_starts=40,
+        )
+        for workers in (2, 3, 4)
+    }
+    assert np.array_equal(walks[2], walks[3])
+    assert np.array_equal(walks[2], walks[4])
+
+
+def test_pool_and_inprocess_fallback_identical(csr, monkeypatch):
+    starts = np.arange(csr.num_nodes)
+    pooled = generate_walks(
+        csr, starts, 2, 9, np.random.default_rng(3),
+        workers=2, chunk_starts=40,
+    )
+    monkeypatch.setattr(engine_mod, "_get_pool", lambda workers: None)
+    inprocess = generate_walks(
+        csr, starts, 2, 9, np.random.default_rng(3),
+        workers=2, chunk_starts=40,
+    )
+    assert np.array_equal(pooled, inprocess)
+
+
+def test_broken_pool_falls_back_with_identical_result(csr, monkeypatch):
+    from concurrent.futures.process import BrokenProcessPool
+
+    starts = np.arange(csr.num_nodes)
+    expected = generate_walks(
+        csr, starts, 2, 9, np.random.default_rng(3),
+        workers=2, chunk_starts=40,
+    )
+
+    class ExplodingPool:
+        def submit(self, *args, **kwargs):
+            raise BrokenProcessPool("worker died")
+
+        def shutdown(self, **kwargs):
+            pass
+
+    monkeypatch.setattr(
+        engine_mod, "_get_pool", lambda workers: ExplodingPool()
+    )
+    with pytest.warns(RuntimeWarning, match="worker pool failed"):
+        recovered = generate_walks(
+            csr, starts, 2, 9, np.random.default_rng(3),
+            workers=2, chunk_starts=40,
+        )
+    assert np.array_equal(expected, recovered)
+
+
+def test_weighted_graph_chunked_equals_inprocess(monkeypatch):
+    csr = CSRAdjacency.from_graph(weighted_graph())
+    assert not csr.is_uniform
+    starts = np.arange(csr.num_nodes)
+    pooled = generate_walks(
+        csr, starts, 2, 8, np.random.default_rng(11),
+        workers=2, chunk_starts=30,
+    )
+    monkeypatch.setattr(engine_mod, "_get_pool", lambda workers: None)
+    inprocess = generate_walks(
+        csr, starts, 2, 8, np.random.default_rng(11),
+        workers=2, chunk_starts=30,
+    )
+    assert np.array_equal(pooled, inprocess)
+
+
+def test_glodyne_embeddings_worker_count_invariant(network):
+    two = GloDyNE(seed=0, workers=2, **GLODYNE_KWARGS).fit(network)
+    three = GloDyNE(seed=0, workers=3, **GLODYNE_KWARGS).fit(network)
+    assert embeddings_equal(two, three)
+
+
+# ----------------------------------------------------------------------
+# 3. serial vs chunked: structural corpus equivalence
+# ----------------------------------------------------------------------
+def test_workers1_vs_workers4_corpus_equivalence(csr):
+    starts = np.arange(csr.num_nodes)
+    serial = generate_corpus(
+        csr, starts, 3, 10, 4, np.random.default_rng(5), workers=1
+    )
+    parallel = generate_corpus(
+        csr, starts, 3, 10, 4, np.random.default_rng(5),
+        workers=4, chunk_starts=40,
+    )
+    # Different rng streams, same structure: on a truncation-free graph
+    # the walk matrix shape and therefore the pair-count layout are
+    # rng-independent.
+    assert serial.num_pairs == parallel.num_pairs
+    assert int(serial.counts.sum()) == int(parallel.counts.sum())
+    assert serial.counts.shape == parallel.counts.shape
+    # Every start node contributes the same number of center
+    # occurrences in both corpora (walk rows are start-aligned).
+    assert serial.centers.size == parallel.centers.size
+
+
+def test_workers1_vs_workers4_embedding_equivalence(network):
+    serial = GloDyNE(seed=0, workers=1, **GLODYNE_KWARGS).fit(network)
+    parallel = GloDyNE(seed=0, workers=4, **GLODYNE_KWARGS).fit(network)
+    assert len(serial) == len(parallel)
+    for step_s, step_p in zip(serial, parallel):
+        assert set(step_s) == set(step_p)
+        # Same training pipeline modulo walk rng: embeddings stay unit
+        # scale and finite, and the two runs agree dimensionally.
+        for node in step_s:
+            assert step_s[node].shape == step_p[node].shape
+            assert np.all(np.isfinite(step_p[node]))
+
+
+# ----------------------------------------------------------------------
+# engine mechanics
+# ----------------------------------------------------------------------
+def test_chunk_plan_covers_everything_once():
+    chunks = chunk_plan(250, 100)
+    assert [c.start for c in chunks] == [0, 100, 200]
+    assert [c.stop for c in chunks] == [100, 200, 250]
+    with pytest.raises(ValueError):
+        chunk_plan(10, 0)
+
+
+def test_spawn_chunk_seeds_deterministic_and_rng_rooted():
+    a = spawn_chunk_seeds(np.random.default_rng(1), 5)
+    b = spawn_chunk_seeds(np.random.default_rng(1), 5)
+    c = spawn_chunk_seeds(np.random.default_rng(2), 5)
+    assert len(a) == 5
+    for sa, sb in zip(a, b):
+        assert sa.entropy == sb.entropy and sa.spawn_key == sb.spawn_key
+    assert a[0].entropy != c[0].entropy
+
+
+def test_shared_csr_roundtrip(csr):
+    with SharedCSR(csr) as shared:
+        view, blocks = engine_mod._attach_view(shared.spec)
+        try:
+            assert view.num_nodes == csr.num_nodes
+            assert view.is_uniform == csr.is_uniform
+            assert np.array_equal(view.indptr, csr.indptr)
+            assert np.array_equal(view.indices, csr.indices)
+            assert np.array_equal(view.degrees, csr.degrees)
+        finally:
+            for block in blocks:
+                block.close()
+
+
+def test_shared_csr_weighted_ships_gcum():
+    csr = CSRAdjacency.from_graph(weighted_graph())
+    with SharedCSR(csr) as shared:
+        assert "gcum" in shared.spec["arrays"]
+        view, blocks = engine_mod._attach_view(shared.spec)
+        try:
+            assert np.array_equal(
+                view.global_cumulative_weights(),
+                csr.global_cumulative_weights(),
+            )
+        finally:
+            for block in blocks:
+                block.close()
+
+
+def test_generate_walks_validates_workers(csr):
+    with pytest.raises(ValueError):
+        generate_walks(
+            csr, [0], 1, 5, np.random.default_rng(0), workers=0
+        )
+
+
+def test_generate_walks_empty_starts(csr):
+    walks = generate_walks(
+        csr, np.empty(0, dtype=np.int64), 2, 6, np.random.default_rng(0),
+        workers=3,
+    )
+    assert walks.shape == (0, 6)
+
+
+# ----------------------------------------------------------------------
+# 4. mega-batch negatives
+# ----------------------------------------------------------------------
+def make_corpus(csr):
+    walks = simulate_walks(
+        csr, np.arange(csr.num_nodes), 2, 10, np.random.default_rng(9)
+    )
+    return build_pair_corpus(walks, 3, csr.num_nodes)
+
+
+def train_embeddings(csr, corpus, prefetch: int) -> np.ndarray:
+    model = SGNSModel(8, rng=np.random.default_rng(0))
+    model.ensure_nodes(csr.nodes)
+    row_of = model.vocab.indices(csr.nodes)
+    config = TrainConfig(
+        epochs=2, batch_size=64, negative_prefetch=prefetch
+    )
+    train_on_corpus(
+        model, corpus, row_of, np.random.default_rng(4), config=config
+    )
+    return model.embedding_matrix(csr.nodes)
+
+
+def test_prefetch1_matches_legacy_stream(csr):
+    corpus = make_corpus(csr)
+    # TrainConfig defaults to prefetch=1; two identical runs agree and a
+    # default-config run equals an explicit prefetch=1 run bit for bit.
+    explicit = train_embeddings(csr, corpus, prefetch=1)
+
+    model = SGNSModel(8, rng=np.random.default_rng(0))
+    model.ensure_nodes(csr.nodes)
+    row_of = model.vocab.indices(csr.nodes)
+    train_on_corpus(
+        model, corpus, row_of, np.random.default_rng(4),
+        config=TrainConfig(epochs=2, batch_size=64),
+    )
+    assert np.array_equal(explicit, model.embedding_matrix(csr.nodes))
+
+
+def test_prefetch_changes_negatives_but_trains_sanely(csr):
+    corpus = make_corpus(csr)
+    legacy = train_embeddings(csr, corpus, prefetch=1)
+    mega = train_embeddings(csr, corpus, prefetch=16)
+    assert mega.shape == legacy.shape
+    assert np.all(np.isfinite(mega))
+    # Same positives, same lr schedule, different negative draws: the
+    # runs must stay close in scale without being identical.
+    assert not np.array_equal(mega, legacy)
+    assert np.abs(np.linalg.norm(mega) - np.linalg.norm(legacy)) < (
+        0.5 * np.linalg.norm(legacy)
+    )
+
+
+def test_train_config_validates_prefetch():
+    with pytest.raises(ValueError):
+        TrainConfig(negative_prefetch=0)
+
+
+# ----------------------------------------------------------------------
+# config plumbing
+# ----------------------------------------------------------------------
+def test_config_resolves_prefetch_by_profile():
+    assert GloDyNEConfig().resolved_negative_prefetch() == 1
+    assert GloDyNEConfig(workers=4).resolved_negative_prefetch() == (
+        GloDyNEConfig.PARALLEL_NEGATIVE_PREFETCH
+    )
+    assert GloDyNEConfig(workers=4, negative_prefetch=7)\
+        .resolved_negative_prefetch() == 7
+    assert GloDyNEConfig(negative_prefetch=3).resolved_negative_prefetch() == 3
+
+
+def test_config_validates_parallel_knobs():
+    with pytest.raises(ValueError):
+        GloDyNEConfig(workers=0)
+    with pytest.raises(ValueError):
+        GloDyNEConfig(chunk_starts=0)
+    with pytest.raises(ValueError):
+        GloDyNEConfig(negative_prefetch=0)
+
+
+def test_streaming_overrides_forward_workers():
+    engine = StreamingGloDyNE(seed=0, workers=3, **GLODYNE_KWARGS)
+    assert engine.model.config.workers == 3

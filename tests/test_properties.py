@@ -7,14 +7,13 @@ invariants: things that must hold for *any* input the generators produce.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import GloDyNE, Reservoir
 from repro.core.selection import SelectionContext, select_s4, select_s4_uniform
 from repro.datasets import preferential_attachment_graph
-from repro.graph import DynamicNetwork, EdgeEvent, Graph
+from repro.graph import DynamicNetwork, EdgeEvent
 from repro.partition import partition_graph
 from repro.partition.level import edge_cut, level_graph_from_csr
 from repro.graph.csr import CSRAdjacency

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph import CSRAdjacency, Graph
+from repro.graph import CSRAdjacency
 from repro.sgns import (
     SGNSModel,
     TrainConfig,

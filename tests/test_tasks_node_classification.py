@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph import DynamicNetwork, Graph
 from repro.tasks import (
     node_classification_f1,
     node_classification_over_time,
