@@ -1,0 +1,315 @@
+"""Server-path benchmark: batched vs unbatched QPS through the HTTP daemon.
+
+``bench_serving_qps`` measures the index kernels in-process; this bench
+measures the *network front door* (:mod:`repro.server`): concurrent
+clients issuing ``/g/<name>/knn`` requests over keep-alive connections
+against one daemon, with micro-batching on (tick coalescing, up to 64
+per dispatch) versus off (``max_batch=1``, every request dispatches
+alone). Both index backends run, because they bound the two ends of the
+batching design space:
+
+* **exact** — ``query_many`` scores a whole batch with one gemm, so
+  coalescing amortises the probe itself. This is where the batched-QPS
+  gate is asserted (full profile on ``cpu_count >= 4`` hosts — the
+  weekly CI orchestrator run exercises it).
+* **lsh** — the serving default. Its ``query_many`` is pinned
+  bit-identical to single queries (the determinism contract the
+  daemon's response cache relies on), which forbids fusing the probe
+  kernels; batching amortises only the per-request service and
+  event-loop overhead, so its speedup is structurally smaller. The
+  bench asserts batched responses are byte-identical to unbatched ones
+  on this backend.
+
+A fixed hold-back window (e.g. 2 ms) is deliberately *not* the batched
+configuration: under closed-loop clients it only adds latency — tick
+coalescing already groups concurrent bursts (see
+:data:`repro.server.batcher.DEFAULT_WINDOW`).
+
+Committed single-core runs carry a ``caveats`` entry instead of the
+gate; see the benchmarking guide in ``docs/``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_server_qps.py --tiny   # smoke
+    PYTHONPATH=src python benchmarks/bench_server_qps.py          # full
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.bench.telemetry import effective_cpu_count
+from repro.experiments import render_table
+from repro.server import EmbeddingDaemon
+from repro.serving import EmbeddingService, EmbeddingStore
+
+#: Queries per dispatch in the batched configuration.
+MAX_BATCH = 64
+#: Batched-vs-unbatched gate on the exact backend, asserted when
+#: ``cpu_count >= 4``.
+SPEEDUP_GATE = 1.3
+SINGLE_CORE_NOTE = (
+    "cpu_count < 4 on the recording host: the exact-backend batched-QPS "
+    f"gate (>= {SPEEDUP_GATE}x) was reported but not asserted"
+)
+
+
+def build_service(
+    num_nodes: int, dim: int, backend: str = "lsh", seed: int = 0
+) -> EmbeddingService:
+    """A store of random unit-scale embeddings behind a kNN service.
+
+    Random rows are fine here: this bench measures request handling and
+    dispatch overhead, not recall (``bench_serving_qps`` owns that).
+    """
+    rng = np.random.default_rng(seed)
+    store = EmbeddingStore()
+    store.publish(
+        (list(range(num_nodes)), rng.standard_normal((num_nodes, dim)))
+    )
+    return EmbeddingService(store, backend=backend)
+
+
+async def _client(
+    port: int, node_ids: np.ndarray, k: int
+) -> list[tuple[int, bytes]]:
+    """One keep-alive client: sequential kNN requests, parsed minimally."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    responses = []
+    try:
+        for node in node_ids:
+            writer.write(
+                f"GET /g/bench/knn?node={int(node)}&k={k} HTTP/1.1\r\n"
+                "Host: bench\r\n\r\n".encode("ascii")
+            )
+            await writer.drain()
+            header = await reader.readuntil(b"\r\n\r\n")
+            status = int(header.split(b" ", 2)[1])
+            length = 0
+            for line in header.lower().split(b"\r\n"):
+                if line.startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            body = await reader.readexactly(length)
+            responses.append((status, body))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    return responses
+
+
+async def _measure(
+    service: EmbeddingService,
+    *,
+    clients: int,
+    requests_per_client: int,
+    k: int,
+    max_batch: int,
+    window: float,
+    seed: int,
+) -> dict:
+    """Serve one daemon configuration and hammer it; returns raw stats."""
+    daemon = EmbeddingDaemon(
+        {"bench": service}, max_batch=max_batch, window=window,
+        reload_interval=None,
+    )
+    await daemon.start(port=0)
+    num_nodes = service.store.latest.num_nodes
+    rng = np.random.default_rng(seed)
+    plans = [
+        rng.integers(0, num_nodes, size=requests_per_client)
+        for _ in range(clients)
+    ]
+    try:
+        # Warm pass: index build, bucket dicts, route dispatch. Its
+        # cold-path latencies and size-1 dispatches must not leak into
+        # the recorded percentiles / batch histogram.
+        await _client(daemon.port, plans[0][:5], k)
+        daemon.stats.reset()
+        started = time.perf_counter()
+        all_responses = await asyncio.gather(
+            *(_client(daemon.port, plan, k) for plan in plans)
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        snapshot = daemon.stats.snapshot()
+        await daemon.close()
+    total = clients * requests_per_client
+    flat = [resp for per_client in all_responses for resp in per_client]
+    assert all(status == 200 for status, _ in flat), "non-200 under load"
+    return {
+        "qps": total / elapsed,
+        "seconds": elapsed,
+        "requests": total,
+        "p50_ms": snapshot["latency_ms"]["p50"],
+        "p99_ms": snapshot["latency_ms"]["p99"],
+        "mean_batch": snapshot["knn"]["mean_batch_size"],
+        "dispatches": snapshot["knn"]["batch_dispatches"],
+        "responses": all_responses[0],
+    }
+
+
+def run_server_qps(
+    num_nodes: int = 4000, dim: int = 64, clients: int = 32,
+    requests_per_client: int = 100, k: int = 10,
+) -> tuple[str, dict]:
+    """Batched vs unbatched daemon throughput, both index backends."""
+    common = dict(
+        clients=clients, requests_per_client=requests_per_client, k=k, seed=3
+    )
+    measured: dict[tuple[str, str], dict] = {}
+    for backend in ("exact", "lsh"):
+        for label, max_batch in (("batched", MAX_BATCH), ("unbatched", 1)):
+            service = build_service(num_nodes, dim, backend=backend)
+            measured[(backend, label)] = asyncio.run(
+                _measure(service, max_batch=max_batch, window=0.0, **common)
+            )
+    # LSH determinism contract at the HTTP boundary: one client's full
+    # response stream must be byte-identical with and without batching.
+    assert [
+        json.loads(body)["neighbors"]
+        for _, body in measured[("lsh", "batched")]["responses"]
+    ] == [
+        json.loads(body)["neighbors"]
+        for _, body in measured[("lsh", "unbatched")]["responses"]
+    ], "lsh batched and unbatched responses diverged"
+
+    stats: dict = {
+        "nodes": num_nodes,
+        "dim": dim,
+        "clients": clients,
+        "requests": measured[("lsh", "batched")]["requests"],
+    }
+    rows = []
+    for backend in ("exact", "lsh"):
+        batched = measured[(backend, "batched")]
+        unbatched = measured[(backend, "unbatched")]
+        speedup = batched["qps"] / max(unbatched["qps"], 1e-9)
+        stats[f"{backend}_batched_qps"] = batched["qps"]
+        stats[f"{backend}_unbatched_qps"] = unbatched["qps"]
+        stats[f"{backend}_batch_speedup"] = speedup
+        stats[f"{backend}_mean_batch_size"] = batched["mean_batch"] or 0.0
+        stats[f"{backend}_batched_p50_ms"] = batched["p50_ms"]
+        stats[f"{backend}_batched_p99_ms"] = batched["p99_ms"]
+        stats[f"{backend}_unbatched_p50_ms"] = unbatched["p50_ms"]
+        stats[f"{backend}_unbatched_p99_ms"] = unbatched["p99_ms"]
+        rows.append(
+            [
+                f"{backend} micro-batched",
+                f"{batched['qps']:,.0f}",
+                f"{batched['p50_ms']:.2f}ms",
+                f"{batched['p99_ms']:.2f}ms",
+                f"{batched['mean_batch'] or 0:.1f}",
+            ]
+        )
+        rows.append(
+            [
+                f"{backend} unbatched",
+                f"{unbatched['qps']:,.0f}",
+                f"{unbatched['p50_ms']:.2f}ms",
+                f"{unbatched['p99_ms']:.2f}ms",
+                "1.0",
+            ]
+        )
+        rows.append([f"{backend} speedup", f"{speedup:.2f}x", "", "", ""])
+    text = render_table(
+        ["configuration", "QPS", "p50", "p99", "mean batch"],
+        rows,
+        title=(
+            f"HTTP /knn throughput: {clients} clients x "
+            f"{requests_per_client} requests, {num_nodes} nodes d={dim}"
+        ),
+    )
+    return text, stats
+
+
+def _check_acceptance(stats: dict, tiny: bool = False) -> list[str]:
+    """Gate when the profile and host can show it; caveat otherwise.
+
+    The tiny profile never asserts (400-node batches are too small to
+    clear the gate even on fast hosts); the full profile asserts on
+    ``cpu_count >= 4`` hosts (the weekly CI run) and records a caveat on
+    single-core recording hosts instead.
+    """
+    if tiny:
+        return []
+    cores = effective_cpu_count() or 1
+    if cores >= 4:
+        assert stats["exact_batch_speedup"] >= SPEEDUP_GATE, stats
+        return []
+    return [SINGLE_CORE_NOTE]
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (run via `pytest benchmarks/bench_server_qps.py`)
+# ----------------------------------------------------------------------
+def test_server_qps(benchmark):
+    text, stats = benchmark.pedantic(run_server_qps, rounds=1, iterations=1)
+    print("\n" + text)
+    _check_acceptance(stats)
+
+
+# ----------------------------------------------------------------------
+# standalone entry
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke profile: seconds; gate only on multi-core hosts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        text, stats = run_server_qps(
+            num_nodes=400, dim=32, clients=8, requests_per_client=25
+        )
+    else:
+        text, stats = run_server_qps()
+    print(text)
+    for caveat in _check_acceptance(stats, tiny=args.tiny):
+        print(f"caveat: {caveat}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("server_qps", tags=("perf", "serving", "server"))
+def run_bench(tiny: bool) -> dict:
+    if tiny:
+        text, stats = run_server_qps(
+            num_nodes=400, dim=32, clients=8, requests_per_client=25
+        )
+    else:
+        text, stats = run_server_qps()
+    caveats = _check_acceptance(stats, tiny=tiny)
+    return {
+        "metrics": dict(stats),
+        "config": {
+            "max_batch": MAX_BATCH,
+            "window_ms": 0.0,
+            "backends": ["exact", "lsh"],
+            "speedup_gate": SPEEDUP_GATE,
+            # Mirrors _check_acceptance exactly: the tiny profile never
+            # asserts, whatever the host — a tiny multi-core document
+            # must not claim an enforced gate.
+            "gate_asserted": not tiny and (effective_cpu_count() or 1) >= 4,
+        },
+        "summary": text,
+        "caveats": caveats,
+    }

@@ -22,6 +22,13 @@ The tiny profile also shrinks the shared dataset/method grids in
 ``benchmarks/common.py`` (via ``REPRO_BENCH_TINY=1``, set *before* the
 bench modules import it), so a tiny suite finishes in CI minutes while
 exercising every registered bench end to end.
+
+Every emitted document carries a top-level ``caveats`` list qualifying
+its numbers — most importantly ``"single-core host: parallel speedups
+not representative"`` whenever the recording host exposes one
+schedulable core, so trajectory tooling never misreads a ~1x speedup
+measured on starved hardware as a regression. See
+:mod:`repro.bench.schema` for the field's contract.
 """
 
 from __future__ import annotations

@@ -1,0 +1,147 @@
+"""HTTP serving walkthrough: daemon + any plain HTTP client.
+
+``examples/serving.py`` queried an ``EmbeddingService`` in-process; this
+walkthrough puts the same service behind the network boundary real
+consumers use — the :mod:`repro.server` daemon — and talks to it with
+nothing but ``urllib`` to show that any HTTP client works:
+
+1. stream a dataset into a versioned :class:`repro.serving.EmbeddingStore`;
+2. start :class:`repro.server.EmbeddingDaemon` on an ephemeral port (in a
+   background thread here; production runs ``python -m repro serve-http``);
+3. hit ``/healthz``, ``/g/<name>/knn`` (concurrently, so the micro-batcher
+   coalesces), ``?version=`` time travel, ``/g/<name>/score``, and ``/stats``;
+4. publish a new version while the daemon runs and watch the served
+   ``version`` field advance — the hot-reload path.
+
+Usage::
+
+    PYTHONPATH=src python examples/http_serving.py          # a few seconds
+    PYTHONPATH=src python examples/http_serving.py --tiny   # CI smoke
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from urllib.request import urlopen
+
+from repro import (
+    EmbeddingService,
+    EmbeddingStore,
+    FlushPolicy,
+    StreamingGloDyNE,
+    load_dataset,
+)
+from repro.server import EmbeddingDaemon
+from repro.streaming import network_to_events
+
+
+def get(base: str, target: str) -> dict:
+    """One GET request; returns the decoded JSON payload."""
+    with urlopen(base + target, timeout=10) as response:
+        return json.load(response)
+
+
+def main() -> None:
+    tiny = "--tiny" in sys.argv[1:]
+
+    # 1. Train a small store: every flush publishes one version.
+    network = load_dataset(
+        "elec-sim", scale=0.25 if tiny else 0.5, seed=7,
+        snapshots=3 if tiny else 6,
+    )
+    store = EmbeddingStore()
+    engine = StreamingGloDyNE(
+        dim=16 if tiny else 32, alpha=0.1, num_walks=3, walk_length=12,
+        window_size=4, epochs=2, seed=0,
+        policy=FlushPolicy(max_events=150), publish_to=store,
+    )
+    events = network_to_events(network)
+    # Hold the last snapshot's events back: step 4 publishes them live.
+    held_back = len(events) // 4
+    engine.ingest_many(events[:-held_back])
+    if engine.pending_events:
+        engine.flush()
+    print(f"store ready: {store.num_versions} versions published")
+
+    # 2. Serve it. The daemon runs on its own event loop in a background
+    #    thread so this script can play the role of a remote client.
+    daemon = EmbeddingDaemon({"elec": EmbeddingService(store)})
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run_daemon() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(daemon.start(port=0))
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run_daemon, daemon=True)
+    thread.start()
+    started.wait(timeout=10)
+    base = f"http://{daemon.host}:{daemon.port}"
+    print(f"daemon listening on {base}\n")
+
+    # 3a. Liveness + what is being served.
+    health = get(base, "/healthz")
+    print("healthz:", json.dumps(health["graphs"]["elec"], sort_keys=True))
+
+    # 3b. Concurrent kNN lookups — fired together so the daemon's
+    #     micro-batcher answers them in one query_many dispatch.
+    nodes = [n for n in store.latest.nodes[: 8 if tiny else 16]]
+    with ThreadPoolExecutor(max_workers=len(nodes)) as pool:
+        answers = list(
+            pool.map(lambda n: get(base, f"/g/elec/knn?node={n}&k=3"), nodes)
+        )
+    print(f"\ntop-3 neighbours for {len(nodes)} nodes (concurrent requests):")
+    for answer in answers[:3]:
+        neighbours = ", ".join(
+            f"{entry['node']}:{entry['score']:.3f}"
+            for entry in answer["neighbors"]
+        )
+        print(f"  node {answer['node']} @v{answer['version']}: {neighbours}")
+
+    # 3c. Time travel: the same node pinned to the first version.
+    node = nodes[0]
+    then = get(base, f"/g/elec/knn?node={node}&k=3&version=0")
+    print(f"\nnode {node} at version 0 (pinned, exact scan):")
+    for entry in then["neighbors"]:
+        print(f"  {entry['node']}: {entry['score']:.3f}")
+
+    # 3d. Edge scoring — the link-prediction quantity, over HTTP.
+    u, v = nodes[0], nodes[1]
+    score = get(base, f"/g/elec/score?u={u}&v={v}")
+    print(f"\nscore({u}, {v}) = {score['score']:.3f} [{score['metric']}]")
+
+    # 4. Hot reload: publish a new version while the daemon serves.
+    before = get(base, f"/g/elec/knn?node={node}&k=3")["version"]
+    engine.ingest_many(events[-held_back:])
+    if engine.pending_events:
+        engine.flush()
+    after = get(base, f"/g/elec/knn?node={node}&k=3")["version"]
+    print(
+        f"\nhot reload: served version {before} -> {after} after "
+        f"{held_back} more events were flushed mid-flight"
+    )
+
+    # 5. Observability: what the batcher and the swap path did.
+    stats = get(base, "/stats")
+    knn = stats["knn"]
+    print(
+        f"\nstats: {stats['requests']} requests, "
+        f"{knn['queries']} kNN queries in {knn['batch_dispatches']} "
+        f"dispatches (histogram {knn['batch_size_histogram']}), "
+        f"{stats['hot_reload']['index_swaps']} index swaps, "
+        f"p50 {stats['latency_ms']['p50']:.2f}ms"
+    )
+
+    asyncio.run_coroutine_threadsafe(daemon.close(), loop).result(timeout=10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -11,10 +11,12 @@ A bench module registers an entry point with::
             "metrics": {"speedup": 2.3, "nodes": 5000},
             "config": {"workers": 4, "num_walks": 10},
             "summary": rendered_table,
+            "caveats": ["gate reported but not asserted"],  # optional
         }
 
 The callable does the measuring and returns the payload; the registry
-wraps it with timing, host/git telemetry, and schema validation
+wraps it with timing, host/git telemetry, host-derived ``caveats``
+(e.g. the single-core annotation), and schema validation
 (:func:`run_registered`), producing the final ``BENCH_<name>.json``
 document the orchestrator writes.
 """
@@ -28,6 +30,14 @@ from typing import Callable
 
 from repro.bench.schema import SCHEMA_ID, valid_name, validate_result
 from repro.bench.telemetry import git_info, host_info
+
+#: Caveat stamped into every document recorded on a host where the
+#: scheduler gives this process a single core: parallel / batched
+#: speedup metrics from such hosts hover around 1x by construction, and
+#: trajectory tooling must not read them as regressions.
+SINGLE_CORE_CAVEAT = (
+    "single-core host: parallel speedups not representative"
+)
 
 #: Environment flag the bench modules' shared grids key off at import
 #: time (see ``benchmarks/common.py``). :func:`run_registered` refuses a
@@ -68,6 +78,7 @@ def register_bench(name: str, *, tags: tuple[str, ...] = ()):
 
 
 def get_bench(name: str) -> BenchSpec:
+    """Look up a registered bench; ``KeyError`` names the known ones."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -83,10 +94,17 @@ def registered_benches() -> list[BenchSpec]:
 def run_registered(name: str, tiny: bool = False) -> dict:
     """Run one bench and assemble its schema-valid document.
 
-    The payload's ``metrics`` must be non-empty scalars; ``config`` and
-    ``summary`` are optional. A payload that produces an invalid document
-    raises ``ValueError`` listing every schema problem — a bench with
-    broken telemetry must fail loudly, not commit garbage trajectory.
+    The payload's ``metrics`` must be non-empty scalars; ``config``,
+    ``summary``, and ``caveats`` are optional. A payload that produces an
+    invalid document raises ``ValueError`` listing every schema problem —
+    a bench with broken telemetry must fail loudly, not commit garbage
+    trajectory.
+
+    The emitted document always carries a top-level ``caveats`` list:
+    the payload's own entries plus host-derived ones — in particular
+    :data:`SINGLE_CORE_CAVEAT` whenever the recording host exposes a
+    single schedulable core, so downstream trajectory tooling does not
+    misread ~1x parallel/batched speedups as regressions.
 
     The ``tiny`` flag must agree with the :data:`TINY_ENV` environment
     flag (exported *before* the bench modules were imported, as
@@ -110,6 +128,14 @@ def run_registered(name: str, tiny: bool = False) -> dict:
         raise ValueError(
             f"bench {name!r} returned {type(payload).__name__}, expected dict"
         )
+    host = host_info()
+    # Bench-supplied caveats (e.g. "gate not asserted") come first, then
+    # host-derived ones the bench cannot know it needs. Exactly one core
+    # triggers the annotation; an *unknown* count (None on exotic hosts)
+    # must not mislabel a possibly-multi-core recording.
+    caveats = [str(caveat) for caveat in payload.get("caveats", [])]
+    if host.get("cpu_count") == 1 and SINGLE_CORE_CAVEAT not in caveats:
+        caveats.append(SINGLE_CORE_CAVEAT)
     doc = {
         "schema": SCHEMA_ID,
         "name": spec.name,
@@ -119,9 +145,10 @@ def run_registered(name: str, tiny: bool = False) -> dict:
         "created_unix": time.time(),
         "metrics": payload.get("metrics", {}),
         "config": dict(payload.get("config", {})),
-        "host": host_info(),
+        "host": host,
         "git": git_info(),
         "summary": payload.get("summary", ""),
+        "caveats": caveats,
     }
     problems = validate_result(doc)
     if problems:

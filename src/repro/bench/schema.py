@@ -57,8 +57,18 @@ def validate_result(doc) -> list[str]:
           "config": {str: json},             # bench parameters
           "host": {"python", "platform", "cpu_count", "numpy"},
           "git": {"sha", "branch", "dirty"}, # nullable (no repo / no git)
-          "summary": str                     # human-readable rendering
+          "summary": str,                    # human-readable rendering
+          "caveats": [str, ...]              # optional; see below
         }
+
+    ``caveats`` is a list of non-empty strings qualifying the numbers —
+    e.g. ``"single-core host: parallel speedups not representative"``
+    when ``host.cpu_count == 1`` (a ~1x parallel speedup from such a
+    host is a hardware fact, not a regression), or a bench noting that
+    a multi-core acceptance gate was reported but not asserted. Every
+    document the orchestrator emits carries the key (possibly empty);
+    it stays optional in validation so documents recorded before it
+    existed still verify.
     """
     problems: list[str] = []
     if not isinstance(doc, dict):
@@ -114,6 +124,15 @@ def validate_result(doc) -> list[str]:
                   f"host.{field}: {kind.__name__} required")
         check(isinstance(host.get("cpu_count"), int) or host.get("cpu_count") is None,
               "host.cpu_count: int or null required")
+
+    if "caveats" in doc:
+        caveats = doc["caveats"]
+        if check(isinstance(caveats, list), "caveats: list required"):
+            for i, caveat in enumerate(caveats):
+                check(
+                    isinstance(caveat, str) and caveat.strip() != "",
+                    f"caveats[{i}]: non-empty string required",
+                )
 
     git = doc.get("git")
     if check(isinstance(git, dict), "git: object required"):

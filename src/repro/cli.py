@@ -8,6 +8,7 @@ Usage::
     python -m repro analyze --dataset fbw-sim
     python -m repro stream --dataset elec-sim --flush-events 400
     python -m repro serve --dataset elec-sim --store store.npz
+    python -m repro serve-http --store main=store.npz --port 8080
     python -m repro query --store store.npz --node 3 --k 10
 
 The CLI wires together the same public APIs the examples use; it exists so
@@ -313,12 +314,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
 def _parse_node(raw: str):
     """CLI node ids: JSON when it parses (ints stay ints), else raw str."""
-    import json
+    from repro.server.http import parse_node_id
 
-    try:
-        return json.loads(raw)
-    except (ValueError, TypeError):
-        return raw
+    return parse_node_id(raw)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -422,6 +420,103 @@ def cmd_query(args: argparse.Namespace) -> int:
     return status
 
 
+def _http_services(args: argparse.Namespace) -> dict:
+    """Build the ``{name: EmbeddingService}`` map ``serve-http`` fronts.
+
+    Each ``--store [NAME=]PATH`` loads a saved versioned store (NAME
+    defaults to the file stem); with no ``--store`` the command streams
+    ``--dataset`` into a fresh in-memory store first, so a bare
+    ``repro serve-http`` serves something real out of the box.
+    """
+    from pathlib import Path
+
+    from repro.serving import EmbeddingService, EmbeddingStore, load_store
+
+    services: dict = {}
+    for spec in args.store or []:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = Path(spec).stem, spec
+        if not name:
+            raise SystemExit(f"empty graph name in --store {spec!r}")
+        if name in services:
+            raise SystemExit(f"duplicate graph name {name!r} in --store")
+        try:
+            store = load_store(path)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot load store {path!r}: {error}") from None
+        services[name] = EmbeddingService(store, backend=args.backend)
+    if not services:
+        from repro.streaming import (
+            FlushPolicy,
+            StreamingGloDyNE,
+            network_to_events,
+        )
+
+        network = load_dataset(
+            args.dataset, scale=args.scale, seed=args.data_seed,
+            snapshots=args.snapshots,
+        )
+        store = EmbeddingStore()
+        engine = StreamingGloDyNE(
+            seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
+            publish_to=store, dim=args.dim, alpha=0.1,
+            workers=args.workers, **PROFILES[args.profile]["walk"],
+        )
+        engine.ingest_many(network_to_events(network))
+        if engine.pending_events:
+            engine.flush()
+        services[args.dataset] = EmbeddingService(store, backend=args.backend)
+    return services
+
+
+def cmd_serve_http(args: argparse.Namespace) -> int:
+    """Serve embedding stores over HTTP with request micro-batching."""
+    import asyncio
+
+    from repro.server import EmbeddingDaemon
+
+    services = _http_services(args)
+    daemon = EmbeddingDaemon(
+        services,
+        max_batch=args.max_batch,
+        window=args.batch_window_ms / 1e3,
+        # 0 (or negative) disables the idle poller rather than spinning
+        # the event loop; swaps then happen on dispatch / POST reload.
+        reload_interval=(
+            args.reload_interval if args.reload_interval > 0 else None
+        ),
+    )
+
+    async def run() -> None:
+        await daemon.start(host=args.host, port=args.port)
+        print(
+            f"serving {len(services)} graph(s) on "
+            f"http://{daemon.host}:{daemon.port} "
+            f"(batch window {args.batch_window_ms}ms, max {args.max_batch})"
+        )
+        for name, service in services.items():
+            print(
+                f"  /g/{name}/knn  [{service.store.num_versions} versions, "
+                f"backend {service.index.backend_name}]"
+            )
+        print("endpoints: /healthz /stats "
+              "/g/<name>/{knn,score,embed,versions,reload}")
+        try:
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:
+                await daemon.serve_forever()
+        finally:
+            await daemon.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted — shutting down")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GloDyNE reproduction CLI"
@@ -522,6 +617,55 @@ def make_parser() -> argparse.ArgumentParser:
         help="output path for the versioned store (.npz)",
     )
 
+    serve_http = sub.add_parser(
+        "serve-http",
+        help="HTTP daemon over saved stores with request micro-batching",
+    )
+    serve_http.add_argument(
+        "--store", action="append", metavar="[NAME=]PATH", default=None,
+        help="versioned store .npz to serve under /g/<NAME>/ (repeatable; "
+        "NAME defaults to the file stem)",
+    )
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument(
+        "--port", type=int, default=8080, help="0 binds an ephemeral port",
+    )
+    serve_http.add_argument(
+        "--backend", default="lsh", choices=["lsh", "exact"],
+    )
+    serve_http.add_argument(
+        "--batch-window-ms", type=float, default=0.0,
+        help="extra milliseconds a lone request waits for company "
+        "(0 = coalesce per event-loop tick, no added latency)",
+    )
+    serve_http.add_argument(
+        "--max-batch", type=int, default=64,
+        help="dispatch once this many requests coalesced (1 disables "
+        "micro-batching)",
+    )
+    serve_http.add_argument(
+        "--reload-interval", type=float, default=0.5,
+        help="idle hot-reload poll period in seconds (0 disables the "
+        "poller; swaps still happen on query dispatch)",
+    )
+    serve_http.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="serve for this long then exit cleanly (smoke tests; "
+        "default: forever)",
+    )
+    # With no --store, stream --dataset into an in-memory store first.
+    serve_http.add_argument("--dataset", default="elec-sim")
+    serve_http.add_argument("--dim", type=int, default=32)
+    serve_http.add_argument("--seed", type=int, default=0)
+    serve_http.add_argument("--data-seed", type=int, default=0)
+    serve_http.add_argument("--scale", type=float, default=0.5)
+    serve_http.add_argument("--snapshots", type=int, default=None)
+    serve_http.add_argument(
+        "--profile", default="quick", choices=sorted(PROFILES),
+    )
+    serve_http.add_argument("--workers", type=int, default=1)
+    serve_http.add_argument("--flush-events", type=int, default=400)
+
     query = sub.add_parser(
         "query", help="kNN lookups / edge scoring against a saved store",
     )
@@ -558,6 +702,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": cmd_analyze,
         "stream": cmd_stream,
         "serve": cmd_serve,
+        "serve-http": cmd_serve_http,
         "query": cmd_query,
     }
     return handlers[args.command](args)

@@ -108,6 +108,7 @@ class GloDyNEConfig:
         return self.PARALLEL_NEGATIVE_PREFETCH if self.workers >= 2 else 1
 
     def train_config(self) -> TrainConfig:
+        """The SGNS trainer's view of these hyper-parameters."""
         return TrainConfig(
             negative=self.negative,
             epochs=self.epochs,
@@ -142,14 +143,25 @@ class GloDyNE(DynamicEmbeddingMethod):
         publish_to=None,
         **overrides,
     ) -> None:
-        """``overrides`` are forwarded to :class:`GloDyNEConfig` for the
-        common call style ``GloDyNE(dim=64, alpha=0.2, seed=1)``.
+        """Build a model from a config object or keyword overrides.
 
-        ``publish_to`` is an optional
-        :class:`repro.serving.EmbeddingStore`: every ``update`` then
-        publishes its Z^t as a new store version (snapshot-mode serving
-        hook; streaming callers set it on the engine instead, which
-        attaches richer flush metadata).
+        Parameters
+        ----------
+        config:
+            A pre-built :class:`GloDyNEConfig`; mutually exclusive with
+            ``overrides``.
+        seed:
+            Seeds the model RNG (walk sampling, SGNS init, negative
+            draws). Equal seeds and inputs reproduce embeddings bit for
+            bit.
+        publish_to:
+            Optional :class:`repro.serving.EmbeddingStore`: every
+            ``update`` then publishes its Z^t as a new store version
+            (snapshot-mode serving hook; streaming callers set it on the
+            engine instead, which attaches richer flush metadata).
+        **overrides:
+            Forwarded to :class:`GloDyNEConfig` for the common call
+            style ``GloDyNE(dim=64, alpha=0.2, seed=1)``.
         """
         if config is not None and overrides:
             raise ValueError("pass either a config object or keyword overrides")
@@ -161,6 +173,11 @@ class GloDyNE(DynamicEmbeddingMethod):
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
+        """Drop all learned state and restart from the construction seed.
+
+        After a reset the next :meth:`update` runs the offline stage
+        again, exactly as a freshly constructed model would.
+        """
         self.rng = np.random.default_rng(self._seed)
         self.model = SGNSModel(self.config.dim, rng=self.rng)
         self.reservoir = Reservoir()
@@ -184,12 +201,27 @@ class GloDyNE(DynamicEmbeddingMethod):
     ) -> EmbeddingMap:
         """Consume the next snapshot and return Z^t for its nodes.
 
-        ``changes`` and ``csr`` are the streaming fast-path hooks
-        (:mod:`repro.streaming`): a caller that maintains incremental
-        graph state can pass the per-node change counts and the frozen
-        CSR it already holds, skipping the full-graph ``diff_snapshots``
-        and ``CSRAdjacency.from_graph`` recomputation. Both default to
-        ``None``, which recomputes them from the snapshot as before.
+        Parameters
+        ----------
+        snapshot:
+            The graph at time t. The first call runs the offline
+            DeepWalk stage; later calls run the four-step online stage.
+        changes:
+            Streaming fast-path hook (:mod:`repro.streaming`): per-node
+            Eq. (3) change scores a caller accumulated incrementally,
+            replacing the full-graph ``diff_snapshots`` recomputation.
+        csr:
+            Streaming fast-path hook: the frozen
+            :class:`~repro.graph.csr.CSRAdjacency` of ``snapshot`` a
+            caller already holds, replacing ``CSRAdjacency.from_graph``.
+
+        Returns
+        -------
+        EmbeddingMap
+            ``{node: float64 vector of shape (dim,)}`` for every node of
+            ``snapshot``. The aligned ``(nodes, matrix)`` pair behind it
+            is kept on :attr:`last_embedding` (``matrix`` float64 of
+            shape ``(len(nodes), dim)``, rows shared with the map).
         """
         if snapshot.number_of_nodes() == 0:
             raise ValueError("cannot embed an empty snapshot")

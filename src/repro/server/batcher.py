@@ -1,0 +1,239 @@
+"""Request micro-batching: coalesce concurrent kNN lookups into one dispatch.
+
+The daemon's ``/knn`` hot path is dominated by per-query overhead —
+head-follow refresh checks, version resolution, cache bookkeeping, and
+small-numpy call dispatch — not by the index probe itself
+(``benchmarks/bench_serving_qps.py``). When requests arrive
+concurrently, that overhead is the same whether one query or sixty-four
+ride the dispatch, so the batcher collects every lookup that arrives in
+the same event-loop tick (optionally holding lone requests for a
+configurable window) or until a batch fills (default 64), then answers
+the whole batch through a single
+:meth:`EmbeddingService.query_knn_batch
+<repro.serving.service.EmbeddingService.query_knn_batch>` call — which
+itself issues one ``query_many`` against the index.
+
+Determinism contract: with the LSH backend a batched answer is
+bit-identical to the unbatched :meth:`query_knn
+<repro.serving.service.EmbeddingService.query_knn>` answer
+(``tests/test_server_batcher.py`` pins this), so a client cannot tell
+whether its request was coalesced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+Node = Hashable
+
+#: Default coalescing window, seconds. 0 is *tick coalescing*: a lone
+#: request dispatches on the next event-loop iteration, so everything
+#: that arrived in the same loop tick (a concurrent burst) rides one
+#: dispatch with no added latency. A positive window additionally holds
+#: lone requests back to catch stragglers — worth it only when the
+#: per-request service cost exceeds the window; otherwise it trades
+#: latency for nothing (``benchmarks/bench_server_qps.py`` shows a fixed
+#: 2 ms window *halving* closed-loop throughput).
+DEFAULT_WINDOW = 0.0
+#: Default maximum queries per dispatch.
+DEFAULT_MAX_BATCH = 64
+
+
+@dataclass
+class _Pending:
+    """One enqueued lookup: its arguments and the future its caller awaits."""
+
+    node: Node
+    k: int
+    exclude_self: bool
+    future: asyncio.Future = field(repr=False)
+
+
+class MicroBatcher:
+    """Coalesce concurrent kNN lookups against one :class:`EmbeddingService`.
+
+    Parameters
+    ----------
+    service:
+        The :class:`repro.serving.EmbeddingService` the batches dispatch
+        to (its store head is what batched queries answer from).
+    max_batch:
+        Dispatch immediately once this many lookups are pending
+        (``>= 1``; 1 disables coalescing — every request dispatches on
+        its own, the daemon's ``--no-batching`` mode).
+    window:
+        Seconds a lone request waits for company before dispatching
+        (``>= 0``; the default 0 dispatches on the next event-loop
+        tick, which already coalesces concurrent bursts — see
+        :data:`DEFAULT_WINDOW` for when a positive window pays).
+    stats:
+        Optional :class:`repro.server.stats.ServerStats`; when given,
+        every dispatch records its coalesced size.
+    before_dispatch:
+        Optional zero-argument callable invoked synchronously right
+        before each dispatch — the daemon's hot-reload hook (swap the
+        index to the store head so the whole batch answers at one
+        version).
+
+    Notes
+    -----
+    The batcher runs entirely on the event loop: ``_dispatch`` is
+    synchronous, so a batch's refresh + query + result fan-out is atomic
+    with respect to other coroutines — in-flight requests can never
+    observe a half-swapped index.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        window: float = DEFAULT_WINDOW,
+        stats=None,
+        before_dispatch: Callable[[], None] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if window < 0:
+            raise ValueError("window must be >= 0 seconds")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.window = float(window)
+        self.stats = stats
+        self.before_dispatch = before_dispatch
+        self._pending: list[_Pending] = []
+        self._timer: asyncio.TimerHandle | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Lookups currently waiting for the next dispatch."""
+        return len(self._pending)
+
+    async def query(
+        self, node: Node, k: int = 10, *, exclude_self: bool = True
+    ) -> list[tuple[Node, float]]:
+        """Enqueue one lookup and await its batched answer.
+
+        Parameters
+        ----------
+        node:
+            Query node id (must exist at the store head — ``KeyError``
+            otherwise, raised on this caller only).
+        k:
+            Neighbours to return, ``>= 1``.
+        exclude_self:
+            Drop the query node from its own result.
+
+        Returns
+        -------
+        list of (node, float)
+            Exactly what ``service.query_knn(node, k)`` returns.
+        """
+        result, _ = await self._submit(node, k, exclude_self)
+        return result
+
+    async def query_with_version(
+        self, node: Node, k: int = 10, *, exclude_self: bool = True
+    ) -> tuple[list[tuple[Node, float]], int | None]:
+        """Like :meth:`query`, plus the store version the answer used.
+
+        The version is captured *inside* the dispatch, synchronously
+        with the index call — reading ``service.indexed_version`` after
+        the await would race a hot swap landing between the dispatch and
+        this coroutine resuming, mislabelling the results' provenance.
+        """
+        return await self._submit(node, k, exclude_self)
+
+    async def _submit(
+        self, node: Node, k: int, exclude_self: bool
+    ) -> tuple[list[tuple[Node, float]], int | None]:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append(_Pending(node, int(k), bool(exclude_self), future))
+        if len(self._pending) >= self.max_batch:
+            self._dispatch()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window, self._dispatch)
+        return await future
+
+    def flush(self) -> None:
+        """Dispatch whatever is pending now (daemon shutdown drain)."""
+        if self._pending:
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Answer every pending lookup; runs synchronously on the loop."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        # One histogram entry per dispatcher wake-up, before any group
+        # work: the batch-size telemetry measures how many requests each
+        # coalescing window actually gathered (mixed-k batches still
+        # count once; a fallback still coalesced the wake-up).
+        if self.stats is not None:
+            self.stats.record_batch(len(batch))
+            self.stats.record_knn(len(batch))
+        if self.before_dispatch is not None:
+            try:
+                self.before_dispatch()
+            except Exception as error:
+                self._fail(batch, error)
+                return
+        # One query_many per distinct (k, exclude_self): the service's
+        # candidate-coverage target scales with k, so mixing k values in
+        # one index call would change what smaller-k queries see.
+        groups: dict[tuple[int, bool], list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault((pending.k, pending.exclude_self), []).append(
+                pending
+            )
+        for (k, exclude_self), group in groups.items():
+            try:
+                results = self.service.query_knn_batch(
+                    [pending.node for pending in group],
+                    k,
+                    exclude_self=exclude_self,
+                )
+            except Exception:
+                # A batch fails as a unit (e.g. one unknown node aborts
+                # the shared vector gather); fall back to per-request
+                # queries so only the offending lookups error.
+                self._settle_individually(group)
+            else:
+                # Captured synchronously with the index call — the
+                # version these results were computed at, immune to a
+                # hot swap racing the callers' wake-ups.
+                version = getattr(self.service, "indexed_version", None)
+                for pending, result in zip(group, results):
+                    if not pending.future.done():
+                        pending.future.set_result((result, version))
+
+    def _settle_individually(self, group: list[_Pending]) -> None:
+        """Per-request fallback: isolate which lookups actually fail."""
+        for pending in group:
+            if pending.future.done():
+                continue
+            try:
+                result = self.service.query_knn(
+                    pending.node, pending.k, exclude_self=pending.exclude_self
+                )
+            except Exception as error:
+                pending.future.set_exception(error)
+            else:
+                pending.future.set_result(
+                    (result, getattr(self.service, "indexed_version", None))
+                )
+
+    @staticmethod
+    def _fail(batch: list[_Pending], error: Exception) -> None:
+        """Fail every not-yet-done future in ``batch`` with ``error``."""
+        for pending in batch:
+            if not pending.future.done():
+                pending.future.set_exception(error)

@@ -1,0 +1,248 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — stdlib only.
+
+The daemon does not need a web framework: its surface is a handful of
+JSON GET/POST routes, and pulling in one would break the repo's
+no-new-runtime-deps rule. This module is the smallest honest subset of
+RFC 9112 the serving workload requires:
+
+* request line + headers + ``Content-Length`` bodies (no chunked
+  transfer coding — a request carrying ``Transfer-Encoding`` is answered
+  ``400``);
+* HTTP/1.1 keep-alive semantics (``Connection: close`` honoured, 1.0
+  defaults to close);
+* hard limits on request-line, header-count, and body size so a
+  misbehaving client cannot balloon the process.
+
+Anything outside that subset raises :class:`ProtocolError`, which the
+connection loop converts into a 4xx response and a closed connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: Longest accepted request line (method + target + version), bytes.
+MAX_REQUEST_LINE = 8192
+#: Most header lines accepted per request.
+MAX_HEADER_LINES = 100
+#: Largest accepted request body, bytes.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Content Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP framing; answered with ``status`` and a closed socket.
+
+    Parameters
+    ----------
+    message:
+        Human-readable problem, echoed in the JSON error body.
+    status:
+        HTTP status code for the error response (default 400).
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request.
+
+    Attributes
+    ----------
+    method:
+        Upper-case request method (``GET``, ``POST``, ...).
+    path:
+        Decoded path component of the target, query string stripped.
+    query:
+        First value per query-string key (repeats collapse left-to-right).
+    headers:
+        Header map with lower-cased field names; later duplicates win.
+    body:
+        Raw request body (``b""`` when absent).
+    version:
+        ``"HTTP/1.0"`` or ``"HTTP/1.1"``.
+    """
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection survives this exchange (RFC 9112 §9.3)."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes | None:
+    """One CRLF- (or bare-LF-) terminated line, without its terminator.
+
+    Returns ``None`` on clean EOF before any byte; raises
+    :class:`ProtocolError` on truncation mid-line or an over-long line.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-line") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("line exceeds stream limit", 413) from None
+    if len(line) > limit:
+        raise ProtocolError("line too long", 413)
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse the next request off ``reader``.
+
+    Returns
+    -------
+    Request or None
+        ``None`` on a clean end-of-stream before any request byte (the
+        client simply closed a keep-alive connection).
+
+    Raises
+    ------
+    ProtocolError
+        On any framing violation: bad request line, malformed header,
+        unsupported transfer coding, over-long line/body, or truncation.
+    """
+    raw = await _read_line(reader, MAX_REQUEST_LINE)
+    if raw is None:
+        return None
+    if not raw:
+        # Tolerate a single stray CRLF between pipelined requests.
+        raw = await _read_line(reader, MAX_REQUEST_LINE)
+        if raw is None:
+            return None
+    try:
+        line = raw.decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError("request line is not ASCII") from None
+    parts = line.split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ProtocolError(f"unsupported protocol version {version!r}")
+    if not method.isalpha():
+        raise ProtocolError(f"malformed method {method!r}")
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES + 1):
+        raw = await _read_line(reader, MAX_REQUEST_LINE)
+        if raw is None:
+            raise ProtocolError("connection closed inside headers")
+        if not raw:
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep or not name or name != name.strip():
+            raise ProtocolError(f"malformed header line: {raw!r}")
+        headers[name.lower()] = value.strip()
+    else:
+        raise ProtocolError("too many header lines", 413)
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError("chunked transfer coding is not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError("content-length is not an integer") from None
+        if length < 0:
+            raise ProtocolError("negative content-length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError("request body too large", 413)
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed inside body") from None
+
+    split = urlsplit(target)
+    query: dict[str, str] = {}
+    for key, value in parse_qsl(split.query, keep_blank_values=True):
+        query.setdefault(key, value)  # first value wins, as documented
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+def render_response(
+    status: int,
+    payload: object,
+    *,
+    keep_alive: bool = True,
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialise one JSON response to wire bytes.
+
+    Parameters
+    ----------
+    status:
+        HTTP status code (unknown codes render with reason ``Unknown``).
+    payload:
+        JSON-serialisable response body.
+    keep_alive:
+        Emitted as the ``Connection`` header; the connection loop must
+        close the socket itself when False.
+    headers:
+        Extra response headers appended verbatim.
+
+    Returns
+    -------
+    bytes
+        Status line, headers, and the UTF-8 JSON body.
+    """
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def parse_node_id(raw: str):
+    """Decode a node id from its URL/CLI string form.
+
+    JSON when it parses — ``"3"`` stays the int 3, ``'"a"'`` the string
+    ``"a"`` — else the raw string. The inverse of how node ids render
+    into JSON responses, so round-tripping an id through a response and
+    back into a query preserves its type.
+    """
+    try:
+        return json.loads(raw)
+    except (ValueError, TypeError):
+        return raw

@@ -1,0 +1,159 @@
+"""Serving observability: request counters, batch histogram, latency tails.
+
+The daemon's ``/stats`` endpoint is backed by one :class:`ServerStats`
+instance. Everything here is O(1) per request on the hot path — the only
+non-trivial work (percentile sort over the latency ring) happens when a
+snapshot is actually requested.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-quantile of ``samples`` by nearest-rank (``q`` in [0, 1]).
+
+    Parameters
+    ----------
+    samples:
+        Non-empty list of observations (any order; not mutated).
+    q:
+        Quantile in ``[0, 1]``; 0.5 is the median, 0.99 the p99.
+
+    Returns
+    -------
+    float
+        The nearest-rank sample value.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServerStats:
+    """Counters behind ``/stats``: QPS, batch sizes, latency percentiles.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most-recent request latencies retained for the
+        p50/p99 estimate (a bounded ring, not a full history).
+
+    Notes
+    -----
+    One instance is shared by the daemon's connection handlers, the
+    micro-batcher (which records dispatch sizes), and the hot-reload
+    path (which records index swaps). The daemon is single-loop, so no
+    locking is needed.
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._latency_window = int(latency_window)
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter in place (references stay valid).
+
+        Holders keep their reference to this instance — the batcher and
+        connection handlers share it — so warm-up traffic can be
+        discarded before a measured window without rewiring anything
+        (``bench_server_qps`` does exactly this).
+        """
+        self.started_monotonic = time.monotonic()
+        self.started_unix = time.time()
+        self.requests = 0
+        self.responses_by_status: Counter[int] = Counter()
+        self.knn_queries = 0
+        self.batch_dispatches = 0
+        self.batch_sizes: Counter[int] = Counter()
+        self.index_swaps = 0
+        self.rows_rehashed = 0
+        self.protocol_errors = 0
+        self.reload_errors = 0
+        self._latencies: deque[float] = deque(maxlen=self._latency_window)
+
+    # ------------------------------------------------------------------
+    # recording (hot path)
+    # ------------------------------------------------------------------
+    def record_request(self, status: int, seconds: float) -> None:
+        """Count one answered request and its wall-clock latency."""
+        self.requests += 1
+        self.responses_by_status[int(status)] += 1
+        self._latencies.append(float(seconds))
+
+    def record_knn(self, count: int = 1) -> None:
+        """Count ``count`` kNN lookups (batched lookups count each query)."""
+        self.knn_queries += int(count)
+
+    def record_batch(self, size: int) -> None:
+        """Count one micro-batch dispatch of ``size`` coalesced queries."""
+        self.batch_dispatches += 1
+        self.batch_sizes[int(size)] += 1
+
+    def record_swap(self, rows_rehashed: int) -> None:
+        """Count one hot index swap and the rows its refresh re-hashed."""
+        self.index_swaps += 1
+        self.rows_rehashed += int(rows_rehashed)
+
+    def record_protocol_error(self) -> None:
+        """Count one malformed-framing connection (answered 4xx, closed)."""
+        self.protocol_errors += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/stats`` payload: a plain JSON-serialisable dict.
+
+        Returns
+        -------
+        dict
+            ``uptime_seconds``, ``requests``, ``qps`` (lifetime mean),
+            per-status response counts, kNN/batch counters with the
+            batch-size histogram and mean, hot-swap counters, and
+            ``latency_ms`` aggregates (p50/p99/mean over the retained
+            window).
+        """
+        uptime = max(time.monotonic() - self.started_monotonic, 1e-9)
+        samples = list(self._latencies)
+        latency_ms = {
+            "window": len(samples),
+            "p50": percentile(samples, 0.50) * 1e3 if samples else None,
+            "p99": percentile(samples, 0.99) * 1e3 if samples else None,
+            "mean": (sum(samples) / len(samples)) * 1e3 if samples else None,
+        }
+        coalesced = sum(size * n for size, n in self.batch_sizes.items())
+        return {
+            "started_unix": self.started_unix,
+            "uptime_seconds": uptime,
+            "requests": self.requests,
+            "qps": self.requests / uptime,
+            "responses_by_status": {
+                str(status): count
+                for status, count in sorted(self.responses_by_status.items())
+            },
+            "protocol_errors": self.protocol_errors,
+            "knn": {
+                "queries": self.knn_queries,
+                "batch_dispatches": self.batch_dispatches,
+                "batch_size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self.batch_sizes.items())
+                },
+                "mean_batch_size": (
+                    coalesced / self.batch_dispatches
+                    if self.batch_dispatches
+                    else None
+                ),
+            },
+            "hot_reload": {
+                "index_swaps": self.index_swaps,
+                "rows_rehashed": self.rows_rehashed,
+                "reload_errors": self.reload_errors,
+            },
+            "latency_ms": latency_ms,
+        }

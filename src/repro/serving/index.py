@@ -70,6 +70,10 @@ class BruteForceIndex:
     """Exact cosine kNN by full matrix scan (the recall ground truth)."""
 
     backend_name = "exact"
+    #: ``query_many`` scores via one gemm, whose reduction order differs
+    #: from the per-query gemv by up to an ulp — batched results are not
+    #: guaranteed bit-identical to sequential ``query`` calls.
+    batch_matches_single = False
 
     def __init__(self) -> None:
         self._raw: np.ndarray | None = None
@@ -78,6 +82,7 @@ class BruteForceIndex:
 
     @property
     def num_rows(self) -> int:
+        """Rows currently indexed (0 before the first ``build``)."""
         return 0 if self._raw is None else int(self._raw.shape[0])
 
     def build(self, matrix: np.ndarray) -> None:
@@ -112,7 +117,21 @@ class BruteForceIndex:
         return int(changed.size)
 
     def query(self, vector: np.ndarray, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
-        """Top-k rows by cosine similarity: ``(row_ids, float32 scores)``."""
+        """Exact top-k rows by cosine similarity.
+
+        Parameters
+        ----------
+        vector:
+            Query vector of shape ``(dim,)``, any float dtype.
+        k:
+            Rows to return, ``>= 1`` (clipped to the matrix size).
+
+        Returns
+        -------
+        (row_ids, scores)
+            ``int64`` row indices and their ``float32`` cosines, best
+            first, ties broken by ascending row id.
+        """
         if self._unit is None:
             raise RuntimeError("index is empty — call build() first")
         if k < 1:
@@ -128,9 +147,28 @@ class BruteForceIndex:
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Batched exact kNN: one matmul scores every query at once.
 
+        Parameters
+        ----------
+        vectors:
+            Query matrix of shape ``(Q, dim)``, any float dtype (cast to
+            float32).
+        k:
+            Neighbours per query, ``>= 1``.
+
+        Returns
+        -------
+        list of (row_ids, scores)
+            One ``(int64 row_ids, float32 scores)`` pair per query row,
+            best first.
+
+        Notes
+        -----
         The batched scan reads the matrix once per batch instead of once
-        per query — the serving-style micro-batch path both backends
-        expose for throughput benchmarking.
+        per query — the serving-style micro-batch path. Because BLAS gemm
+        results depend on the batch shape, scores may differ from
+        :meth:`query` in the last ulp (``batch_matches_single`` is False);
+        the ranking is still exact. Callers that need bit-identical
+        batched/unbatched results use the LSH backend.
         """
         if self._unit is None:
             raise RuntimeError("index is empty — call build() first")
@@ -208,6 +246,10 @@ class LSHIndex:
     """
 
     backend_name = "lsh"
+    #: ``query_many`` answers are bit-identical to sequential ``query``
+    #: calls — the serving layer relies on this to share one result cache
+    #: between the batched and unbatched paths.
+    batch_matches_single = True
 
     def __init__(
         self,
@@ -252,6 +294,7 @@ class LSHIndex:
     # ------------------------------------------------------------------
     @property
     def num_rows(self) -> int:
+        """Rows currently indexed (0 before the first ``build``)."""
         return self._n
 
     @property
@@ -452,12 +495,27 @@ class LSHIndex:
         return candidates[best], scores[best]
 
     def query(self, vector: np.ndarray, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
-        """Approximate top-k by cosine: ``(row_ids, float32 scores)``.
+        """Approximate top-k by cosine similarity.
 
         Probes the exact bucket of each table first, then flips bits in
         ascending |projection| order (the least confident bits) until
         ``min_candidates`` rows were gathered; the candidate set is then
         re-ranked exactly.
+
+        Parameters
+        ----------
+        vector:
+            Query vector of shape ``(dim,)``, any float dtype.
+        k:
+            Rows to return, ``>= 1``.
+
+        Returns
+        -------
+        (row_ids, scores)
+            ``int64`` row indices and their exact ``float32`` cosines,
+            best first, ties broken by ascending row id. May return
+            fewer than ``k`` rows when probing gathered fewer
+            candidates.
         """
         if self._unit is None:
             raise RuntimeError("index is empty — call build() first")
@@ -473,28 +531,45 @@ class LSHIndex:
     def query_many(
         self, vectors: np.ndarray, k: int = 10
     ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Batched approximate kNN: hashing amortised across the batch.
+        """Batched approximate kNN, bit-identical to sequential queries.
 
-        Normalisation, hyperplane projection, and bucket-key packing run
-        as three matrix ops for the whole micro-batch; only the bucket
-        gather and the (small) exact re-rank remain per query. This is
-        the serving hot path — per-query numpy call overhead is what
-        dominates single-vector latency at a few thousand rows.
+        Parameters
+        ----------
+        vectors:
+            Query matrix of shape ``(Q, dim)``, any float dtype (cast to
+            float32).
+        k:
+            Neighbours per query, ``>= 1``.
+
+        Returns
+        -------
+        list of (row_ids, scores)
+            One ``(int64 row_ids, float32 scores)`` pair per query row,
+            best first — exactly what ``[self.query(v, k) for v in
+            vectors]`` returns.
+
+        Notes
+        -----
+        This is the serving micro-batch dispatch target
+        (:class:`repro.server.MicroBatcher`), and its contract is
+        *determinism over kernel fusion*: every per-query reduction
+        (normalisation, hyperplane projection, re-rank) runs through the
+        same 1-D kernels as :meth:`query`, because BLAS gemm output
+        varies with the batch shape — a fused ``(Q, d) @ (d, T*B)``
+        projection can flip a near-zero hash bit or reorder the probe
+        schedule, making batched answers diverge from unbatched ones.
+        Serving caches results across both paths, so
+        ``batch_matches_single`` is load-bearing, not cosmetic. The
+        batch-level savings live above this call (one index/version
+        resolution, one cache sweep, one event-loop dispatch); the probe
+        work was always per-query.
         """
         if self._unit is None:
             raise RuntimeError("index is empty — call build() first")
         if k < 1:
             raise ValueError("k must be >= 1")
-        queries = unit_rows(vectors)
-        projs = queries @ self._planes.T - self._center_proj  # (Q, T*B)
-        codes = (
-            (projs > 0.0).reshape(-1, self.num_tables, self.num_bits)
-            @ self._pow2
-        ).tolist()
-        return [
-            self._gather_and_rank(queries[i], codes[i], projs[i], k)
-            for i in range(queries.shape[0])
-        ]
+        vectors = np.asarray(vectors, dtype=np.float32)
+        return [self.query(vectors[i], k) for i in range(vectors.shape[0])]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

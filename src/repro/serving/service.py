@@ -7,6 +7,9 @@ consumer actually calls:
 * :meth:`~EmbeddingService.query_knn` — similar-node lookup with an LRU
   result cache keyed on ``(version, node, k)`` (a version bump naturally
   invalidates: new keys, old entries age out);
+* :meth:`~EmbeddingService.query_knn_batch` — the micro-batched variant
+  behind the serving daemon (:mod:`repro.server`): one refresh, one
+  cache sweep, one ``query_many`` index dispatch for a whole batch;
 * :meth:`~EmbeddingService.score_edge` — link scoring for a node pair
   (cosine via the :mod:`repro.tasks.link_prediction` scorer, or raw dot);
 * :meth:`~EmbeddingService.embed_at` — time-travel read of any retained
@@ -22,7 +25,7 @@ is where the traffic goes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable
+from typing import Hashable, Sequence
 
 import numpy as np
 
@@ -156,11 +159,27 @@ class EmbeddingService:
     ) -> list[tuple[Node, float]]:
         """The ``k`` nodes most cosine-similar to ``node``.
 
-        ``version=None`` follows the store's head through the index
-        (refreshing it incrementally when the store advanced — the index
-        is built lazily on the first such query); an explicit version
-        time-travels via an exact scan of that version's matrix. Results
-        are ``(node, cosine)`` pairs, best first.
+        Parameters
+        ----------
+        node:
+            Query node id; must exist at the queried version
+            (``KeyError`` otherwise).
+        k:
+            Neighbours to return, ``>= 1``.
+        version:
+            ``None`` follows the store's head through the index
+            (refreshing it incrementally when the store advanced — the
+            index is built lazily on the first such query); an explicit
+            version time-travels via an exact scan of that version's
+            matrix. Negative ids count back from the head.
+        exclude_self:
+            Drop ``node`` itself from the result.
+
+        Returns
+        -------
+        list of (node, float)
+            ``(node, cosine)`` pairs, best first; scores are float32
+            cosines widened to Python floats.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -185,19 +204,97 @@ class EmbeddingService:
             rows, scores = self.index.query(query_vector, fetch)
         else:
             rows, scores = self._exact_scan(record, query_vector, fetch)
-        result: list[tuple[Node, float]] = []
-        self_row = record.row_of[node]
-        for row, score in zip(rows, scores):
-            if exclude_self and int(row) == self_row:
-                continue
-            result.append((record.nodes[int(row)], float(score)))
-            if len(result) == k:
-                break
+        result = self._materialise(record, node, rows, scores, k, exclude_self)
         if self.cache_size:
-            self._cache[key] = result
-            if len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+            self._cache_put(key, result)
         return list(result)
+
+    def query_knn_batch(
+        self,
+        nodes: Sequence[Node],
+        k: int = 10,
+        *,
+        exclude_self: bool = True,
+    ) -> list[list[tuple[Node, float]]]:
+        """Batched :meth:`query_knn` at the store head — one index dispatch.
+
+        Parameters
+        ----------
+        nodes:
+            Query node ids; each must exist in the latest version
+            (``KeyError`` otherwise, naming the first missing node).
+        k:
+            Neighbours per query, ``>= 1``.
+        exclude_self:
+            Drop each query node from its own result (the default, as in
+            :meth:`query_knn`).
+
+        Returns
+        -------
+        list of list of (node, float)
+            One result list per query node, in input order — each entry
+            exactly what :meth:`query_knn` returns for that node.
+
+        Notes
+        -----
+        This is the dispatch target of the serving daemon's
+        micro-batching (:class:`repro.server.MicroBatcher`): the
+        head-follow refresh, version resolution, and cache sweep are paid
+        once per batch instead of once per query, and all cache misses go
+        to the index in a single :meth:`~LSHIndex.query_many` call.
+
+        With an LSH backend the results are **bit-identical** to calling
+        :meth:`query_knn` per node (``batch_matches_single``), so batched
+        fills share the unbatched LRU cache. The exact backend's gemm
+        batch kernel may differ from single queries in the last ulp, so
+        its batched results are served but never cached — the cache must
+        stay byte-coherent with :meth:`query_knn`.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        nodes = list(nodes)
+        if not nodes:
+            return []
+        self.refresh()  # lazy build / incremental follow-head; no-op
+        record = self.store.version(None)
+        use_index = self._indexed_version == record.version
+        results: list[list[tuple[Node, float]] | None] = [None] * len(nodes)
+        misses: list[int] = []
+        for i, node in enumerate(nodes):
+            key = (record.version, node, k, exclude_self, use_index)
+            if self.cache_size:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.cache_hits += 1
+                    results[i] = list(cached)
+                    continue
+                self.cache_misses += 1
+            misses.append(i)
+        if misses:
+            # KeyError for unknown nodes, before any index work.
+            vectors = np.stack([record.vector(nodes[i]) for i in misses])
+            fetch = k + 1 if exclude_self else k
+            if use_index:
+                ranked = self.index.query_many(vectors, fetch)
+            else:
+                ranked = [
+                    self._exact_scan(record, vector, fetch)
+                    for vector in vectors
+                ]
+            cacheable = self.cache_size and (
+                not use_index or getattr(self.index, "batch_matches_single", False)
+            )
+            for i, (rows, scores) in zip(misses, ranked):
+                node = nodes[i]
+                result = self._materialise(
+                    record, node, rows, scores, k, exclude_self
+                )
+                if cacheable:
+                    key = (record.version, node, k, exclude_self, use_index)
+                    self._cache_put(key, result)
+                results[i] = result
+        return [list(result) for result in results]
 
     def score_edge(
         self,
@@ -230,6 +327,37 @@ class EmbeddingService:
         return self.store.version(version).as_map()
 
     # ------------------------------------------------------------------
+    def _materialise(
+        self,
+        record,
+        node: Node,
+        rows: np.ndarray,
+        scores: np.ndarray,
+        k: int,
+        exclude_self: bool,
+    ) -> list[tuple[Node, float]]:
+        """Ranked ``(row, score)`` arrays -> the public ``(node, float)`` list.
+
+        Shared by the single-query and batched paths so the two can never
+        drift: self-row filtering and the k-truncation happen here, once.
+        """
+        result: list[tuple[Node, float]] = []
+        self_row = record.row_of[node]
+        for row, score in zip(rows, scores):
+            if exclude_self and int(row) == self_row:
+                continue
+            result.append((record.nodes[int(row)], float(score)))
+            if len(result) == k:
+                break
+        return result
+
+    def _cache_put(self, key: tuple, result: list) -> None:
+        """Insert one LRU entry, evicting the oldest past ``cache_size``."""
+        self._cache[key] = result
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
     def _exact_scan(
         self, record, vector: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -254,6 +382,7 @@ class EmbeddingService:
 
     @property
     def cache_info(self) -> dict[str, int]:
+        """LRU effectiveness counters: hits, misses, entries, capacity."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
@@ -262,6 +391,7 @@ class EmbeddingService:
         }
 
     def clear_cache(self) -> None:
+        """Drop every cached query result (counters are kept)."""
         self._cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

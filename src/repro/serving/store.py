@@ -52,10 +52,12 @@ class VersionRecord:
 
     @property
     def num_nodes(self) -> int:
+        """Rows in this version (``matrix.shape[0]``)."""
         return len(self.nodes)
 
     @property
     def dim(self) -> int:
+        """Embedding dimensionality (``matrix.shape[1]``)."""
         return int(self.matrix.shape[1])
 
     def vector(self, node: Node) -> np.ndarray:
@@ -90,9 +92,24 @@ class EmbeddingStore:
     ) -> int:
         """Append a new version; returns its id (0-based, monotonic).
 
-        ``embeddings`` is either the embedding map an update/flush
-        returned, or an already-aligned ``(nodes, matrix)`` pair. Rows are
-        down-cast to float32 and frozen.
+        Parameters
+        ----------
+        embeddings:
+            Either the ``{node: vector}`` map an update/flush returned,
+            or an already-aligned ``(nodes, matrix)`` pair with
+            ``matrix`` of shape ``(len(nodes), dim)`` (any float dtype —
+            rows are copied, down-cast to float32, and frozen).
+        time_step:
+            Trainer time step the version belongs to (defaults to the
+            version id).
+        metadata:
+            JSON-ish provenance stored verbatim on the record (the
+            streaming engine tags trigger / event count / latency).
+
+        Returns
+        -------
+        int
+            The new version id, ``num_versions - 1``.
         """
         if isinstance(embeddings, tuple):
             nodes, matrix = embeddings
@@ -132,6 +149,7 @@ class EmbeddingStore:
     # ------------------------------------------------------------------
     @property
     def num_versions(self) -> int:
+        """Published versions so far (the next publish gets this id)."""
         return len(self._versions)
 
     def __len__(self) -> int:
@@ -139,6 +157,7 @@ class EmbeddingStore:
 
     @property
     def latest(self) -> VersionRecord:
+        """The head version (``LookupError`` before the first publish)."""
         if not self._versions:
             raise LookupError("store has no published versions yet")
         return self._versions[-1]

@@ -372,3 +372,102 @@ def test_run_all_tiny_emits_valid_json_for_every_bench(tmp_path):
         assert problems == [], f"{path.name}: {problems}"
         doc = json.loads(path.read_text(encoding="utf-8"))
         assert doc["profile"] == "tiny"
+
+
+# ----------------------------------------------------------------------
+# caveats (single-core telemetry annotation)
+# ----------------------------------------------------------------------
+def _fake_host(cpu_count):
+    return {
+        "python": "3.12.0",
+        "platform": "test",
+        "machine": "x86_64",
+        "cpu_count": cpu_count,
+        "numpy": "2.0.0",
+    }
+
+
+def test_single_core_host_caveat_is_stamped(clean_registry, monkeypatch):
+    @register_bench("demo_bench")
+    def run_bench(tiny: bool) -> dict:
+        return {"metrics": {"speedup": 1.01}, "caveats": ["gate skipped"]}
+
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    monkeypatch.setattr(registry_mod, "host_info", lambda: _fake_host(1))
+    doc = run_registered("demo_bench", tiny=False)
+    assert doc["caveats"] == [
+        "gate skipped", registry_mod.SINGLE_CORE_CAVEAT,
+    ]
+    assert validate_result(doc) == []
+
+
+def test_multicore_host_gets_no_automatic_caveat(clean_registry, monkeypatch):
+    @register_bench("demo_bench")
+    def run_bench(tiny: bool) -> dict:
+        return {"metrics": {"speedup": 3.2}}
+
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    monkeypatch.setattr(registry_mod, "host_info", lambda: _fake_host(8))
+    doc = run_registered("demo_bench", tiny=False)
+    assert doc["caveats"] == []
+    assert validate_result(doc) == []
+
+
+def test_unknown_cpu_count_gets_no_single_core_caveat(
+    clean_registry, monkeypatch
+):
+    """None means *unknown*, not single-core — a 16-core host whose
+    cpu_count could not be read must not have its numbers discounted."""
+
+    @register_bench("demo_bench")
+    def run_bench(tiny: bool) -> dict:
+        return {"metrics": {"speedup": 1.0}}
+
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    monkeypatch.setattr(registry_mod, "host_info", lambda: _fake_host(None))
+    doc = run_registered("demo_bench", tiny=False)
+    assert doc["caveats"] == []
+
+
+def test_single_core_caveat_is_not_duplicated(clean_registry, monkeypatch):
+    @register_bench("demo_bench")
+    def run_bench(tiny: bool) -> dict:
+        return {
+            "metrics": {"v": 1.0},
+            "caveats": [registry_mod.SINGLE_CORE_CAVEAT],
+        }
+
+    monkeypatch.delenv("REPRO_BENCH_TINY", raising=False)
+    monkeypatch.setattr(registry_mod, "host_info", lambda: _fake_host(1))
+    doc = run_registered("demo_bench", tiny=False)
+    assert doc["caveats"] == [registry_mod.SINGLE_CORE_CAVEAT]
+
+
+def test_schema_validates_caveats_field():
+    base = {
+        "schema": SCHEMA_ID,
+        "name": "demo",
+        "profile": "full",
+        "status": "ok",
+        "seconds": 1.0,
+        "created_unix": 1e9,
+        "metrics": {"v": 1.0},
+        "config": {},
+        "host": _fake_host(1),
+        "git": {"sha": None, "branch": None, "dirty": None},
+        "summary": "",
+    }
+    # Absent: still valid (documents recorded before the field existed).
+    assert validate_result(dict(base)) == []
+    assert validate_result({**base, "caveats": []}) == []
+    assert validate_result({**base, "caveats": ["single-core host"]}) == []
+    assert any(
+        "caveats" in p for p in validate_result({**base, "caveats": "oops"})
+    )
+    assert any(
+        "caveats[0]" in p for p in validate_result({**base, "caveats": [""]})
+    )
+    assert any(
+        "caveats[1]" in p
+        for p in validate_result({**base, "caveats": ["ok", 3]})
+    )

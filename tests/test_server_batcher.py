@@ -1,0 +1,278 @@
+"""Micro-batching contract: coalescing, identity, isolation, caching.
+
+The acceptance property of the serving daemon's batcher
+(:class:`repro.server.MicroBatcher`): N concurrent kNN requests are
+answered through a *single* ``query_many`` index dispatch, and every
+answer is byte-identical to what an unbatched
+``EmbeddingService.query_knn`` call returns for the same node.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import EmbeddingService, EmbeddingStore
+from repro.server import MicroBatcher, ServerStats
+
+
+def run(coro):
+    """Loop-runner for async tests (stdlib stand-in for pytest-asyncio)."""
+    return asyncio.run(coro)
+
+
+def make_store(num_nodes: int = 64, dim: int = 16, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    store = EmbeddingStore()
+    store.publish(
+        (list(range(num_nodes)), rng.standard_normal((num_nodes, dim)))
+    )
+    return store
+
+
+class CountingIndexProxy:
+    """Pass-through wrapper counting query / query_many dispatches."""
+
+    def __init__(self, index) -> None:
+        self._index = index
+        self.query_calls = 0
+        self.query_many_calls = 0
+        self.query_many_sizes: list[int] = []
+
+    def query(self, vector, k=10):
+        self.query_calls += 1
+        return self._index.query(vector, k)
+
+    def query_many(self, vectors, k=10):
+        self.query_many_calls += 1
+        self.query_many_sizes.append(int(np.asarray(vectors).shape[0]))
+        return self._index.query_many(vectors, k)
+
+    def __getattr__(self, name):
+        return getattr(self._index, name)
+
+
+def spied_service(store) -> tuple[EmbeddingService, CountingIndexProxy]:
+    service = EmbeddingService(store)
+    service.refresh()  # build before wrapping: count only query traffic
+    spy = CountingIndexProxy(service.index)
+    service.index = spy
+    return service, spy
+
+
+# ----------------------------------------------------------------------
+# the acceptance property
+# ----------------------------------------------------------------------
+def test_concurrent_requests_single_dispatch_byte_identical():
+    """>= 8 concurrent lookups -> one query_many, answers == query_knn."""
+    store = make_store()
+    service, spy = spied_service(store)
+    batcher = MicroBatcher(service, max_batch=64, window=0.0)
+    nodes = list(range(12))
+
+    async def fire():
+        return await asyncio.gather(
+            *(batcher.query(node, 5) for node in nodes)
+        )
+
+    batched = run(fire())
+
+    assert spy.query_many_calls == 1
+    assert spy.query_many_sizes == [len(nodes)]
+    assert spy.query_calls == 0
+
+    # Byte-identical to the unbatched path: a fresh service over the
+    # same store builds the same frozen index (same seed/bits/center),
+    # and Python float equality is bit equality.
+    reference = EmbeddingService(store)
+    for node, result in zip(nodes, batched):
+        assert result == reference.query_knn(node, 5)
+
+
+def test_batched_answers_are_deinterleaved_per_request():
+    """Each caller gets its own node's neighbours, not a slice mix-up."""
+    store = make_store(num_nodes=40)
+    service, _ = spied_service(store)
+    batcher = MicroBatcher(service, max_batch=64, window=0.0)
+    nodes = [31, 2, 17, 9, 25, 0, 13, 38]
+
+    async def fire():
+        return await asyncio.gather(
+            *(batcher.query(node, 4) for node in nodes)
+        )
+
+    results = run(fire())
+    reference = EmbeddingService(store)
+    for node, result in zip(nodes, results):
+        assert result == reference.query_knn(node, 4)
+        assert all(neighbor != node for neighbor, _ in result)
+
+
+def test_mixed_k_values_one_dispatch_per_group():
+    store = make_store()
+    service, spy = spied_service(store)
+    stats = ServerStats()
+    batcher = MicroBatcher(service, max_batch=64, window=0.0, stats=stats)
+
+    async def fire():
+        return await asyncio.gather(
+            batcher.query(0, 3), batcher.query(1, 7),
+            batcher.query(2, 3), batcher.query(3, 7),
+        )
+
+    results = run(fire())
+    # Candidate coverage scales with k, so each distinct k dispatches
+    # separately — but still one query_many per group, not per request.
+    assert spy.query_many_calls == 2
+    assert sorted(spy.query_many_sizes) == [2, 2]
+    assert [len(r) for r in results] == [3, 7, 3, 7]
+    # The histogram measures coalescing: one dispatcher wake-up gathered
+    # all four requests, regardless of how many index groups it split into.
+    assert stats.batch_dispatches == 1
+    assert dict(stats.batch_sizes) == {4: 1}
+    assert stats.knn_queries == 4
+
+
+def test_query_with_version_reports_the_dispatch_version():
+    store = make_store()
+    service, _ = spied_service(store)
+    batcher = MicroBatcher(service, max_batch=64, window=0.0)
+
+    result, version = run(batcher.query_with_version(3, 5))
+    assert version == 0
+    assert result == EmbeddingService(store).query_knn(3, 5)
+
+
+def test_max_batch_dispatches_without_waiting_for_window():
+    store = make_store()
+    service, spy = spied_service(store)
+    # A 10-minute window would time the test out if max_batch dispatch
+    # did not fire as soon as the batch fills.
+    batcher = MicroBatcher(service, max_batch=4, window=600.0)
+
+    async def fire():
+        return await asyncio.wait_for(
+            asyncio.gather(*(batcher.query(n, 3) for n in range(4))),
+            timeout=10.0,
+        )
+
+    results = run(fire())
+    assert len(results) == 4
+    assert spy.query_many_calls == 1
+
+
+def test_lone_request_resolves_on_tick_window():
+    store = make_store()
+    service, _ = spied_service(store)
+    batcher = MicroBatcher(service, max_batch=64, window=0.0)
+
+    result = run(batcher.query(5, 3))
+    assert result == EmbeddingService(store).query_knn(5, 3)
+
+
+def test_unknown_node_fails_only_its_own_request():
+    store = make_store(num_nodes=32)
+    service, _ = spied_service(store)
+    batcher = MicroBatcher(service, max_batch=64, window=0.0)
+
+    async def fire():
+        return await asyncio.gather(
+            batcher.query(1, 3),
+            batcher.query("no-such-node", 3),
+            batcher.query(2, 3),
+            return_exceptions=True,
+        )
+
+    ok_1, error, ok_2 = run(fire())
+    assert isinstance(error, KeyError)
+    reference = EmbeddingService(store)
+    assert ok_1 == reference.query_knn(1, 3)
+    assert ok_2 == reference.query_knn(2, 3)
+
+
+def test_before_dispatch_failure_fails_the_batch():
+    store = make_store()
+    service, _ = spied_service(store)
+
+    def explode():
+        raise RuntimeError("reload failed")
+
+    batcher = MicroBatcher(
+        service, max_batch=64, window=0.0, before_dispatch=explode
+    )
+
+    async def fire():
+        return await asyncio.gather(
+            batcher.query(0, 3), batcher.query(1, 3),
+            return_exceptions=True,
+        )
+
+    results = run(fire())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_constructor_validation():
+    store = make_store(num_nodes=8)
+    service = EmbeddingService(store)
+    with pytest.raises(ValueError):
+        MicroBatcher(service, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(service, window=-0.1)
+
+
+# ----------------------------------------------------------------------
+# query_knn_batch cache semantics
+# ----------------------------------------------------------------------
+def test_batched_fills_are_served_to_unbatched_queries():
+    """LSH batch results share the LRU cache with query_knn."""
+    store = make_store()
+    service = EmbeddingService(store)
+    batched = service.query_knn_batch([3, 4], 5)
+    hits_before = service.cache_hits
+    assert service.query_knn(3, 5) == batched[0]
+    assert service.query_knn(4, 5) == batched[1]
+    assert service.cache_hits == hits_before + 2
+
+
+def test_batch_cache_hits_skip_the_index():
+    store = make_store()
+    service, spy = spied_service(store)
+    first = service.query_knn_batch([1, 2, 3], 4)
+    assert spy.query_many_calls == 1
+    again = service.query_knn_batch([1, 2, 3], 4)
+    assert spy.query_many_calls == 1  # served wholly from cache
+    assert again == first
+
+
+def test_exact_backend_batches_are_not_cached():
+    """gemm batches may differ from single queries in the last ulp, so
+    they must never seed the cache query_knn reads from."""
+    store = make_store()
+    service = EmbeddingService(store, backend="exact")
+    service.query_knn_batch([1, 2], 5)
+    assert len(service._cache) == 0
+    # Unbatched queries still cache as before.
+    service.query_knn(1, 5)
+    assert len(service._cache) == 1
+
+
+def test_query_knn_batch_empty_and_bad_k():
+    store = make_store(num_nodes=8)
+    service = EmbeddingService(store)
+    assert service.query_knn_batch([], 5) == []
+    with pytest.raises(ValueError):
+        service.query_knn_batch([1], 0)
+
+
+def test_query_knn_batch_matches_query_knn_without_index():
+    """Before the index covers the head, both paths exact-scan equally."""
+    store = make_store()
+    service = EmbeddingService(store, cache_size=0)
+    # Force the non-index path by pointing the service at a stale index
+    # state: disable refresh's effect via an exact service with no cache.
+    batched = service.query_knn_batch([0, 1, 2], 6)
+    reference = EmbeddingService(store, cache_size=0)
+    for node, result in zip([0, 1, 2], batched):
+        assert result == reference.query_knn(node, 6)
