@@ -61,16 +61,20 @@ PROFILES = {
 }
 
 
-def _builders(profile: dict, workers: int = 1) -> dict:
+def _builders(
+    profile: dict, workers: int = 1, incremental_partition: bool = False
+) -> dict:
     walk = profile["walk"]
     iters = profile["bcgd_iterations"]
     dyngem = profile["dyngem"]
     # Only the Skip-Gram-walk methods have a parallel hot path; the dense
-    # baselines ignore --workers.
+    # baselines ignore --workers. Incremental Step 1 partition
+    # maintenance only exists for GloDyNE (the only partitioning method).
     walk_par = dict(walk, workers=workers)
     return {
         "glodyne": lambda dim, seed: GloDyNE(
-            dim=dim, alpha=0.1, seed=seed, **walk_par
+            dim=dim, alpha=0.1, seed=seed,
+            incremental_partition=incremental_partition, **walk_par
         ),
         "sgns-static": lambda dim, seed: SGNSStatic(
             dim=dim, seed=seed, **walk_par
@@ -98,10 +102,14 @@ METHOD_NAMES = sorted(_builders(PROFILES["quick"]))
 
 
 def build_method(
-    name: str, dim: int, seed: int, profile: str = "quick", workers: int = 1
+    name: str, dim: int, seed: int, profile: str = "quick", workers: int = 1,
+    incremental_partition: bool = False,
 ) -> DynamicEmbeddingMethod:
     try:
-        builders = _builders(PROFILES[profile], workers=workers)
+        builders = _builders(
+            PROFILES[profile], workers=workers,
+            incremental_partition=incremental_partition,
+        )
     except KeyError:
         raise SystemExit(
             f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
@@ -146,7 +154,8 @@ def cmd_embed(args: argparse.Namespace) -> int:
         snapshots=args.snapshots,
     )
     method = build_method(
-        args.method, args.dim, args.seed, args.profile, workers=args.workers
+        args.method, args.dim, args.seed, args.profile, workers=args.workers,
+        incremental_partition=args.incremental_partition,
     )
     started = time.perf_counter()
     result = run_method(method, network)
@@ -183,7 +192,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         snapshots=args.snapshots,
     )
     method = build_method(
-        args.method, args.dim, args.seed, args.profile, workers=args.workers
+        args.method, args.dim, args.seed, args.profile, workers=args.workers,
+        incremental_partition=args.incremental_partition,
     )
     result = run_method(method, network)
     if not result.ok:
@@ -276,7 +286,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid flush policy: {error}") from None
     engine = StreamingGloDyNE(
         seed=args.seed, policy=policy, dim=args.dim, alpha=0.1,
-        workers=args.workers, **walk,
+        workers=args.workers,
+        incremental_partition=args.incremental_partition, **walk,
     )
     started = time.perf_counter()
     results = engine.ingest_many(events)
@@ -542,6 +553,11 @@ def make_parser() -> argparse.ArgumentParser:
             help="walk-generation worker processes (1 = serial, "
             "bit-identical to the pre-parallel path)",
         )
+        p.add_argument(
+            "--incremental-partition", action="store_true",
+            help="maintain Step 1's partition incrementally across "
+            "snapshots instead of rebuilding it per step (GloDyNE only)",
+        )
 
     embed = sub.add_parser("embed", help="embed a dynamic network")
     common(embed)
@@ -577,6 +593,10 @@ def make_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--workers", type=int, default=1,
         help="walk-generation worker processes for each flush",
+    )
+    stream.add_argument(
+        "--incremental-partition", action="store_true",
+        help="maintain Step 1's partition incrementally across flushes",
     )
     stream.add_argument(
         "--flush-events", type=int, default=400,

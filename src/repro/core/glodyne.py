@@ -33,6 +33,7 @@ from repro.graph.csr import CSRAdjacency
 from repro.graph.diff import diff_snapshots, weighted_node_changes
 from repro.graph.static import Graph
 from repro.parallel import DEFAULT_CHUNK_STARTS, generate_walks
+from repro.partition.incremental import IncrementalPartitioner
 from repro.sgns.model import SGNSModel
 from repro.sgns.trainer import TrainConfig, train_on_corpus
 from repro.walks.corpus import build_pair_corpus
@@ -61,6 +62,15 @@ class GloDyNEConfig:
     batch_size: int = 2048
     partition_eps: float = 0.10
     strategy: str = "s4"
+    # Step 1 cost model: with ``incremental_partition`` on, a persistent
+    # :class:`~repro.partition.incremental.IncrementalPartitioner` applies
+    # graph deltas to the previous step's partition — O(Δ) Python work per
+    # step instead of the full O(E) multilevel rebuild — falling back to a
+    # full rebuild when the maintained edge cut degrades beyond
+    # ``partition_cut_slack`` (relative) or Eq. (2) balance breaks. Only
+    # the S4 strategies partition, so the knob is inert for S1-S3.
+    incremental_partition: bool = False
+    partition_cut_slack: float = 0.5
     # Footnote 3 of the paper: on weighted snapshots, |ΔE_i| generalises
     # to the total incident weight change. "auto" switches to the
     # weighted formula whenever either snapshot carries non-unit weights;
@@ -100,6 +110,10 @@ class GloDyNEConfig:
             raise ValueError("chunk_starts must be >= 1")
         if self.negative_prefetch is not None and self.negative_prefetch < 1:
             raise ValueError("negative_prefetch must be >= 1 (or None)")
+        if self.partition_eps < 0:
+            raise ValueError("partition_eps must be non-negative")
+        if self.partition_cut_slack < 0:
+            raise ValueError("partition_cut_slack must be non-negative")
 
     def resolved_negative_prefetch(self) -> int:
         """Effective mega-batch size: explicit value, else profile default."""
@@ -181,6 +195,23 @@ class GloDyNE(DynamicEmbeddingMethod):
         self.rng = np.random.default_rng(self._seed)
         self.model = SGNSModel(self.config.dim, rng=self.rng)
         self.reservoir = Reservoir()
+        # Step 1 state: the incremental partitioner persists across
+        # `update` calls (that is the whole point — it owns the partition
+        # between snapshots). Rebuild randomness comes from the
+        # partitioner's own seeded stream, never from self.rng — but note
+        # that enabling the knob changes what S4 draws from self.rng (the
+        # per-step partition_graph call is skipped), so knob-on and
+        # knob-off runs are two different (each internally deterministic)
+        # trajectories.
+        self.partitioner: IncrementalPartitioner | None = (
+            IncrementalPartitioner(
+                eps=self.config.partition_eps,
+                seed=self._seed,
+                cut_slack=self.config.partition_cut_slack,
+            )
+            if self.config.incremental_partition
+            else None
+        )
         self.previous: Graph | None = None
         self.time_step = 0
         self.last_trace: StepTrace | None = None
@@ -198,6 +229,7 @@ class GloDyNE(DynamicEmbeddingMethod):
         *,
         changes: dict[Node, float] | None = None,
         csr: CSRAdjacency | None = None,
+        touched: set[Node] | None = None,
     ) -> EmbeddingMap:
         """Consume the next snapshot and return Z^t for its nodes.
 
@@ -214,6 +246,11 @@ class GloDyNE(DynamicEmbeddingMethod):
             Streaming fast-path hook: the frozen
             :class:`~repro.graph.csr.CSRAdjacency` of ``snapshot`` a
             caller already holds, replacing ``CSRAdjacency.from_graph``.
+        touched:
+            Nodes whose incident topology may have changed since the
+            previous snapshot — the incremental partitioner's dirty set.
+            Defaults to ``set(changes)`` (accumulated or diffed); only
+            consulted when ``incremental_partition`` is enabled.
 
         Returns
         -------
@@ -228,7 +265,9 @@ class GloDyNE(DynamicEmbeddingMethod):
         if self.previous is None:
             trace = self._offline_stage(snapshot, csr=csr)
         else:
-            trace = self._online_stage(snapshot, changes=changes, csr=csr)
+            trace = self._online_stage(
+                snapshot, changes=changes, csr=csr, touched=touched
+            )
         self.last_trace = trace
         # Must be a frozen copy, not an alias: Eq. (3) scoring reads the
         # *previous* snapshot's degrees next step, and streaming callers
@@ -266,10 +305,18 @@ class GloDyNE(DynamicEmbeddingMethod):
         snapshot: Graph,
         changes: dict[Node, float] | None = None,
         csr: CSRAdjacency | None = None,
+        touched: set[Node] | None = None,
     ) -> StepTrace:
         """Algorithm 1 lines 6-18: partition, select, walk, update."""
         cfg = self.config
         assert self.previous is not None
+
+        # ONE CSR per step: built here (or handed in by a streaming
+        # caller) and shared by Step 1's partitioner and Step 3's walk
+        # engine. partition_graph used to re-freeze the snapshot
+        # internally, doubling the per-step CSR cost.
+        if csr is None:
+            csr = CSRAdjacency.from_graph(snapshot)
 
         # Line 9-10: edge stream + reservoir accumulation. The weighted
         # variant (footnote 3) kicks in automatically on weighted graphs.
@@ -291,11 +338,24 @@ class GloDyNE(DynamicEmbeddingMethod):
         # Lines 7-13: K cells, one representative each (strategy S4; the
         # other strategies replace partitioning for the Table 5 ablation).
         count = max(1, round(cfg.alpha * snapshot.number_of_nodes()))
+        partition = None
+        if self.partitioner is not None and cfg.strategy in (
+            "s4",
+            "s4-uniform",
+        ):
+            if touched is None:
+                touched = set(changes)
+            partition = self.partitioner.partition(
+                snapshot, count, csr=csr, touched=touched
+            )
         context = SelectionContext(
             snapshot=snapshot,
             previous=self.previous,
             reservoir=self.reservoir,
             rng=self.rng,
+            csr=csr,
+            partition=partition,
+            partition_eps=cfg.partition_eps,
         )
         selected = self._strategy(context, count)
 
@@ -303,8 +363,6 @@ class GloDyNE(DynamicEmbeddingMethod):
         self.reservoir.evict(selected)
 
         # Lines 15-17: walks from the selected nodes, incremental training.
-        if csr is None:
-            csr = CSRAdjacency.from_graph(snapshot)
         start_indices = np.fromiter(
             (csr.index_of[node] for node in selected),
             dtype=np.int64,

@@ -64,6 +64,8 @@ def save_checkpoint(model: GloDyNE, path: str | Path) -> None:
             "min_lr": config.min_lr,
             "batch_size": config.batch_size,
             "partition_eps": config.partition_eps,
+            "incremental_partition": config.incremental_partition,
+            "partition_cut_slack": config.partition_cut_slack,
             "strategy": config.strategy,
             "weighted_changes": config.weighted_changes,
         }

@@ -30,7 +30,16 @@ Node = Hashable
 
 
 class SelectionContext:
-    """Everything a strategy may consult when picking nodes."""
+    """Everything a strategy may consult when picking nodes.
+
+    The last three parameters are fast-path hooks the GloDyNE online
+    loop fills in: ``csr`` is the step's single frozen adjacency (S4's
+    partitioner reuses it instead of re-freezing the snapshot),
+    ``partition`` is a prebuilt Step 1 partition (from the incremental
+    partitioner) that S4 adopts wholesale, and ``partition_eps`` is the
+    Eq. (2) balance tolerance from :class:`GloDyNEConfig` — previously
+    the config knob never reached S4 and the hard-coded 0.10 always won.
+    """
 
     def __init__(
         self,
@@ -38,11 +47,17 @@ class SelectionContext:
         previous: Graph | None,
         reservoir: Reservoir,
         rng: np.random.Generator,
+        csr=None,
+        partition=None,
+        partition_eps: float | None = None,
     ) -> None:
         self.snapshot = snapshot
         self.previous = previous
         self.reservoir = reservoir
         self.rng = rng
+        self.csr = csr
+        self.partition = partition
+        self.partition_eps = partition_eps
 
 
 class SelectionStrategy(Protocol):
@@ -102,16 +117,39 @@ def select_s3(context: SelectionContext, count: int) -> list[Node]:
     return [nodes[int(i)] for i in picks]
 
 
+def _resolve_partition(
+    context: SelectionContext, count: int, eps: float | None
+):
+    """The Step 1 partition S4 samples from.
+
+    A prebuilt partition on the context (the incremental partitioner's
+    output) wins when its cell count matches; otherwise a fresh
+    multilevel partition is built, reusing the context's frozen CSR when
+    one exists. The eps precedence is explicit argument >
+    ``context.partition_eps`` (the config knob) > the 0.10 default.
+    """
+    partition = context.partition
+    if partition is not None and partition.k == count:
+        return partition
+    if eps is None:
+        eps = (
+            context.partition_eps
+            if context.partition_eps is not None
+            else 0.10
+        )
+    return partition_graph(
+        context.snapshot, k=count, eps=eps, rng=context.rng, csr=context.csr
+    )
+
+
 def select_s4(
     context: SelectionContext,
     count: int,
-    eps: float = 0.10,
+    eps: float | None = None,
 ) -> list[Node]:
     """S4 (GloDyNE): one softmax-sampled representative per partition cell."""
     count = max(1, min(count, context.snapshot.number_of_nodes()))
-    partition = partition_graph(
-        context.snapshot, k=count, eps=eps, rng=context.rng
-    )
+    partition = _resolve_partition(context, count, eps)
     return [
         sample_representative(cell, context.reservoir, context.previous, context.rng)
         for cell in partition.cells
@@ -122,7 +160,7 @@ def select_s4(
 def select_s4_uniform(
     context: SelectionContext,
     count: int,
-    eps: float = 0.10,
+    eps: float | None = None,
 ) -> list[Node]:
     """Ablation of S4: partition diversity WITHOUT the change bias.
 
@@ -131,9 +169,7 @@ def select_s4_uniform(
     versus the partition spread alone (DESIGN.md §6 ablation hook).
     """
     count = max(1, min(count, context.snapshot.number_of_nodes()))
-    partition = partition_graph(
-        context.snapshot, k=count, eps=eps, rng=context.rng
-    )
+    partition = _resolve_partition(context, count, eps)
     picks = []
     for cell in partition.cells:
         if cell:

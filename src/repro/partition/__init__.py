@@ -1,9 +1,15 @@
 """METIS-substitute multilevel (K, ε)-balanced k-way graph partitioner."""
 
+from repro.partition.incremental import IncrementalPartitioner
 from repro.partition.metis import (
     PartitionResult,
     partition_graph,
     validate_partition,
 )
 
-__all__ = ["PartitionResult", "partition_graph", "validate_partition"]
+__all__ = [
+    "IncrementalPartitioner",
+    "PartitionResult",
+    "partition_graph",
+    "validate_partition",
+]

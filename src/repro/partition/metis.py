@@ -54,6 +54,7 @@ class PartitionResult:
 
     @property
     def cell_sizes(self) -> list[int]:
+        """Number of nodes in each cell, indexed like ``cells``."""
         return [len(cell) for cell in self.cells]
 
     def max_imbalance(self, num_nodes: int | None = None) -> float:
@@ -65,12 +66,13 @@ class PartitionResult:
 
 
 def partition_graph(
-    graph: Graph,
+    graph: Graph | None,
     k: int,
     eps: float = 0.10,
     rng: np.random.Generator | None = None,
     coarsen_factor: int = 4,
     refinement_passes: int = 4,
+    csr: CSRAdjacency | None = None,
 ) -> PartitionResult:
     """Partition ``graph`` into ``k`` balanced cells minimising edge cut.
 
@@ -78,7 +80,7 @@ def partition_graph(
     ----------
     graph:
         The snapshot to partition (undirected; weights respected in the cut
-        objective).
+        objective). May be ``None`` when ``csr`` is given.
     k:
         Requested number of cells. Clamped to ``[1, |V|]``: the paper sets
         ``K = α|V^t|`` which can exceed |V| only for degenerate α.
@@ -90,6 +92,12 @@ def partition_graph(
     rng:
         Randomness for matching order and seed choice; pass a seeded
         generator for deterministic partitions.
+    csr:
+        Fast path for callers that already hold the frozen
+        :class:`~repro.graph.csr.CSRAdjacency` of ``graph`` (the GloDyNE
+        online loop builds exactly one CSR per step and shares it with
+        the walk engine). Must describe the same snapshot as ``graph``;
+        the result is bit-identical to rebuilding it here.
 
     Notes
     -----
@@ -99,14 +107,16 @@ def partition_graph(
     """
     if rng is None:
         rng = np.random.default_rng()
-    n = graph.number_of_nodes()
+    if csr is None:
+        if graph is None:
+            raise ValueError("pass a graph, a prebuilt csr, or both")
+        csr = CSRAdjacency.from_graph(graph)
+    n = csr.num_nodes
     if n == 0:
         raise ValueError("cannot partition an empty graph")
     k = max(1, min(int(k), n))
     if eps < 0:
         raise ValueError("eps must be non-negative")
-
-    csr = CSRAdjacency.from_graph(graph)
 
     if k == 1:
         assignment_arr = np.zeros(n, dtype=np.int64)
@@ -160,17 +170,27 @@ def partition_graph(
 
 
 def _package(
-    csr: CSRAdjacency, assignment: np.ndarray, k: int, eps: float
+    csr: CSRAdjacency,
+    assignment: np.ndarray,
+    k: int,
+    eps: float,
+    cut: float | None = None,
 ) -> PartitionResult:
-    """Translate an index assignment into a node-id :class:`PartitionResult`."""
+    """Translate an index assignment into a node-id :class:`PartitionResult`.
+
+    ``cut`` lets callers that already computed the edge cut (the
+    incremental partitioner's quality gate) skip rebuilding the level
+    graph just to re-derive it.
+    """
     cells: list[list[Node]] = [[] for _ in range(k)]
     mapping: dict[Node, int] = {}
     for idx, cell in enumerate(assignment):
         node = csr.nodes[idx]
         cells[int(cell)].append(node)
         mapping[node] = int(cell)
-    level = level_graph_from_csr(csr)
-    cut = edge_cut(level, assignment)
+    if cut is None:
+        level = level_graph_from_csr(csr)
+        cut = edge_cut(level, assignment)
     return PartitionResult(
         cells=cells, assignment=mapping, edge_cut=cut, k=k, eps=eps
     )

@@ -38,11 +38,19 @@ def refine_assignment(
     k: int,
     eps: float,
     max_passes: int = 4,
+    candidates: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Greedy boundary refinement; mutates and returns ``assignment``."""
+    """Greedy boundary refinement; mutates and returns ``assignment``.
+
+    ``candidates`` restricts the vertices considered for moves (the
+    incremental partitioner's dirty set); ``None`` sweeps every vertex,
+    which is the full multilevel path and must stay bit-identical to the
+    historical behaviour.
+    """
     n = level.num_nodes
     if n == 0:
         return assignment
+    sweep = range(n) if candidates is None else [int(u) for u in candidates]
     ceiling = balance_ceiling(level.total_vweight, k, eps)
     weights = np.zeros(k, dtype=np.int64)
     np.add.at(weights, assignment, level.vweights)
@@ -50,7 +58,7 @@ def refine_assignment(
 
     for _ in range(max_passes):
         moved = 0
-        for u in range(n):
+        for u in sweep:
             src = int(assignment[u])
             nbrs = level.neighbors(u)
             if nbrs.size == 0:

@@ -243,6 +243,7 @@ class StreamingGloDyNE:
             # recompute diff + CSR on the restricted graph.
             changes = None
             csr = None
+            touched = None
         else:
             # The window accumulator is only a valid stand-in for the
             # snapshot diff once the model's previous graph is one this
@@ -257,7 +258,17 @@ class StreamingGloDyNE:
                 else None
             )
             csr = self.state.csr.to_csr()
-        embeddings = self.model.update(snapshot, changes=changes, csr=csr)
+            # The accumulated touched-node set (endpoints of every edge
+            # the window saw, including reverted ones) is the incremental
+            # partitioner's dirty set for this flush.
+            touched = (
+                self.state.window_touched_nodes()
+                if changes is not None
+                else None
+            )
+        embeddings = self.model.update(
+            snapshot, changes=changes, csr=csr, touched=touched
+        )
         self.state.reset_window()
         self._prev_nonunit = self.state.has_nonunit_weights
         result = FlushResult(

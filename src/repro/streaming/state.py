@@ -273,6 +273,20 @@ class ChangeAccumulator:
         """Distinct edges touched since the window opened."""
         return len(self._baseline)
 
+    def touched_nodes(self) -> set[Node]:
+        """Endpoints of every edge touched since the window opened.
+
+        Deliberately a *superset* of the nodes with non-zero Eq. (3)
+        change: an edge added then removed inside the window cancels out
+        of :meth:`node_changes`, but its endpoints still belong in the
+        incremental partitioner's dirty set (re-examining an unchanged
+        boundary vertex is a no-op, missing a changed one is not).
+        """
+        nodes: set[Node] = set()
+        for key in self._baseline:
+            nodes.update(key)
+        return nodes
+
     def node_changes(
         self, graph: Graph, weighted: bool
     ) -> dict[Node, float]:
@@ -398,6 +412,14 @@ class IncrementalGraphState:
     def window_node_changes(self, weighted: bool) -> dict[Node, float]:
         """Eq. (3) per-node changes accumulated over the open window."""
         return self.accumulator.node_changes(self.graph, weighted)
+
+    def window_touched_nodes(self) -> set[Node]:
+        """Nodes incident to any edge touched in the open window.
+
+        The Step 1 dirty set a flush hands to the incremental
+        partitioner (:class:`repro.partition.IncrementalPartitioner`).
+        """
+        return self.accumulator.touched_nodes()
 
     def reset_window(self) -> None:
         """Close the flush window: clear baselines and the event counter."""

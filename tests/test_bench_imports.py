@@ -45,6 +45,7 @@ def test_bench_suite_is_complete():
         "bench_streaming_throughput",
         "bench_serving_qps",
         "bench_parallel_walks",
+        "bench_incremental_partition",
     }
     assert expected <= names
 

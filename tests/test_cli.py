@@ -25,6 +25,26 @@ class TestEmbed:
         out = capsys.readouterr().out
         assert "embedded elec-sim" in out
 
+    def test_embed_incremental_partition_flag(self, capsys, monkeypatch):
+        """--incremental-partition reaches the GloDyNE config."""
+        from repro.core.glodyne import GloDyNE
+
+        built = {}
+        original = GloDyNE.__init__
+
+        def spy(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            built["incremental"] = self.config.incremental_partition
+
+        monkeypatch.setattr(GloDyNE, "__init__", spy)
+        code = main(
+            ["embed", "--dataset", "elec-sim", "--incremental-partition",
+             *COMMON]
+        )
+        assert code == 0
+        assert built["incremental"] is True
+        assert "embedded elec-sim" in capsys.readouterr().out
+
     def test_embed_writes_npz(self, tmp_path, capsys):
         out_file = tmp_path / "emb.npz"
         code = main(
@@ -98,6 +118,17 @@ class TestStream:
         out = capsys.readouterr().out
         assert "1 flushes" in out
         assert "manual" in out
+
+    def test_stream_incremental_partition_flag(self, capsys):
+        code = main(
+            [
+                "stream", "--dataset", "elec-sim", "--scale", "0.25",
+                "--snapshots", "4", "--dim", "8", "--flush-events", "100",
+                "--incremental-partition",
+            ]
+        )
+        assert code == 0
+        assert "streamed elec-sim" in capsys.readouterr().out
 
 
 class TestAnalyze:

@@ -44,6 +44,12 @@ class TestConfig:
         with pytest.raises(ValueError):
             GloDyNE(config=GloDyNEConfig(), dim=8)
 
+    def test_partition_knob_validation(self):
+        with pytest.raises(ValueError):
+            GloDyNEConfig(partition_eps=-0.1)
+        with pytest.raises(ValueError):
+            GloDyNEConfig(partition_cut_slack=-1.0)
+
 
 class TestOfflineStage:
     def test_t0_covers_all_nodes(self, karate_like):
@@ -155,6 +161,116 @@ class TestFitAndDeterminism:
             model = GloDyNE(**small_config(strategy=strategy), seed=0)
             embeddings = model.fit(tiny_network)
             assert len(embeddings) == tiny_network.num_snapshots
+
+
+class TestSingleCSRPerStep:
+    def test_online_step_builds_exactly_one_csr(
+        self, tiny_network, monkeypatch
+    ):
+        """Regression for the double CSR build: `partition_graph` used to
+        re-freeze the snapshot internally while `_online_stage` built
+        another CSR for the walk engine."""
+        from repro.graph.csr import CSRAdjacency
+
+        model = GloDyNE(**small_config(), seed=0)
+        model.update(tiny_network[0])
+
+        calls = {"count": 0}
+        real = CSRAdjacency.from_graph.__func__
+
+        def counting(cls, graph):
+            calls["count"] += 1
+            return real(cls, graph)
+
+        monkeypatch.setattr(
+            CSRAdjacency, "from_graph", classmethod(counting)
+        )
+        model.update(tiny_network[1])
+        assert calls["count"] == 1
+
+    def test_online_step_with_incremental_partitioner_builds_one_csr(
+        self, tiny_network, monkeypatch
+    ):
+        from repro.graph.csr import CSRAdjacency
+
+        model = GloDyNE(
+            **small_config(incremental_partition=True), seed=0
+        )
+        model.update(tiny_network[0])
+        calls = {"count": 0}
+        real = CSRAdjacency.from_graph.__func__
+
+        def counting(cls, graph):
+            calls["count"] += 1
+            return real(cls, graph)
+
+        monkeypatch.setattr(
+            CSRAdjacency, "from_graph", classmethod(counting)
+        )
+        model.update(tiny_network[1])
+        assert calls["count"] == 1
+
+
+class TestIncrementalPartition:
+    def test_runs_end_to_end_and_is_deterministic(self, tiny_network):
+        run_a = GloDyNE(
+            **small_config(incremental_partition=True), seed=11
+        ).fit(tiny_network)
+        run_b = GloDyNE(
+            **small_config(incremental_partition=True), seed=11
+        ).fit(tiny_network)
+        assert len(run_a) == tiny_network.num_snapshots
+        for map_a, map_b in zip(run_a, run_b):
+            assert set(map_a) == set(map_b)
+            for node in map_a:
+                np.testing.assert_array_equal(map_a[node], map_b[node])
+
+    def test_partitioner_persists_across_steps(self, tiny_network):
+        model = GloDyNE(
+            **small_config(incremental_partition=True), seed=0
+        )
+        model.fit(tiny_network)
+        assert model.partitioner is not None
+        # One bootstrap rebuild; the remaining online steps maintained
+        # the partition incrementally (unless the quality gate fired,
+        # which small simulated drift must not trigger).
+        assert model.partitioner.num_rebuilds >= 1
+        assert (
+            model.partitioner.num_rebuilds
+            + model.partitioner.num_incremental
+            == tiny_network.num_snapshots - 1
+        )
+
+    def test_reset_rebuilds_a_fresh_partitioner(self, tiny_network):
+        model = GloDyNE(
+            **small_config(incremental_partition=True), seed=3
+        )
+        model.fit(tiny_network)
+        used = model.partitioner
+        model.reset()
+        assert model.partitioner is not used
+        assert model.partitioner.num_rebuilds == 0
+
+    def test_knob_off_means_no_partitioner(self, tiny_network):
+        model = GloDyNE(**small_config(), seed=0)
+        assert model.partitioner is None
+
+    def test_inert_for_non_partitioning_strategies(self, tiny_network):
+        model = GloDyNE(
+            **small_config(incremental_partition=True, strategy="s3"),
+            seed=0,
+        )
+        model.fit(tiny_network)
+        assert model.partitioner.num_rebuilds == 0
+        assert model.partitioner.num_incremental == 0
+
+    def test_embeddings_cover_snapshot_nodes(self, tiny_network):
+        model = GloDyNE(
+            **small_config(incremental_partition=True), seed=7
+        )
+        for snapshot in tiny_network:
+            embeddings = model.update(snapshot)
+            assert set(embeddings) == snapshot.node_set()
 
 
 class TestQuality:

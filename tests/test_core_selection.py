@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.core.selection as selection_module
 from repro.core import Reservoir
 from repro.core.selection import (
     SelectionContext,
@@ -13,7 +14,9 @@ from repro.core.selection import (
     select_s2,
     select_s3,
     select_s4,
+    select_s4_uniform,
 )
+from repro.graph import CSRAdjacency
 from repro.partition import partition_graph
 
 
@@ -118,6 +121,89 @@ class TestS4:
     def test_single_cell(self, context):
         picks = select_s4(context, count=1)
         assert len(picks) == 1
+
+
+class TestS4PartitionPlumbing:
+    """Regression suite for the (previously dead) eps knob and the
+    prebuilt-partition / shared-CSR fast paths."""
+
+    @pytest.fixture
+    def eps_spy(self, monkeypatch):
+        captured = {}
+        real = selection_module.partition_graph
+
+        def spy(graph, k, eps=0.10, rng=None, csr=None, **kwargs):
+            captured["eps"] = eps
+            captured["csr"] = csr
+            return real(graph, k, eps=eps, rng=rng, csr=csr, **kwargs)
+
+        monkeypatch.setattr(selection_module, "partition_graph", spy)
+        return captured
+
+    def test_context_eps_reaches_the_partitioner(self, context, eps_spy):
+        """The GloDyNEConfig.partition_eps knob was silently dead: the
+        strategy call passed no eps so the 0.10 default always won."""
+        context.partition_eps = 0.37
+        select_s4(context, count=4)
+        assert eps_spy["eps"] == 0.37
+
+    def test_default_eps_without_context_value(self, context, eps_spy):
+        select_s4(context, count=4)
+        assert eps_spy["eps"] == 0.10
+
+    def test_explicit_eps_argument_wins(self, context, eps_spy):
+        context.partition_eps = 0.37
+        select_s4(context, count=4, eps=0.8)
+        assert eps_spy["eps"] == 0.8
+
+    def test_s4_uniform_threads_eps_too(self, context, eps_spy):
+        context.partition_eps = 0.42
+        select_s4_uniform(context, count=4)
+        assert eps_spy["eps"] == 0.42
+
+    def test_nondefault_eps_changes_the_ceiling_used(self, context):
+        """Pin the bugfix end to end: a different eps yields a partition
+        whose Eq. (2) ceiling — hence max cell size — actually differs."""
+        n = context.snapshot.number_of_nodes()
+        tight = partition_graph(
+            context.snapshot, k=3, eps=0.0, rng=np.random.default_rng(0)
+        )
+        loose = partition_graph(
+            context.snapshot, k=3, eps=1.0, rng=np.random.default_rng(0)
+        )
+        assert max(tight.cell_sizes) <= np.ceil(n / 3)
+        assert max(loose.cell_sizes) <= np.ceil(2.0 * n / 3)
+        assert tight.eps != loose.eps
+
+    def test_context_csr_is_reused(self, context, eps_spy):
+        context.csr = CSRAdjacency.from_graph(context.snapshot)
+        select_s4(context, count=4)
+        assert eps_spy["csr"] is context.csr
+
+    def test_prebuilt_partition_short_circuits(self, context, monkeypatch):
+        prebuilt = partition_graph(
+            context.snapshot, k=4, rng=np.random.default_rng(5)
+        )
+        context.partition = prebuilt
+
+        def explode(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("partition_graph must not be called")
+
+        monkeypatch.setattr(selection_module, "partition_graph", explode)
+        picks = select_s4(context, count=4)
+        assert len(picks) == 4
+        cells = {context.partition.assignment[p] for p in picks}
+        assert len(cells) == 4  # one pick per prebuilt cell
+
+    def test_prebuilt_partition_with_wrong_k_is_ignored(
+        self, context, eps_spy
+    ):
+        context.partition = partition_graph(
+            context.snapshot, k=3, rng=np.random.default_rng(5)
+        )
+        picks = select_s4(context, count=6)
+        assert len(picks) == 6
+        assert "eps" in eps_spy  # fell through to a fresh partition
 
 
 class TestRegistry:

@@ -164,6 +164,29 @@ class TestPartitionGraph:
         assert len(result.cells) == k
         assert min(result.cell_sizes) >= 1
 
+    def test_prebuilt_csr_fast_path_is_bit_identical(self, karate_like):
+        """`csr=` must not change results — it only skips the rebuild."""
+        csr = CSRAdjacency.from_graph(karate_like)
+        rebuilt = partition_graph(
+            karate_like, k=5, rng=np.random.default_rng(7)
+        )
+        fast = partition_graph(
+            karate_like, k=5, rng=np.random.default_rng(7), csr=csr
+        )
+        assert fast.assignment == rebuilt.assignment
+        assert fast.edge_cut == rebuilt.edge_cut
+
+    def test_csr_alone_suffices(self, karate_like):
+        csr = CSRAdjacency.from_graph(karate_like)
+        result = partition_graph(
+            None, k=4, rng=np.random.default_rng(1), csr=csr
+        )
+        assert validate_partition(result, karate_like) == []
+
+    def test_neither_graph_nor_csr_rejected(self):
+        with pytest.raises(ValueError):
+            partition_graph(None, k=2)
+
     def test_cut_beats_random_assignment(self, karate_like):
         """The partitioner must clearly beat a random balanced assignment."""
         rng = np.random.default_rng(4)

@@ -1,0 +1,276 @@
+"""Property + golden tests for the incremental Step 1 partitioner.
+
+The contract under test (see ``repro/partition/incremental.py``):
+
+* every maintained partition satisfies the ``validate_partition``
+  invariants — non-overlap, cover, non-empty cells, the Eq. (2)
+  ceiling — after *arbitrary* delta sequences (edge adds/removes,
+  weight updates, node churn, K drift);
+* incremental steps consume no randomness: the partitioner's state is a
+  pure function of its seed and the call sequence;
+* the quality-gate fallback is bit-identical to a fresh full
+  ``partition_graph`` under the documented rebuild RNG stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import preferential_attachment_graph
+from repro.graph import CSRAdjacency, Graph
+from repro.partition import (
+    IncrementalPartitioner,
+    partition_graph,
+    validate_partition,
+)
+
+
+def drifted_graph(n: int = 60, seed: int = 0) -> Graph:
+    return preferential_attachment_graph(n, 2, np.random.default_rng(seed))
+
+
+def apply_random_delta(
+    graph: Graph, rng: np.random.Generator, num_ops: int = 8
+) -> set:
+    """Random adds / removes / weight updates / node churn; returns touched."""
+    touched: set = set()
+    nodes = sorted(graph.node_set())
+    next_id = max(nodes) + 1
+    for _ in range(num_ops):
+        op = int(rng.integers(0, 5))
+        if op == 0 and graph.number_of_nodes() > 4:  # remove a node
+            victim = nodes[int(rng.integers(0, len(nodes)))]
+            if graph.has_node(victim) and graph.number_of_nodes() > 4:
+                touched.update(graph.neighbor_set(victim))
+                touched.add(victim)
+                graph.remove_node(victim)
+        elif op == 1:  # attach a brand-new node
+            anchor = nodes[int(rng.integers(0, len(nodes)))]
+            if graph.has_node(anchor):
+                graph.add_edge(next_id, anchor)
+                touched.update((next_id, anchor))
+                next_id += 1
+        elif op == 2:  # remove an edge
+            u = nodes[int(rng.integers(0, len(nodes)))]
+            if graph.has_node(u):
+                nbrs = sorted(graph.neighbor_set(u), key=repr)
+                if nbrs:
+                    v = nbrs[int(rng.integers(0, len(nbrs)))]
+                    graph.remove_edge(u, v)
+                    touched.update((u, v))
+        elif op == 3:  # weight update on an existing edge
+            u = nodes[int(rng.integers(0, len(nodes)))]
+            if graph.has_node(u):
+                nbrs = sorted(graph.neighbor_set(u), key=repr)
+                if nbrs:
+                    v = nbrs[int(rng.integers(0, len(nbrs)))]
+                    graph.add_edge(u, v, float(rng.uniform(0.5, 3.0)))
+                    touched.update((u, v))
+        else:  # add a random edge
+            u, v = (
+                nodes[int(i)] for i in rng.integers(0, len(nodes), size=2)
+            )
+            if u != v and graph.has_node(u) and graph.has_node(v):
+                graph.add_edge(u, v)
+                touched.update((u, v))
+        nodes = sorted(graph.node_set())
+    return touched
+
+
+class TestInitialRebuild:
+    def test_first_call_matches_fresh_partition_bit_for_bit(self):
+        graph = drifted_graph()
+        csr = CSRAdjacency.from_graph(graph)
+        partitioner = IncrementalPartitioner(eps=0.10, seed=42)
+        result = partitioner.partition(graph, k=6, csr=csr)
+        fresh = partition_graph(
+            graph, k=6, eps=0.10,
+            rng=IncrementalPartitioner.rebuild_rng(42, 0), csr=csr,
+        )
+        assert result.assignment == fresh.assignment
+        assert result.edge_cut == fresh.edge_cut
+        assert partitioner.num_rebuilds == 1
+        assert partitioner.last_reason == "initial"
+
+    def test_builds_csr_itself_when_not_given(self):
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(seed=1)
+        result = partitioner.partition(graph, k=5)
+        assert validate_partition(result, graph) == []
+
+    def test_requires_graph_or_csr(self):
+        with pytest.raises(ValueError):
+            IncrementalPartitioner(seed=0).partition(None, k=3)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalPartitioner(seed=0).partition(Graph(), k=2)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalPartitioner(eps=-0.1)
+        with pytest.raises(ValueError):
+            IncrementalPartitioner(cut_slack=-1.0)
+        with pytest.raises(ValueError):
+            IncrementalPartitioner(cut_floor=-0.5)
+
+
+class TestIncrementalMaintenance:
+    def test_small_delta_is_maintained_not_rebuilt(self):
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(seed=3)
+        partitioner.partition(graph, k=6)
+        graph.add_edge(0, 1)  # likely already present; force a new one too
+        graph.add_edge(0, 57)
+        result = partitioner.partition(graph, k=6, touched={0, 1, 57})
+        assert validate_partition(result, graph) == []
+        assert partitioner.num_rebuilds == 1  # only the bootstrap
+        assert partitioner.num_incremental == 1
+        assert partitioner.last_reason == "incremental"
+
+    def test_new_nodes_join_cells_and_removed_nodes_vanish(self):
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(seed=4)
+        partitioner.partition(graph, k=6)
+        graph.add_edge(999, 0)
+        graph.remove_node(5)
+        result = partitioner.partition(graph, k=6, touched={999, 0, 5})
+        assert validate_partition(result, graph) == []
+        assert 999 in result.assignment
+        assert 5 not in result.assignment
+
+    def test_k_drift_splits_and_merges(self):
+        graph = drifted_graph(n=80)
+        partitioner = IncrementalPartitioner(seed=5)
+        partitioner.partition(graph, k=4)
+        grown = partitioner.partition(graph, k=9, touched=set())
+        assert grown.k == 9
+        assert validate_partition(grown, graph) == []
+        shrunk = partitioner.partition(graph, k=3, touched=set())
+        assert shrunk.k == 3
+        assert validate_partition(shrunk, graph) == []
+        assert partitioner.num_rebuilds == 1  # drift handled structurally
+
+    def test_trivial_k_shortcuts(self):
+        graph = drifted_graph()
+        n = graph.number_of_nodes()
+        partitioner = IncrementalPartitioner(seed=6)
+        partitioner.partition(graph, k=5)
+        whole = partitioner.partition(graph, k=1, touched=set())
+        assert whole.k == 1 and whole.edge_cut == 0.0
+        singletons = partitioner.partition(graph, k=n, touched=set())
+        assert singletons.k == n
+        assert all(len(cell) == 1 for cell in singletons.cells)
+
+    def test_touched_none_refines_everywhere_and_stays_valid(self):
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(seed=7)
+        partitioner.partition(graph, k=6)
+        graph.add_edge(2, 41)
+        result = partitioner.partition(graph, k=6)  # no touched hint
+        assert validate_partition(result, graph) == []
+
+    def test_incremental_steps_are_deterministic(self):
+        """Same seed + same delta sequence => identical partitions."""
+        runs = []
+        for _ in range(2):
+            graph = drifted_graph(seed=11)
+            rng = np.random.default_rng(99)
+            partitioner = IncrementalPartitioner(seed=13)
+            trail = []
+            partitioner.partition(graph, k=6)
+            for _ in range(4):
+                touched = apply_random_delta(graph, rng)
+                k = max(1, round(0.1 * graph.number_of_nodes()))
+                trail.append(
+                    partitioner.partition(graph, k, touched=touched).assignment
+                )
+            runs.append(trail)
+        assert runs[0] == runs[1]
+
+    def test_reset_restarts_the_rebuild_stream(self):
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(seed=21)
+        first = partitioner.partition(graph, k=6)
+        partitioner.reset()
+        assert partitioner.num_rebuilds == 0
+        again = partitioner.partition(graph, k=6)
+        assert first.assignment == again.assignment
+
+
+class TestQualityGate:
+    def test_zero_slack_gate_falls_back_bit_identically(self):
+        """With no slack, any cut growth forces a rebuild that must be
+        bit-identical to a fresh ``partition_graph`` under the documented
+        rebuild RNG stream."""
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(
+            eps=0.10, seed=17, cut_slack=0.0, cut_floor=0.0
+        )
+        partitioner.partition(graph, k=6)
+        # Cross-cell random edges strictly raise the maintained cut.
+        rng = np.random.default_rng(2)
+        nodes = sorted(graph.node_set())
+        for _ in range(30):
+            u, v = (nodes[int(i)] for i in rng.integers(0, len(nodes), size=2))
+            if u != v:
+                graph.add_edge(u, v)
+        csr = CSRAdjacency.from_graph(graph)
+        result = partitioner.partition(graph, k=6, csr=csr, touched=None)
+        assert partitioner.num_rebuilds == 2
+        assert partitioner.last_reason == "cut-degraded"
+        fresh = partition_graph(
+            graph, k=6, eps=0.10,
+            rng=IncrementalPartitioner.rebuild_rng(17, 1), csr=csr,
+        )
+        assert result.assignment == fresh.assignment
+        assert result.edge_cut == fresh.edge_cut
+
+    def test_generous_slack_never_rebuilds_on_small_drift(self):
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(seed=19, cut_slack=10.0)
+        partitioner.partition(graph, k=6)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            touched = apply_random_delta(graph, rng, num_ops=4)
+            result = partitioner.partition(graph, k=6, touched=touched)
+            assert validate_partition(result, graph) == []
+        assert partitioner.num_rebuilds == 1
+
+    def test_disjoint_snapshot_forces_rebuild(self):
+        graph = drifted_graph()
+        partitioner = IncrementalPartitioner(seed=23)
+        partitioner.partition(graph, k=6)
+        fresh = Graph.from_edges(
+            [(1000 + i, 1000 + i + 1) for i in range(20)]
+        )
+        result = partitioner.partition(fresh, k=4)
+        assert partitioner.num_rebuilds == 2
+        assert partitioner.last_reason == "disjoint"
+        assert validate_partition(result, fresh) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=12, max_value=70),
+    steps=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_arbitrary_delta_sequences_keep_invariants(n, steps, seed):
+    """Property: the maintained partition passes ``validate_partition``
+    after every step of an arbitrary delta sequence, at the drifting
+    K = α·|V^t| the online loop requests."""
+    rng = np.random.default_rng(seed)
+    graph = preferential_attachment_graph(n, 2, rng)
+    partitioner = IncrementalPartitioner(eps=0.10, seed=seed)
+    k = max(1, round(0.15 * graph.number_of_nodes()))
+    partitioner.partition(graph, k)
+    for _ in range(steps):
+        touched = apply_random_delta(graph, rng)
+        k = max(1, round(0.15 * graph.number_of_nodes()))
+        result = partitioner.partition(graph, k, touched=touched)
+        assert validate_partition(result, graph) == []
+        assert result.k == min(k, graph.number_of_nodes())

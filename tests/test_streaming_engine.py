@@ -89,6 +89,37 @@ class TestGoldenEquivalence:
             assert snap_trace.selected_nodes == stream_trace.selected_nodes
         assert engine.num_flushes == len(cutoffs)
 
+    def test_incremental_partition_streaming_matches_snapshot(self):
+        """With the incremental partitioner on, a diff-exact replay
+        (``network_to_events`` emits only net changes, so the window's
+        touched-node set equals snapshot mode's diff endpoints) must
+        still be bit-identical between the two modes."""
+        events, cutoffs = small_stream()
+        source = DynamicNetwork.from_edge_stream(
+            events, cutoffs, restrict_to_lcc=False
+        )
+        # Canonicalise through the diff-exact event stream: both modes
+        # must consume the *same* event order (CSR freeze order mirrors
+        # graph insertion order, so a reordered stream is a different —
+        # equally valid — trajectory).
+        replay = list(network_to_events(source))
+        replay_cutoffs = [float(t) for t in range(source.num_snapshots)]
+        network = DynamicNetwork.from_edge_stream(
+            replay, replay_cutoffs, restrict_to_lcc=False
+        )
+        kwargs = dict(MODEL_KWARGS, incremental_partition=True)
+        model = GloDyNE(seed=7, **kwargs)
+        snap_embeddings = [model.update(snapshot) for snapshot in network]
+
+        engine = StreamingGloDyNE(seed=7, **kwargs)
+        stream_embeddings = []
+        for window in split_stream_at_cutoffs(replay, replay_cutoffs):
+            engine.ingest_many(window)
+            stream_embeddings.append(engine.flush().embeddings)
+        assert_embeddings_bit_identical(snap_embeddings, stream_embeddings)
+        # The engine's model maintained its partition incrementally too.
+        assert engine.model.partitioner.num_incremental >= 1
+
     def test_bit_identity_across_seeds(self):
         events, cutoffs = small_stream(seed=23, steps=4)
         network = DynamicNetwork.from_edge_stream(

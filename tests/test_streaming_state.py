@@ -138,6 +138,21 @@ class TestWindowChanges:
         assert state.window_node_changes(weighted=False) == {}
         assert state.window_node_changes(weighted=True) == {}
 
+    def test_touched_nodes_keep_reverted_edges(self):
+        """The partitioner's dirty set is a superset of the Eq. (3)
+        changed nodes: a reverted edge cancels out of the change counts
+        but its endpoints stay touched."""
+        state = IncrementalGraphState()
+        state.apply(EdgeEvent(0, 1, 0.0))
+        state.reset_window()
+        assert state.window_touched_nodes() == set()
+        state.apply(EdgeEvent(1, 2, 1.0))
+        state.apply(EdgeEvent(1, 2, 2.0, kind="remove"))
+        state.apply(EdgeEvent(3, 3, 3.0))  # self-loop touches one node
+        assert state.window_touched_nodes() == {1, 2, 3}
+        state.reset_window()
+        assert state.window_touched_nodes() == set()
+
 
 class TestIncrementalCSRInternals:
     def test_row_overflow_relocation_preserves_order(self):
