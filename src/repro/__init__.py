@@ -36,6 +36,7 @@ from repro.graph import DynamicNetwork, EdgeEvent, Graph
 from repro.partition import PartitionResult, partition_graph
 from repro.serving import (
     BruteForceIndex,
+    IVFIndex,
     EmbeddingService,
     EmbeddingStore,
     LSHIndex,
@@ -48,6 +49,7 @@ __all__ = [
     "BCGDGlobal",
     "BCGDLocal",
     "BruteForceIndex",
+    "IVFIndex",
     "DynGEM",
     "DynLINE",
     "DynTriad",

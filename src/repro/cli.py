@@ -345,7 +345,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = StreamingGloDyNE(
         seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
         publish_to=store, dim=args.dim, alpha=0.1,
-        workers=args.workers, **walk,
+        workers=args.workers,
+        incremental_partition=args.incremental_partition, **walk,
     )
     started = time.perf_counter()
     engine.ingest_many(events)
@@ -374,6 +375,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     save_store(store, args.store)
     print(f"wrote versioned store -> {args.store}")
+    if args.index:
+        # Smoke-validate the saved store against the chosen serving
+        # backend before handing it to serve-http / query.
+        from repro.serving import EmbeddingService
+
+        service = EmbeddingService(store, backend=args.index)
+        node = store.latest.nodes[0]
+        k = min(3, max(1, store.latest.num_nodes - 1))
+        neighbors = service.query_knn(node, k=k)
+        shown = ", ".join(f"{n!r}:{s:.3f}" for n, s in neighbors)
+        print(f"smoke query [{service.index.backend_name}] {node!r} -> {shown}")
     return 0
 
 
@@ -472,7 +484,9 @@ def _http_services(args: argparse.Namespace) -> dict:
         engine = StreamingGloDyNE(
             seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
             publish_to=store, dim=args.dim, alpha=0.1,
-            workers=args.workers, **PROFILES[args.profile]["walk"],
+            workers=args.workers,
+            incremental_partition=args.incremental_partition,
+            **PROFILES[args.profile]["walk"],
         )
         engine.ingest_many(network_to_events(network))
         if engine.pending_events:
@@ -636,6 +650,17 @@ def make_parser() -> argparse.ArgumentParser:
         "--store", default="store.npz",
         help="output path for the versioned store (.npz)",
     )
+    serve.add_argument(
+        "--incremental-partition", action="store_true",
+        help="run Step 1's incremental partitioner each flush and publish "
+        "its cells as version metadata (feeds the partition-aware IVF "
+        "serving index)",
+    )
+    serve.add_argument(
+        "--index", default=None, choices=["lsh", "exact", "ivf"],
+        help="after saving, smoke-validate the store against this serving "
+        "backend with one kNN query",
+    )
 
     serve_http = sub.add_parser(
         "serve-http",
@@ -651,7 +676,10 @@ def make_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8080, help="0 binds an ephemeral port",
     )
     serve_http.add_argument(
-        "--backend", default="lsh", choices=["lsh", "exact"],
+        "--backend", "--index", dest="backend", default="lsh",
+        choices=["lsh", "exact", "ivf"],
+        help="serving index backend (--index is an alias); ivf reuses "
+        "published partition cells as its coarse quantizer",
     )
     serve_http.add_argument(
         "--batch-window-ms", type=float, default=0.0,
@@ -685,6 +713,11 @@ def make_parser() -> argparse.ArgumentParser:
     )
     serve_http.add_argument("--workers", type=int, default=1)
     serve_http.add_argument("--flush-events", type=int, default=400)
+    serve_http.add_argument(
+        "--incremental-partition", action="store_true",
+        help="with no --store: publish Step 1 partition cells per flush "
+        "(feeds the partition-aware ivf backend)",
+    )
 
     query = sub.add_parser(
         "query", help="kNN lookups / edge scoring against a saved store",
@@ -703,7 +736,9 @@ def make_parser() -> argparse.ArgumentParser:
         "--metric", default="cosine", choices=["cosine", "dot"],
     )
     query.add_argument(
-        "--backend", default="lsh", choices=["lsh", "exact"],
+        "--backend", "--index", dest="backend", default="lsh",
+        choices=["lsh", "exact", "ivf"],
+        help="serving index backend (--index is an alias)",
     )
     query.add_argument(
         "--version", type=int, default=None,

@@ -221,6 +221,12 @@ class GloDyNE(DynamicEmbeddingMethod):
         # the map row by row; the rows are shared with the map, so this
         # retains no extra memory.
         self.last_embedding: tuple[list[Node], np.ndarray] | None = None
+        # Step 1's PartitionResult from the latest online step (None on
+        # the offline step, for non-S4 strategies, and with the
+        # incremental partitioner off). Publishing consumers export it as
+        # `partition_cells` metadata so a partition-aware serving index
+        # (IVFIndex) can reuse the trainer's own cells.
+        self.last_partition = None
 
     # ------------------------------------------------------------------
     def update(
@@ -262,6 +268,7 @@ class GloDyNE(DynamicEmbeddingMethod):
         """
         if snapshot.number_of_nodes() == 0:
             raise ValueError("cannot embed an empty snapshot")
+        self.last_partition = None  # set by _online_stage when Step 1 ran
         if self.previous is None:
             trace = self._offline_stage(snapshot, csr=csr)
         else:
@@ -279,16 +286,43 @@ class GloDyNE(DynamicEmbeddingMethod):
         embeddings = dict(zip(nodes, matrix))
         self.last_embedding = (nodes, matrix)
         if self.publish_to is not None:
+            metadata = {
+                "source": "snapshot",
+                "num_selected": trace.num_selected,
+                "num_pairs": trace.num_pairs,
+            }
+            cells = self.last_partition_cells
+            if cells is not None:
+                metadata["partition_cells"] = cells
             self.publish_to.publish(
                 (nodes, matrix),
                 time_step=trace.time_step,
-                metadata={
-                    "source": "snapshot",
-                    "num_selected": trace.num_selected,
-                    "num_pairs": trace.num_pairs,
-                },
+                metadata=metadata,
             )
         return embeddings
+
+    @property
+    def last_partition_cells(self) -> list[int] | None:
+        """Per-row cell ids aligned with :attr:`last_embedding`, or None.
+
+        Present only when the latest :meth:`update` ran Step 1's
+        partitioner (``incremental_partition`` with an S4 strategy) and
+        the partition covers every embedded node. Publishing consumers
+        attach it as ``partition_cells`` version metadata, which a
+        partition-aware serving index (:class:`repro.serving.index.
+        IVFIndex`) adopts as its coarse-quantizer cell layout.
+        """
+        if self.last_partition is None or self.last_embedding is None:
+            return None
+        nodes, _ = self.last_embedding
+        assignment = self.last_partition.assignment
+        cells: list[int] = []
+        for node in nodes:
+            cell = assignment.get(node)
+            if cell is None:
+                return None
+            cells.append(int(cell))
+        return cells
 
     # ------------------------------------------------------------------
     def _offline_stage(
@@ -348,6 +382,7 @@ class GloDyNE(DynamicEmbeddingMethod):
             partition = self.partitioner.partition(
                 snapshot, count, csr=csr, touched=touched
             )
+        self.last_partition = partition
         context = SelectionContext(
             snapshot=snapshot,
             previous=self.previous,

@@ -130,7 +130,7 @@ class GraphEntry:
         """Health payload for this graph: versions, head size, cache."""
         store = self.service.store
         head = store.latest if store.num_versions else None
-        return {
+        payload = {
             "versions": store.num_versions,
             "indexed_version": self.service.indexed_version,
             "head_version": None if head is None else head.version,
@@ -140,6 +140,18 @@ class GraphEntry:
             "cache": self.service.cache_info,
             "pending": self.batcher.pending,
         }
+        index = self.service.index
+        if getattr(index, "accepts_assignment", False):
+            # Partition-aware backends surface their coarse-quantizer
+            # shape so operators can see cell balance at a glance.
+            sizes = index.cell_sizes
+            payload["cells"] = {
+                "count": index.num_cells,
+                "nonempty": sum(1 for size in sizes if size),
+                "largest": max(sizes, default=0),
+                "nprobe": index.nprobe,
+            }
+        return payload
 
 
 class EmbeddingDaemon:

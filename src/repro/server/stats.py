@@ -8,12 +8,24 @@ snapshot is actually requested.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import Counter, deque
 
 
 def percentile(samples: list[float], q: float) -> float:
     """The ``q``-quantile of ``samples`` by nearest-rank (``q`` in [0, 1]).
+
+    Nearest-rank proper: the smallest sample such that at least
+    ``q * n`` of the observations are <= it, i.e. the 1-based rank
+    ``ceil(q * n)`` (clipped to the sample range, so ``q=0`` returns the
+    minimum and ``q=1`` the maximum). Small windows behave sanely: one
+    sample is every percentile of itself, and a 2-sample median is the
+    *lower* sample for any window size — the previous
+    ``round(q * (n - 1))`` indexing mixed an interpolation-scale index
+    with banker's rounding, so the 2-sample median (``round(0.5) = 0``)
+    and the 4-sample median (``round(1.5) = 2``, strictly above the
+    median) disagreed about which side of the median to report.
 
     Parameters
     ----------
@@ -29,8 +41,10 @@ def percentile(samples: list[float], q: float) -> float:
     """
     if not samples:
         raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[rank]
 
 

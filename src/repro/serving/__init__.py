@@ -7,13 +7,19 @@ fresh Z^t per snapshot or flush; this package is the consumption side:
   snapshots that ``GloDyNE(publish_to=...)`` /
   ``StreamingGloDyNE(publish_to=...)`` publish into;
 * :class:`~repro.serving.index.BruteForceIndex` /
-  :class:`~repro.serving.index.LSHIndex` — exact and approximate cosine
+  :class:`~repro.serving.index.LSHIndex` /
+  :class:`~repro.serving.index.IVFIndex` — exact and approximate cosine
   kNN with incremental refresh (only moved rows re-hash);
 * :class:`~repro.serving.service.EmbeddingService` — cached kNN queries,
   link scoring, and time-travel reads.
 """
 
-from repro.serving.index import BruteForceIndex, LSHIndex, unit_rows
+from repro.serving.index import (
+    BruteForceIndex,
+    IVFIndex,
+    LSHIndex,
+    unit_rows,
+)
 from repro.serving.service import EmbeddingService
 from repro.serving.store import (
     EmbeddingStore,
@@ -24,6 +30,7 @@ from repro.serving.store import (
 
 __all__ = [
     "BruteForceIndex",
+    "IVFIndex",
     "EmbeddingService",
     "EmbeddingStore",
     "LSHIndex",

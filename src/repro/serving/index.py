@@ -1,26 +1,33 @@
-"""kNN query indexes over an embedding matrix: exact and LSH backends.
+"""kNN query indexes over an embedding matrix: exact, LSH, and IVF backends.
 
 Serving similar-node queries is the core online workload of a dynamic
 embedding system (Barros et al., survey §7): given Z^t, return the k rows
-most cosine-similar to a query row. Two backends share one contract:
+most cosine-similar to a query row. Three backends share one contract:
 
 * :class:`BruteForceIndex` — exact scan. O(N·d) per query; the ground
-  truth the approximate backend is measured against.
+  truth the approximate backends are measured against.
 * :class:`LSHIndex` — random-hyperplane locality-sensitive hashing
   (Charikar, 2002) with multi-table, query-directed multi-probing.
   Hashing is sign-of-projection, so cosine-similar rows collide; probing
   flips the lowest-margin bits first. Candidates from all probed buckets
   are re-ranked *exactly*, so recall is governed by candidate coverage,
   not hash luck.
+* :class:`IVFIndex` — inverted-file index whose coarse quantizer is a
+  *cell assignment*: by default GloDyNE's own Step 1 partition cells
+  (the (K, ε) partition :class:`repro.partition.incremental.
+  IncrementalPartitioner` maintains across snapshots), falling back to
+  frozen random anchors when no partition is available. Queries probe
+  the ``nprobe`` nearest cell centroids and exact-scan their members.
 
-Both support **incremental refresh**: after a streaming flush, only rows
+All support **incremental refresh**: after a streaming flush, only rows
 whose embedding moved more than a tolerance (plus brand-new rows) are
-re-normalised and re-hashed — the point of pairing the index with
-GloDyNE, which by design moves only the selected ~α·|V| rows per step.
-A refresh is bit-identical to a from-scratch rebuild of a fresh index
-with the same constructor parameters: hyperplanes depend only on
-``(dim, num_tables, num_bits, seed)`` and candidate sets are
-deduplicated into sorted order before the exact re-rank.
+re-normalised and re-hashed / re-assigned — the point of pairing the
+index with GloDyNE, which by design moves only the selected ~α·|V| rows
+per step. A refresh is bit-identical to a from-scratch rebuild of a
+fresh index with the same constructor parameters: frozen configuration
+(hyperplanes / anchors / centers) depends only on the constructor
+arguments and the first build, and candidate sets are deduplicated into
+sorted order before the exact re-rank.
 
 Pure numpy, no external ANN dependency.
 """
@@ -29,7 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["BruteForceIndex", "LSHIndex", "unit_rows"]
+__all__ = ["BruteForceIndex", "IVFIndex", "LSHIndex", "unit_rows"]
 
 
 def unit_rows(matrix: np.ndarray) -> np.ndarray:
@@ -571,8 +578,542 @@ class LSHIndex:
         vectors = np.asarray(vectors, dtype=np.float32)
         return [self.query(vectors[i], k) for i in range(vectors.shape[0])]
 
+    def fresh_like(self) -> "LSHIndex":
+        """A new, empty index carrying this one's tuning knobs.
+
+        When the index is ``auto_sized``, the first-build artefacts
+        (table bits, hashing center) are *not* carried over, so the next
+        ``build`` re-derives them from the data — the serving layer uses
+        this to re-size an index once the store outgrows its first
+        sizing. Explicit constructor pins are preserved as-is.
+        """
+        return LSHIndex(
+            self.num_tables,
+            None if self.auto_sized else self.num_bits,
+            seed=self.seed,
+            min_candidates=self.min_candidates,
+            max_probes=self._max_probes_arg,
+            center=None if self.auto_sized else self.center,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"LSHIndex(rows={self.num_rows}, tables={self.num_tables}, "
             f"bits={self.num_bits})"
+        )
+
+
+class IVFIndex:
+    """Inverted-file cosine kNN over a coarse cell assignment.
+
+    The coarse quantizer is a per-row *cell id* rather than learned
+    k-means codebooks, which is what ties serving back to the paper's
+    Step 1: GloDyNE already maintains a (K, eps) partition of the graph
+    incrementally (:class:`repro.partition.incremental.
+    IncrementalPartitioner`), and nodes that share a partition cell are
+    topological neighbours — exactly the rows a cosine query over their
+    embeddings wants to scan together. Passing that partition to
+    ``build``/``refresh`` via ``assignment`` makes the index
+    *partition-aware*; with no assignment the index falls back to
+    frozen random unit **anchors** (one per cell, drawn from ``seed``
+    at the first build) and assigns each row to its nearest anchor.
+
+    Each cell keeps its member rows (sorted ascending) and a centroid —
+    the unit-normalised mean of the members' unit embeddings. A query
+    ranks centroids by cosine, probes the best cells, and re-ranks the
+    gathered members *exactly*, so recall is governed by how many rows
+    the probed cells cover.
+
+    Parameters
+    ----------
+    num_cells:
+        Anchor count for the internal (no-assignment) mode. ``None``
+        (default) sizes it to the data at the first build —
+        ``round(sqrt(N))`` clipped to [1, 4096] — and freezes the
+        choice, like :class:`LSHIndex` table bits. Ignored whenever an
+        explicit ``assignment`` drives the cell layout.
+    nprobe:
+        Non-empty cells scanned per query (best centroid first). More
+        probes raise recall and cost.
+    min_recall_fallback:
+        Coverage floor in [0, 1]: probing keeps opening cells past
+        ``nprobe`` until the gathered candidates cover at least this
+        fraction of the indexed rows (and always at least ``k``).
+        ``0.0`` (default) trusts ``nprobe`` alone; ``1.0`` degrades
+        every query to an exact full scan.
+    seed:
+        Seeds the anchor draw (internal mode only). Two indexes with
+        equal ``(dim, num_cells, seed)`` and the same ``center`` assign
+        identically — the anchor-mode rebuild-equivalence anchor.
+    center:
+        SGNS embeddings occupy a narrow cone, so anchor assignment
+        scores the *residual* ``unit_row - center`` like the LSH
+        backend hashes it. ``None`` derives the center from the first
+        build and freezes it; pass ``other_index.center`` to rebuild a
+        serving index from scratch with identical anchor assignment.
+
+    Notes
+    -----
+    **Determinism contract** (PR 4): every reduction runs through
+    per-query / per-row / per-cell 1-D kernels — centroid ranking is a
+    gemv, row assignment is one gemv per row, centroids are recomputed
+    per cell from the member list — so ``query_many`` is bit-identical
+    to looped ``query`` and ``refresh`` is bit-identical to ``build``
+    on a fresh index with the same frozen configuration and the same
+    final ``assignment`` history mode. The one incremental-only rule:
+    when an index driven by external assignments refreshes *without*
+    one, brand-new rows join the nearest *committed* centroid's cell —
+    deterministic, but dependent on the refresh history, so it is
+    excluded from the rebuild-equivalence goldens.
+    """
+
+    backend_name = "ivf"
+    #: ``query_many`` answers are bit-identical to sequential ``query``
+    #: calls — same per-query kernels, no batch-shape-dependent gemm.
+    batch_matches_single = True
+    #: ``build``/``refresh`` accept a per-row cell ``assignment`` — the
+    #: serving layer forwards the published partition when one exists.
+    accepts_assignment = True
+
+    def __init__(
+        self,
+        num_cells: int | None = None,
+        *,
+        nprobe: int = 8,
+        min_recall_fallback: float = 0.0,
+        seed: int = 0,
+        center: np.ndarray | None = None,
+    ) -> None:
+        if num_cells is not None and num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        if nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if not 0.0 <= min_recall_fallback <= 1.0:
+            raise ValueError("min_recall_fallback must lie in [0, 1]")
+        self._num_cells_arg = None if num_cells is None else int(num_cells)
+        self.nprobe = int(nprobe)
+        self.min_recall_fallback = float(min_recall_fallback)
+        self.seed = int(seed)
+        #: Auto-sized anchors (and an auto-derived center) may be
+        #: re-sized by a serving layer when the store outgrows the first
+        #: build; explicit values are a user's pin (see LSHIndex).
+        self.auto_sized = num_cells is None and center is None
+        self._center: np.ndarray | None = (
+            None if center is None else np.asarray(center, dtype=np.float32)
+        )
+        self._anchors: np.ndarray | None = None  # (C, d) float32, frozen
+        self._anchor_proj: np.ndarray | None = None  # anchors @ center
+        self._external = False  # cells come from explicit assignments
+        # Row buffers are capacity-doubled: the live rows are [:_n].
+        self._n = 0
+        self._raw: np.ndarray | None = None
+        self._unit: np.ndarray | None = None
+        self._assign: np.ndarray | None = None  # (N,) int64 cell ids
+        self._members: list[np.ndarray] = []  # sorted int64 rows per cell
+        self._centroids: np.ndarray | None = None  # (C, d) float32
+        self.last_refresh_rows = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Rows currently indexed (0 before the first ``build``)."""
+        return self._n
+
+    @property
+    def num_cells(self) -> int:
+        """Live cell count (the constructor pin before the first build)."""
+        if self._centroids is not None:
+            return len(self._members)
+        return 0 if self._num_cells_arg is None else self._num_cells_arg
+
+    @property
+    def center(self) -> np.ndarray | None:
+        """Frozen assignment center (copy); None before the first build."""
+        return None if self._center is None else self._center.copy()
+
+    @property
+    def cell_sizes(self) -> list[int]:
+        """Member count per cell (empty list before the first build)."""
+        return [int(members.size) for members in self._members]
+
+    # ------------------------------------------------------------------
+    def _ensure_anchors(self, dim: int, num_rows: int) -> None:
+        """Draw the frozen anchor set at the first internal-mode build."""
+        if self._anchors is None:
+            cells = self._num_cells_arg
+            if cells is None:
+                # ~sqrt(N) cells: probing nprobe of them scans roughly
+                # nprobe*sqrt(N) rows. Frozen like LSH table bits.
+                cells = int(np.clip(round(np.sqrt(max(num_rows, 1))), 1, 4096))
+            rng = np.random.default_rng(self.seed)
+            anchors = rng.standard_normal((cells, dim)).astype(np.float32)
+            self._anchors = unit_rows(anchors)
+            self._anchor_proj = self._anchors @ self._center
+        elif self._anchors.shape[1] != dim:
+            raise ValueError(
+                f"index was built for dim {self._anchors.shape[1]}, got {dim}"
+            )
+
+    def _validate_assignment(self, assignment, n: int) -> np.ndarray:
+        """Coerce ``assignment`` to a validated (n,) int64 cell-id array."""
+        assign = np.asarray(assignment, dtype=np.int64).ravel()
+        if assign.shape[0] != n:
+            raise ValueError(
+                f"assignment has {assign.shape[0]} entries for {n} rows"
+            )
+        if n and int(assign.min()) < 0:
+            raise ValueError("assignment cell ids must be non-negative")
+        if n and int(assign.max()) + 1 > max(2 * n, 1024):
+            raise ValueError(
+                "assignment names far more cells than rows; pass compact "
+                "0-based cell ids (e.g. PartitionResult.assignment values)"
+            )
+        return assign
+
+    def _anchor_cells(self, unit: np.ndarray) -> np.ndarray:
+        """Nearest-anchor cell per row — one gemv per row, never a gemm.
+
+        ``anchors @ u - anchors @ center`` equals scoring the residual
+        ``u - center`` against every anchor; argmax ties break to the
+        lowest cell id. Per-row kernels keep a refresh's assignment of a
+        subset bit-identical to a rebuild's assignment of all rows.
+        """
+        out = np.empty(unit.shape[0], dtype=np.int64)
+        for i in range(unit.shape[0]):
+            out[i] = int(np.argmax(self._anchors @ unit[i] - self._anchor_proj))
+        return out
+
+    def _nearest_centroid_cells(self, unit: np.ndarray) -> np.ndarray:
+        """Nearest committed centroid per row (external-mode fresh rows)."""
+        out = np.empty(unit.shape[0], dtype=np.int64)
+        for i in range(unit.shape[0]):
+            out[i] = int(np.argmax(self._centroids @ unit[i]))
+        return out
+
+    def _update_centroid(self, cell: int) -> None:
+        """Recompute one cell's centroid from scratch off its member list.
+
+        Always the same per-cell kernel — unit-mean of the members' unit
+        rows — whether called from ``build`` or from a refresh's
+        dirty-cell sweep, which is what makes the two bit-identical.
+        Empty cells get a zero centroid (and are skipped by probing).
+        """
+        members = self._members[cell]
+        if members.size:
+            mean = self._unit[members].mean(axis=0)
+            norm = float(np.linalg.norm(mean))
+            self._centroids[cell] = mean / norm if norm > 0.0 else mean
+        else:
+            self._centroids[cell] = 0.0
+
+    def _grow_to(self, size: int, dim: int) -> None:
+        """Capacity-double the row buffers (amortised O(1) per new row)."""
+        capacity = 0 if self._raw is None else self._raw.shape[0]
+        if size <= capacity:
+            return
+        new_capacity = max(16, capacity)
+        while new_capacity < size:
+            new_capacity *= 2
+        raw = np.empty((new_capacity, dim), dtype=np.float32)
+        unit = np.empty((new_capacity, dim), dtype=np.float32)
+        assign = np.empty(new_capacity, dtype=np.int64)
+        if self._n:
+            raw[: self._n] = self._raw[: self._n]
+            unit[: self._n] = self._unit[: self._n]
+            assign[: self._n] = self._assign[: self._n]
+        self._raw, self._unit, self._assign = raw, unit, assign
+
+    # ------------------------------------------------------------------
+    def build(self, matrix: np.ndarray, *, assignment=None) -> None:
+        """(Re)build from scratch over ``matrix`` rows.
+
+        Parameters
+        ----------
+        matrix:
+            Embedding matrix of shape ``(N, d)``, any float dtype.
+        assignment:
+            Optional per-row cell ids (length N, non-negative ints) —
+            typically GloDyNE's partition cells. Omitted, rows go to
+            their nearest frozen random anchor instead.
+        """
+        matrix = np.asarray(matrix, dtype=np.float32)
+        n, dim = matrix.shape
+        unit = unit_rows(matrix)
+        if assignment is not None:
+            assign = self._validate_assignment(assignment, n)
+            num_cells = (int(assign.max()) + 1) if n else 0
+            self._external = True
+        else:
+            if self._center is None:
+                self._center = unit.mean(axis=0)
+            elif self._center.shape != (dim,):
+                raise ValueError("center dimensionality does not match matrix")
+            self._ensure_anchors(dim, n)
+            assign = self._anchor_cells(unit)
+            num_cells = self._anchors.shape[0]
+            self._external = False
+        self._n = n
+        self._raw = np.array(matrix)
+        self._unit = unit
+        self._assign = assign
+        self._members = [np.empty(0, dtype=np.int64) for _ in range(num_cells)]
+        if n:
+            # Stable sort groups rows by cell while keeping each member
+            # list ascending — the _top_k tie-break invariant.
+            order = np.argsort(assign, kind="stable")
+            sorted_cells = assign[order]
+            boundaries = np.flatnonzero(np.diff(sorted_cells)) + 1
+            for chunk in np.split(order, boundaries):
+                self._members[int(assign[chunk[0]])] = chunk
+        self._centroids = np.zeros((num_cells, dim), dtype=np.float32)
+        for cell in range(num_cells):
+            self._update_centroid(cell)
+        self.last_refresh_rows = n
+
+    def refresh(
+        self, matrix: np.ndarray, tolerance: float = 0.0, *, assignment=None
+    ) -> int:
+        """Sync to a new matrix; touch only moved rows and their cells.
+
+        Rows whose embedding moved beyond ``tolerance`` (plus brand-new
+        rows) are re-normalised; rows whose cell changed — because a new
+        ``assignment`` says so, or because a moved embedding now sits
+        nearer another anchor — migrate between member lists; and only
+        the affected cells' centroids are recomputed, each with the same
+        per-cell kernel ``build`` uses, so the refreshed index is
+        bit-identical to a from-scratch rebuild. Returns the number of
+        rows touched (re-normalised or re-assigned).
+
+        Parameters
+        ----------
+        matrix:
+            The new embedding matrix; may only grow (append-only store).
+        tolerance:
+            Max-abs movement below which a row is considered unchanged.
+        assignment:
+            Optional per-row cell ids for *all* rows of ``matrix``. When
+            given, the cell layout (including the live cell count)
+            follows it; when omitted on an assignment-driven index, old
+            rows keep their cells and new rows join the nearest
+            committed centroid's cell (incremental-only rule).
+        """
+        if self._raw is None:
+            self.build(matrix, assignment=assignment)
+            return self.num_rows
+        matrix = np.asarray(matrix, dtype=np.float32)
+        old_n = self._n
+        n, dim = matrix.shape
+        changed = _changed_rows(self._raw[:old_n], matrix[:, :], tolerance)
+        new_assign = (
+            None
+            if assignment is None
+            else self._validate_assignment(assignment, n)
+        )
+        self._grow_to(n, dim)
+        self._n = n
+        if changed.size:
+            self._raw[changed] = matrix[changed]
+            self._unit[changed] = unit_rows(matrix[changed])
+        # Which rows change cell, and to where. `mover_old` is -1 for
+        # brand-new rows (they have no cell to leave).
+        num_cells_old = len(self._members)
+        if new_assign is not None:
+            diff = np.flatnonzero(new_assign[:old_n] != self._assign[:old_n])
+            fresh = np.arange(old_n, n, dtype=np.int64)
+            movers = np.concatenate([diff, fresh])
+            mover_targets = new_assign[movers]
+            num_cells_new = (int(new_assign.max()) + 1) if n else 0
+            self._external = True
+        else:
+            if self._external:
+                # No partition this version: only brand-new rows need a
+                # cell (nearest committed centroid, see class docstring).
+                reassign = changed[changed >= old_n]
+                targets = self._nearest_centroid_cells(self._unit[reassign])
+            else:
+                # Anchor mode: every moved embedding re-derives its cell.
+                reassign = changed
+                targets = self._anchor_cells(self._unit[reassign])
+            is_old = reassign < old_n
+            stays = np.zeros(reassign.shape[0], dtype=bool)
+            if reassign.size:
+                stays[is_old] = (
+                    targets[is_old] == self._assign[reassign[is_old]]
+                )
+            movers = reassign[~stays]
+            mover_targets = targets[~stays]
+            num_cells_new = num_cells_old
+        mover_old = np.where(
+            movers < old_n,
+            self._assign[np.minimum(movers, max(old_n - 1, 0))],
+            np.int64(-1),
+        )
+        if not changed.size and not movers.size and num_cells_new == num_cells_old:
+            self.last_refresh_rows = 0
+            return 0
+        # Commit assignments, migrate member lists, then sweep dirty
+        # centroids: old cells of movers, new cells of movers, and cells
+        # whose member embeddings moved in place.
+        if new_assign is not None:
+            self._assign[:n] = new_assign
+        elif movers.size:
+            self._assign[movers] = mover_targets
+        dirty = set(mover_old[mover_old >= 0].tolist())
+        dirty.update(mover_targets.tolist())
+        if changed.size:
+            dirty.update(self._assign[changed].tolist())
+        if num_cells_new > num_cells_old:
+            self._members.extend(
+                np.empty(0, dtype=np.int64)
+                for _ in range(num_cells_new - num_cells_old)
+            )
+            pad = np.zeros(
+                (num_cells_new - num_cells_old, self._centroids.shape[1]),
+                dtype=np.float32,
+            )
+            self._centroids = np.vstack([self._centroids, pad])
+        evict: dict[int, list[int]] = {}
+        insert: dict[int, list[int]] = {}
+        for row, old_cell, new_cell in zip(
+            movers.tolist(), mover_old.tolist(), mover_targets.tolist()
+        ):
+            if old_cell >= 0:
+                evict.setdefault(old_cell, []).append(row)
+            insert.setdefault(new_cell, []).append(row)
+        for cell, rows in evict.items():
+            gone = set(rows)
+            self._members[cell] = np.asarray(
+                [x for x in self._members[cell].tolist() if x not in gone],
+                dtype=np.int64,
+            )
+        for cell, rows in insert.items():
+            extra = np.asarray(sorted(rows), dtype=np.int64)
+            existing = self._members[cell]
+            self._members[cell] = (
+                np.sort(np.concatenate([existing, extra]))
+                if existing.size
+                else extra
+            )
+        if num_cells_new < num_cells_old:
+            # A shrinking assignment re-homed every row below the new
+            # count, so the dropped tail must already be empty.
+            for cell in range(num_cells_new, num_cells_old):
+                if self._members[cell].size:
+                    raise RuntimeError(
+                        "assignment shrank the cell count but left "
+                        f"members in dropped cell {cell}"
+                    )
+            del self._members[num_cells_new:]
+            self._centroids = self._centroids[:num_cells_new].copy()
+        for cell in sorted(c for c in dirty if c < num_cells_new):
+            self._update_centroid(cell)
+        touched = int(np.union1d(changed, movers).size)
+        self.last_refresh_rows = touched
+        return touched
+
+    # ------------------------------------------------------------------
+    def query(self, vector: np.ndarray, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k by cosine: probe best cells, re-rank exactly.
+
+        Centroids are ranked by cosine against the unit query (stable
+        ties to the lowest cell id); the best ``nprobe`` non-empty cells
+        are opened — more if ``min_recall_fallback`` demands wider
+        coverage — and their members re-ranked exactly.
+
+        Parameters
+        ----------
+        vector:
+            Query vector of shape ``(dim,)``, any float dtype.
+        k:
+            Rows to return, ``>= 1``.
+
+        Returns
+        -------
+        (row_ids, scores)
+            ``int64`` row indices and their exact ``float32`` cosines,
+            best first, ties broken by ascending row id. May return
+            fewer than ``k`` rows when the probed cells cover fewer.
+        """
+        if self._centroids is None:
+            raise RuntimeError("index is empty — call build() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = _unit_vector(vector)
+        cell_scores = self._centroids @ q  # (C,) gemv — per query
+        order = np.argsort(-cell_scores, kind="stable")
+        floor = (
+            int(np.ceil(self.min_recall_fallback * self._n))
+            if self.min_recall_fallback > 0.0
+            else 0
+        )
+        target = max(k, floor)
+        parts: list[np.ndarray] = []
+        gathered = 0
+        probed = 0
+        for cell in order.tolist():
+            if probed >= self.nprobe and gathered >= target:
+                break
+            members = self._members[cell]
+            if members.size == 0:
+                continue  # empty cells do not spend the probe budget
+            parts.append(members)
+            gathered += members.size
+            probed += 1
+        if not parts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        # Cells are disjoint, so a sort (no dedup) restores the
+        # ascending-row-id invariant _top_k's tie-break relies on.
+        candidates = parts[0] if len(parts) == 1 else np.sort(np.concatenate(parts))
+        scores = self._unit[candidates] @ q
+        best = _top_k(scores, candidates, k)
+        return candidates[best], scores[best]
+
+    def query_many(
+        self, vectors: np.ndarray, k: int = 10
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched approximate kNN, bit-identical to sequential queries.
+
+        Parameters
+        ----------
+        vectors:
+            Query matrix of shape ``(Q, dim)``, any float dtype (cast to
+            float32).
+        k:
+            Neighbours per query, ``>= 1``.
+
+        Returns
+        -------
+        list of (row_ids, scores)
+            Exactly what ``[self.query(v, k) for v in vectors]``
+            returns — every reduction runs through the same per-query
+            1-D kernels (see :meth:`LSHIndex.query_many` for why the
+            serving cache makes ``batch_matches_single`` load-bearing).
+        """
+        if self._centroids is None:
+            raise RuntimeError("index is empty — call build() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        vectors = np.asarray(vectors, dtype=np.float32)
+        return [self.query(vectors[i], k) for i in range(vectors.shape[0])]
+
+    def fresh_like(self) -> "IVFIndex":
+        """A new, empty index carrying this one's tuning knobs.
+
+        Auto-sized artefacts (anchor count, assignment center) reset so
+        the next ``build`` re-derives them; explicit constructor pins
+        are preserved (see :meth:`LSHIndex.fresh_like`).
+        """
+        return IVFIndex(
+            self._num_cells_arg,
+            nprobe=self.nprobe,
+            min_recall_fallback=self.min_recall_fallback,
+            seed=self.seed,
+            center=None if self.auto_sized else self.center,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "partition" if self._external else "anchor"
+        return (
+            f"IVFIndex(rows={self.num_rows}, cells={self.num_cells}, "
+            f"nprobe={self.nprobe}, mode={mode})"
         )

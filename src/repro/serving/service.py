@@ -32,6 +32,7 @@ import numpy as np
 from repro.base import EmbeddingMap
 from repro.serving.index import (
     BruteForceIndex,
+    IVFIndex,
     LSHIndex,
     _top_k,
     _unit_vector,
@@ -42,7 +43,7 @@ from repro.tasks.link_prediction import score_pairs
 
 Node = Hashable
 
-_BACKENDS = ("lsh", "exact")
+_BACKENDS = ("lsh", "exact", "ivf")
 
 
 class EmbeddingService:
@@ -53,11 +54,15 @@ class EmbeddingService:
     store:
         The system of record; the service never mutates it.
     backend:
-        ``"lsh"`` (default) or ``"exact"``; ignored when ``index`` is
-        given.
+        ``"lsh"`` (default), ``"exact"``, or ``"ivf"``; ignored when
+        ``index`` is given. The IVF backend is *partition-aware*: when a
+        published version carries ``partition_cells`` metadata (GloDyNE's
+        Step 1 cells), the service forwards it as the index's coarse
+        quantizer; otherwise the index falls back to its frozen anchors.
     index:
         A pre-configured index instance (e.g. an :class:`LSHIndex` with
-        tuned table/bit counts).
+        tuned table/bit counts, or an :class:`IVFIndex` with a tuned
+        ``nprobe``).
     refresh_tolerance:
         Max-abs per-row movement below which a row is *not* re-hashed on
         :meth:`refresh`. 0.0 re-hashes on any change; serving-grade
@@ -65,6 +70,11 @@ class EmbeddingService:
         force work.
     cache_size:
         Entries in the LRU query cache (0 disables caching).
+    unit_cache_size:
+        Versions whose normalised matrix the time-travel path may keep
+        memoised at once (0 disables the memo). Each entry pins a full
+        float32 matrix, so this bounds time-travel memory; eviction is
+        LRU.
     """
 
     def __init__(
@@ -72,30 +82,38 @@ class EmbeddingService:
         store: EmbeddingStore,
         *,
         backend: str = "lsh",
-        index: BruteForceIndex | LSHIndex | None = None,
+        index: BruteForceIndex | LSHIndex | IVFIndex | None = None,
         refresh_tolerance: float = 1e-7,
         cache_size: int = 1024,
+        unit_cache_size: int = 4,
     ) -> None:
         if index is None:
             if backend not in _BACKENDS:
                 raise ValueError(
                     f"unknown backend {backend!r}; choose from {_BACKENDS}"
                 )
-            index = LSHIndex() if backend == "lsh" else BruteForceIndex()
+            index = {
+                "lsh": LSHIndex,
+                "exact": BruteForceIndex,
+                "ivf": IVFIndex,
+            }[backend]()
+        if unit_cache_size < 0:
+            raise ValueError("unit_cache_size must be >= 0")
         self.store = store
         self.index = index
         self.refresh_tolerance = float(refresh_tolerance)
         self.cache_size = int(cache_size)
+        self.unit_cache_size = int(unit_cache_size)
         self._cache: OrderedDict[tuple, list] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         # Normalised matrices of recently time-travelled versions
-        # (immutable once published, so a tiny LRU is safe).
+        # (immutable once published, so a size-bounded LRU is safe).
         self._unit_cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._indexed_version: int | None = None
         # Rows at the last full build — when the store outgrows this by
-        # 4x, an auto-sized LSH index re-builds with re-derived table
-        # bits/center instead of degrading into mega-buckets.
+        # 4x, an auto-sized index re-builds with re-derived sizing
+        # (table bits/center, anchor count) instead of degrading.
         self._sized_rows = 0
 
     # ------------------------------------------------------------------
@@ -110,41 +128,71 @@ class EmbeddingService:
         """Sync the index to the store's latest version.
 
         Incremental: only rows that moved beyond ``refresh_tolerance``
-        (plus new nodes) re-hash. A version with *fewer* rows than the
-        indexed one (node deletions shrank the snapshot) falls back to a
-        full rebuild — index rows are positional and cannot shrink
-        incrementally. Returns the number of rows touched; 0 when
-        already current.
+        (plus new nodes) re-hash / re-assign. A version with *fewer*
+        rows than the indexed one (node deletions shrank the snapshot)
+        falls back to a full rebuild — index rows are positional and
+        cannot shrink incrementally. Returns the number of rows touched;
+        0 when already current.
+
+        Partition-aware backends (``accepts_assignment``) additionally
+        receive the version's published ``partition_cells`` metadata —
+        the per-row cell ids GloDyNE's Step 1 partitioner emitted — so
+        the IVF cell layout follows the trainer's own partition.
         """
         latest = self.store.latest
         if self._indexed_version == latest.version:
             return 0
         if (
-            isinstance(self.index, LSHIndex)
-            and self.index.auto_sized
+            getattr(self.index, "auto_sized", False)
             and self._sized_rows
             and latest.num_nodes > 4 * self._sized_rows
         ):
             # The store outgrew the first build's auto-sizing: start a
-            # fresh index so table bits and the hashing center re-derive
-            # from the current distribution instead of degrading.
-            self.index = LSHIndex(
-                num_tables=self.index.num_tables,
-                seed=self.index.seed,
-                min_candidates=self.index.min_candidates,
-                max_probes=self.index._max_probes_arg,
-            )
+            # fresh index so the data-derived sizing (table bits and
+            # hashing center, or anchor count) re-derives from the
+            # current distribution instead of degrading.
+            self.index = self.index.fresh_like()
             self._indexed_version = None
+        assignment = (
+            self._partition_assignment(latest)
+            if getattr(self.index, "accepts_assignment", False)
+            else None
+        )
         if self._indexed_version is None or latest.num_nodes < self.index.num_rows:
-            self.index.build(latest.matrix)
+            if assignment is not None:
+                self.index.build(latest.matrix, assignment=assignment)
+            else:
+                self.index.build(latest.matrix)
             touched = latest.num_nodes
             self._sized_rows = latest.num_nodes
+        elif getattr(self.index, "accepts_assignment", False):
+            touched = self.index.refresh(
+                latest.matrix,
+                tolerance=self.refresh_tolerance,
+                assignment=assignment,
+            )
         else:
             touched = self.index.refresh(
                 latest.matrix, tolerance=self.refresh_tolerance
             )
         self._indexed_version = latest.version
         return touched
+
+    def _partition_assignment(self, record) -> np.ndarray | None:
+        """Per-row cell ids from a version's ``partition_cells`` metadata.
+
+        Returns ``None`` when the version carries no partition (offline
+        flushes, non-S4 strategies) or a stale one whose length no
+        longer matches the row count — the index then keeps its current
+        layout (IVF anchor mode / incremental rule).
+        """
+        cells = record.metadata.get("partition_cells")
+        if cells is None:
+            return None
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.shape[0] != record.num_nodes:
+            return None
+        return cells
 
     # ------------------------------------------------------------------
     # queries
@@ -365,13 +413,16 @@ class EmbeddingService:
 
         The version's normalised matrix is memoised (versions are
         immutable), so repeat time-travel queries pay the O(N*d)
-        normalisation once.
+        normalisation once. The memo is LRU-bounded to
+        ``unit_cache_size`` entries — each pins a full float32 matrix,
+        so many-version time travel must not accumulate them forever.
         """
-        unit = self._unit_cache.get(record.version)
-        if unit is None:
+        if not self.unit_cache_size:
+            unit = unit_rows(record.matrix)
+        elif (unit := self._unit_cache.get(record.version)) is None:
             unit = unit_rows(record.matrix)
             self._unit_cache[record.version] = unit
-            if len(self._unit_cache) > 4:
+            if len(self._unit_cache) > self.unit_cache_size:
                 self._unit_cache.popitem(last=False)
         else:
             self._unit_cache.move_to_end(record.version)

@@ -292,16 +292,23 @@ class StreamingGloDyNE:
         if self.publish_to is not None:
             # The model's aligned (nodes, matrix) pair skips the store's
             # per-node dict re-stacking on the serving hot path.
+            metadata = {
+                "source": "stream",
+                "trigger": trigger,
+                "num_events": window_events,
+                "num_selected": result.trace.num_selected,
+                "flush_seconds": result.seconds,
+            }
+            cells = self.model.last_partition_cells
+            if cells is not None:
+                # Step 1's cells, row-aligned with the published matrix —
+                # a partition-aware serving index reuses them as its
+                # coarse quantizer (see EmbeddingService.refresh).
+                metadata["partition_cells"] = cells
             self.publish_to.publish(
                 self.model.last_embedding,
                 time_step=result.time_step,
-                metadata={
-                    "source": "stream",
-                    "trigger": trigger,
-                    "num_events": window_events,
-                    "num_selected": result.trace.num_selected,
-                    "flush_seconds": result.seconds,
-                },
+                metadata=metadata,
             )
         return result
 

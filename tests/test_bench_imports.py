@@ -44,6 +44,7 @@ def test_bench_suite_is_complete():
         "bench_ablation_reservoir",
         "bench_streaming_throughput",
         "bench_serving_qps",
+        "bench_ivf_qps",
         "bench_parallel_walks",
         "bench_incremental_partition",
     }

@@ -202,3 +202,28 @@ class TestServeAndQuery:
     def test_query_without_work_exits_2(self, tmp_path, capsys):
         store_path = self._serve(tmp_path, capsys)
         assert main(["query", "--store", str(store_path)]) == 2
+
+    def test_serve_ivf_smoke_and_query_index_alias(self, tmp_path, capsys):
+        # `serve --incremental-partition --index ivf` publishes Step 1
+        # cells and smoke-queries the IVF index before writing the store;
+        # `query --index ivf` (alias of --backend) serves from it.
+        store_path = tmp_path / "store.npz"
+        code = main(
+            [
+                "serve", "--dataset", "elec-sim", "--scale", "0.25",
+                "--snapshots", "4", "--dim", "8", "--flush-events", "100",
+                "--incremental-partition", "--index", "ivf",
+                "--store", str(store_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke query [ivf]" in out
+        code = main(
+            [
+                "query", "--store", str(store_path), "--node", "0",
+                "--k", "3", "--index", "ivf",
+            ]
+        )
+        assert code == 0
+        assert "top-3 similar to 0" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Regression tests for the /stats backing counters and percentiles.
+
+Pins the two serving-tier observability bugs this subsystem shipped
+with: nearest-rank percentiles mis-indexed tiny windows (banker's
+rounding on ``round(q * (n - 1))``), and ``snapshot()`` had to be safe
+to call before any request was recorded (empty latency ring).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.stats import ServerStats, percentile
+
+
+class TestPercentile:
+    def test_single_sample_is_every_percentile(self):
+        # A 1-sample window: the sample is its own p0/p50/p99/p100.
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_two_sample_window(self):
+        # Nearest-rank proper: p50 of {1, 2} is the *lower* sample
+        # (ceil(0.5 * 2) = rank 1), p99 the upper. The old
+        # round(q * (n - 1)) indexing returned 1.0 for both because
+        # round(0.5) banker's-rounds to 0.
+        assert percentile([2.0, 1.0], 0.50) == 1.0
+        assert percentile([2.0, 1.0], 0.99) == 2.0
+        assert percentile([2.0, 1.0], 0.0) == 1.0
+        assert percentile([2.0, 1.0], 1.0) == 2.0
+
+    def test_consistent_median_side_across_window_sizes(self):
+        # The banker's-rounding bug made even-sized windows disagree
+        # about which side of the median to report (2 samples -> lower,
+        # 4 samples -> strictly above). Nearest-rank always takes the
+        # lower-middle sample for an even window.
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 0.5) == 3.0
+
+    def test_nearest_rank_definition(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 0.99) == 99
+        assert percentile(samples, 0.01) == 1
+        assert percentile(samples, 0.995) == 100
+
+    def test_input_not_mutated_and_order_free(self):
+        samples = [3.0, 1.0, 2.0]
+        assert percentile(samples, 1.0) == 3.0
+        assert samples == [3.0, 1.0, 2.0]
+
+    def test_error_paths(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 0.5)
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1.0], -0.1)
+
+
+class TestSnapshot:
+    def test_snapshot_on_empty_ring_never_raises(self):
+        # A /stats scrape racing the first request must not 500: every
+        # latency aggregate is None until a sample lands.
+        stats = ServerStats()
+        payload = stats.snapshot()
+        assert payload["requests"] == 0
+        assert payload["latency_ms"] == {
+            "window": 0, "p50": None, "p99": None, "mean": None,
+        }
+        assert payload["knn"]["mean_batch_size"] is None
+
+    def test_snapshot_after_reset_is_empty_again(self):
+        stats = ServerStats()
+        stats.record_request(200, 0.010)
+        stats.reset()
+        assert stats.snapshot()["latency_ms"]["p99"] is None
+
+    def test_small_window_percentiles(self):
+        stats = ServerStats()
+        stats.record_request(200, 0.010)
+        payload = stats.snapshot()
+        assert payload["latency_ms"]["window"] == 1
+        assert payload["latency_ms"]["p50"] == pytest.approx(10.0)
+        assert payload["latency_ms"]["p99"] == pytest.approx(10.0)
+        stats.record_request(200, 0.030)
+        payload = stats.snapshot()
+        assert payload["latency_ms"]["p50"] == pytest.approx(10.0)
+        assert payload["latency_ms"]["p99"] == pytest.approx(30.0)
+
+    def test_ring_is_bounded(self):
+        stats = ServerStats(latency_window=4)
+        for latency in (1.0, 2.0, 3.0, 4.0, 5.0):
+            stats.record_request(200, latency)
+        payload = stats.snapshot()
+        assert payload["latency_ms"]["window"] == 4
+        # 1.0 was evicted: the minimum surviving sample is 2.0.
+        assert payload["latency_ms"]["p50"] == pytest.approx(3000.0)
+        assert stats.requests == 5

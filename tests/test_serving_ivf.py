@@ -1,0 +1,349 @@
+"""Goldens and properties for the partition-aware IVF index.
+
+The contracts pinned here are the ones the serving tier leans on:
+
+* ``refresh`` is bit-identical to a from-scratch ``build`` (both cell
+  modes) — the incremental path may only be *faster*, never different;
+* ``query_many`` is bit-identical to looped ``query`` (the service's
+  cross-request cache shares entries between the two paths);
+* applying a sequence of deltas lands on the same index as applying
+  their net effect in one step (insertion-order invariance);
+* after arbitrary churn the cells remain an exact partition of the rows
+  and every row stays probe-able (hypothesis property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import BruteForceIndex, IVFIndex
+
+
+def _clustered(rng, clusters=8, per=30, dim=16, spread=0.4):
+    centers = rng.standard_normal((clusters, dim)) * 3.0
+    return np.vstack(
+        [c + rng.standard_normal((per, dim)) * spread for c in centers]
+    ).astype(np.float32)
+
+
+def _block_assignment(clusters, per):
+    return np.repeat(np.arange(clusters, dtype=np.int64), per)
+
+
+def _assert_identical_queries(a, b, queries, k=10):
+    for q in queries:
+        a_rows, a_scores = a.query(q, k)
+        b_rows, b_scores = b.query(q, k)
+        assert np.array_equal(a_rows, b_rows)
+        assert np.array_equal(a_scores, b_scores)
+
+
+def _assert_identical_state(a, b):
+    assert a.num_cells == b.num_cells
+    for cell_a, cell_b in zip(a._members, b._members):
+        assert np.array_equal(cell_a, cell_b)
+    assert np.array_equal(a._centroids, b._centroids)
+    assert np.array_equal(a._assign[: a.num_rows], b._assign[: b.num_rows])
+
+
+class TestValidation:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            IVFIndex(0)
+        with pytest.raises(ValueError):
+            IVFIndex(nprobe=0)
+        with pytest.raises(ValueError):
+            IVFIndex(min_recall_fallback=-0.1)
+        with pytest.raises(ValueError):
+            IVFIndex(min_recall_fallback=1.5)
+
+    def test_query_error_paths(self):
+        index = IVFIndex()
+        with pytest.raises(RuntimeError):
+            index.query(np.ones(4), 1)
+        with pytest.raises(RuntimeError):
+            index.query_many(np.ones((2, 4)), 1)
+        index.build(np.eye(4, dtype=np.float32))
+        with pytest.raises(ValueError):
+            index.query(np.ones(4), 0)
+
+    def test_refresh_error_paths(self):
+        index = IVFIndex()
+        index.build(np.eye(4, dtype=np.float32))
+        with pytest.raises(ValueError, match="shrank"):
+            index.refresh(np.eye(3, dtype=np.float32))
+        with pytest.raises(ValueError, match="dimensionality"):
+            index.refresh(np.ones((4, 7), dtype=np.float32))
+
+    def test_assignment_validation(self):
+        matrix = np.eye(6, dtype=np.float32)
+        index = IVFIndex()
+        with pytest.raises(ValueError, match="entries for 6 rows"):
+            index.build(matrix, assignment=[0, 1])
+        with pytest.raises(ValueError, match="non-negative"):
+            index.build(matrix, assignment=[0, 1, 2, 3, 4, -1])
+        with pytest.raises(ValueError, match="more cells than rows"):
+            index.build(matrix, assignment=[0, 1, 2, 3, 4, 10_000_000])
+
+
+class TestBuild:
+    def test_partition_mode_layout(self):
+        rng = np.random.default_rng(0)
+        matrix = _clustered(rng, clusters=5, per=20)
+        assignment = _block_assignment(5, 20)
+        index = IVFIndex()
+        index.build(matrix, assignment=assignment)
+        assert index.accepts_assignment
+        assert index.backend_name == "ivf"
+        assert index.num_cells == 5
+        assert index.cell_sizes == [20] * 5
+        assert index.num_rows == 100
+
+    def test_anchor_mode_covers_every_row(self):
+        rng = np.random.default_rng(1)
+        matrix = _clustered(rng, clusters=4, per=25)
+        index = IVFIndex(seed=3)
+        index.build(matrix)
+        assert index.num_cells == 10  # round(sqrt(100))
+        assert sum(index.cell_sizes) == 100
+
+    def test_full_fallback_is_exact(self):
+        # min_recall_fallback=1.0 forces full coverage: results must be
+        # bit-identical to the brute-force scan (same _top_k kernel).
+        rng = np.random.default_rng(2)
+        matrix = _clustered(rng)
+        truth = BruteForceIndex()
+        truth.build(matrix)
+        index = IVFIndex(nprobe=1, min_recall_fallback=1.0)
+        index.build(matrix, assignment=_block_assignment(8, 30))
+        _assert_identical_queries(index, truth, matrix[::17])
+
+    def test_empty_cells_skipped_without_probe_budget(self):
+        # Cell ids 1..4 are empty; nprobe=1 must still reach the real
+        # cells because empty ones do not consume the probe budget.
+        matrix = np.eye(6, dtype=np.float32)
+        index = IVFIndex(nprobe=1)
+        index.build(matrix, assignment=[0, 0, 0, 5, 5, 5])
+        assert index.num_cells == 6
+        rows, _ = index.query(matrix[4], 2)
+        assert rows.size == 2
+
+    def test_recall_on_clustered_data(self):
+        rng = np.random.default_rng(3)
+        matrix = _clustered(rng)
+        truth = BruteForceIndex()
+        truth.build(matrix)
+        index = IVFIndex(nprobe=3)
+        index.build(matrix, assignment=_block_assignment(8, 30))
+        hits = 0
+        queries = list(range(0, matrix.shape[0], 7))
+        for q in queries:
+            approx = set(index.query(matrix[q], 10)[0].tolist())
+            exact = set(truth.query(matrix[q], 10)[0].tolist())
+            hits += len(approx & exact)
+        assert hits / (len(queries) * 10) >= 0.9
+
+
+class TestRefreshGoldens:
+    def test_refresh_identical_to_rebuild_partition_mode(self):
+        rng = np.random.default_rng(4)
+        matrix = _clustered(rng, clusters=6, per=25, dim=12)
+        assignment = _block_assignment(6, 25)
+        index = IVFIndex()
+        index.build(matrix, assignment=assignment)
+
+        updated = matrix.copy()
+        moved = rng.choice(matrix.shape[0], 12, replace=False)
+        updated[moved] += rng.standard_normal((12, 12)).astype(np.float32)
+        updated = np.vstack(
+            [updated, rng.standard_normal((7, 12)).astype(np.float32)]
+        )
+        new_assign = np.concatenate(
+            [assignment, rng.integers(0, 6, 7)]
+        ).copy()
+        new_assign[moved[:4]] = (new_assign[moved[:4]] + 1) % 6
+
+        touched = index.refresh(updated, tolerance=1e-9, assignment=new_assign)
+        assert touched == 12 + 7
+
+        rebuilt = IVFIndex()
+        rebuilt.build(updated, assignment=new_assign)
+        _assert_identical_state(index, rebuilt)
+        _assert_identical_queries(index, rebuilt, updated[::13])
+
+    def test_refresh_identical_to_rebuild_anchor_mode(self):
+        rng = np.random.default_rng(5)
+        matrix = _clustered(rng, clusters=4, per=20, dim=8)
+        index = IVFIndex(seed=7)
+        index.build(matrix)
+
+        updated = matrix.copy()
+        moved = rng.choice(matrix.shape[0], 9, replace=False)
+        updated[moved] += rng.standard_normal((9, 8)).astype(np.float32) * 2.0
+        updated = np.vstack(
+            [updated, rng.standard_normal((5, 8)).astype(np.float32)]
+        )
+        index.refresh(updated, tolerance=1e-9)
+
+        # A rebuild of *the same serving index* reuses the frozen anchor
+        # configuration (cell count + assignment center), like LSH's
+        # frozen hashing center.
+        rebuilt = IVFIndex(index.num_cells, seed=7, center=index.center)
+        rebuilt.build(updated)
+        _assert_identical_state(index, rebuilt)
+        _assert_identical_queries(index, rebuilt, updated[::11])
+
+    def test_delta_order_invariance(self):
+        # base -> final in one refresh must equal base -> mid -> final:
+        # the net index depends only on the final (matrix, assignment),
+        # not on how the deltas were chunked or ordered across flushes.
+        rng = np.random.default_rng(6)
+        matrix = _clustered(rng, clusters=5, per=20, dim=10)
+        assignment = _block_assignment(5, 20)
+
+        final = matrix.copy()
+        moved = rng.choice(100, 16, replace=False)
+        final[moved] += rng.standard_normal((16, 10)).astype(np.float32)
+        final = np.vstack(
+            [final, rng.standard_normal((6, 10)).astype(np.float32)]
+        )
+        final_assign = np.concatenate([assignment, rng.integers(0, 5, 6)])
+        final_assign = final_assign.copy()
+        final_assign[moved[:5]] = (final_assign[moved[:5]] + 2) % 5
+
+        one_shot = IVFIndex()
+        one_shot.build(matrix, assignment=assignment)
+        one_shot.refresh(final, tolerance=1e-9, assignment=final_assign)
+
+        # The staged path applies the second half of the movers (and the
+        # appended rows) first, then the first half — reversed order.
+        mid = matrix.copy()
+        mid[moved[8:]] = final[moved[8:]]
+        mid = np.vstack([mid, final[100:]])
+        mid_assign = final_assign.copy()
+        mid_assign[moved[:5]] = assignment[moved[:5]]
+        staged = IVFIndex()
+        staged.build(matrix, assignment=assignment)
+        staged.refresh(mid, tolerance=1e-9, assignment=mid_assign)
+        staged.refresh(final, tolerance=1e-9, assignment=final_assign)
+
+        _assert_identical_state(one_shot, staged)
+        _assert_identical_queries(one_shot, staged, final[::9])
+
+    def test_query_many_identical_to_looped_query(self):
+        rng = np.random.default_rng(7)
+        matrix = _clustered(rng, clusters=6, per=20)
+        index = IVFIndex(nprobe=2)
+        index.build(matrix, assignment=_block_assignment(6, 20))
+        queries = rng.standard_normal((9, 16))
+        batched = index.query_many(queries, 8)
+        for q, (rows, scores) in zip(queries, batched):
+            l_rows, l_scores = index.query(q, 8)
+            assert np.array_equal(rows, l_rows)
+            assert np.array_equal(scores, l_scores)
+
+    def test_noop_refresh(self):
+        rng = np.random.default_rng(8)
+        matrix = _clustered(rng, clusters=3, per=15, dim=8)
+        assignment = _block_assignment(3, 15)
+        index = IVFIndex()
+        index.build(matrix, assignment=assignment)
+        assert index.refresh(matrix + 1e-9, tolerance=1e-6,
+                             assignment=assignment) == 0
+        assert index.last_refresh_rows == 0
+
+    def test_refresh_without_assignment_homes_new_rows(self):
+        # The incremental-only rule: a flush with no partition metadata
+        # keeps old rows in their cells and sends brand-new rows to the
+        # nearest committed centroid.
+        rng = np.random.default_rng(9)
+        matrix = _clustered(rng, clusters=4, per=15, dim=8)
+        index = IVFIndex()
+        index.build(matrix, assignment=_block_assignment(4, 15))
+        grown = np.vstack(
+            [matrix, matrix[3:5] + 1e-3]  # near cluster 0 members
+        )
+        assert index.refresh(grown, tolerance=1e-9) == 2
+        assert index.num_rows == 62
+        assert index._assign[60] == 0
+        assert index._assign[61] == 0
+        assert sum(index.cell_sizes) == 62
+
+    def test_refresh_can_shrink_cell_count(self):
+        matrix = np.eye(6, dtype=np.float32)
+        index = IVFIndex()
+        index.build(matrix, assignment=[0, 0, 1, 1, 2, 2])
+        assert index.num_cells == 3
+        index.refresh(matrix, assignment=[0, 0, 1, 1, 1, 0])
+        assert index.num_cells == 2
+        rebuilt = IVFIndex()
+        rebuilt.build(matrix, assignment=[0, 0, 1, 1, 1, 0])
+        _assert_identical_state(index, rebuilt)
+
+    def test_refresh_on_empty_index_builds(self):
+        index = IVFIndex()
+        matrix = np.eye(5, dtype=np.float32)
+        assert index.refresh(matrix, assignment=[0, 0, 1, 1, 1]) == 5
+        assert index.num_cells == 2
+
+    def test_fresh_like_preserves_knobs(self):
+        index = IVFIndex(12, nprobe=3, min_recall_fallback=0.25, seed=5)
+        clone = index.fresh_like()
+        assert clone.num_rows == 0
+        assert clone.num_cells == 12
+        assert clone.nprobe == 3
+        assert clone.min_recall_fallback == 0.25
+        assert clone.seed == 5
+        auto = IVFIndex().fresh_like()
+        assert auto.auto_sized
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_cells_partition_rows_after_arbitrary_churn(data):
+    """After any churn sequence the cells exactly partition the rows.
+
+    Every row must sit in exactly one member list (disjoint cover) and
+    remain probe-able: a full-coverage query returns all rows.
+    """
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+    rng = np.random.default_rng(seed)
+    dim = 6
+    n = data.draw(st.integers(3, 20), label="initial_rows")
+    use_assignment = data.draw(st.booleans(), label="partition_mode")
+    matrix = rng.standard_normal((n, dim)).astype(np.float32)
+
+    index = IVFIndex(seed=0)
+    if use_assignment:
+        cells = data.draw(st.integers(1, 5), label="cells")
+        index.build(matrix, assignment=rng.integers(0, cells, n))
+    else:
+        index.build(matrix)
+
+    for round_id in range(data.draw(st.integers(1, 4), label="rounds")):
+        grow = data.draw(st.integers(0, 6), label=f"grow{round_id}")
+        updated = np.vstack(
+            [matrix, rng.standard_normal((grow, dim)).astype(np.float32)]
+        )
+        perturb = rng.random(n := updated.shape[0]) < 0.3
+        updated[perturb] += (
+            rng.standard_normal((int(perturb.sum()), dim)).astype(np.float32)
+        )
+        if use_assignment and data.draw(
+            st.booleans(), label=f"reassign{round_id}"
+        ):
+            cells = data.draw(st.integers(1, 5), label=f"cells{round_id}")
+            index.refresh(updated, assignment=rng.integers(0, cells, n))
+        else:
+            index.refresh(updated)
+        matrix = updated
+
+    members = [cell.tolist() for cell in index._members]
+    flat = sorted(row for cell in members for row in cell)
+    assert flat == list(range(matrix.shape[0]))  # disjoint exact cover
+    index.min_recall_fallback = 1.0  # full-coverage probe
+    rows, _ = index.query(rng.standard_normal(dim), k=matrix.shape[0])
+    assert sorted(rows.tolist()) == list(range(matrix.shape[0]))

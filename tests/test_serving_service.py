@@ -230,6 +230,157 @@ class TestGoldenPipeline:
             EmbeddingService(streamed_store, backend="annoy")
 
 
+@pytest.fixture(scope="module")
+def partitioned_store() -> EmbeddingStore:
+    """A stream whose online flushes publish Step 1 partition cells."""
+    network = load_dataset("elec-sim", scale=0.5, seed=11, snapshots=6)
+    store = EmbeddingStore()
+    engine = StreamingGloDyNE(
+        dim=32, alpha=0.1, seed=3, policy=FlushPolicy(max_events=80),
+        publish_to=store, incremental_partition=True, **WALK,
+    )
+    engine.ingest_many(network_to_events(network))
+    if engine.pending_events:
+        engine.flush()
+    assert store.num_versions >= 3
+    return store
+
+
+class TestIVFThroughService:
+    def test_online_versions_carry_partition_cells(self, partitioned_store):
+        # v0 is the offline step (no partition yet); every later flush
+        # must publish cells row-aligned with its matrix.
+        records = list(partitioned_store)
+        assert "partition_cells" not in records[0].metadata
+        for record in records[1:]:
+            cells = record.metadata["partition_cells"]
+            assert len(cells) == record.num_nodes
+            assert min(cells) >= 0
+
+    def test_ivf_recall_vs_brute_force(self, partitioned_store):
+        exact = EmbeddingService(
+            partitioned_store, backend="exact", cache_size=0
+        )
+        approx = EmbeddingService(
+            partitioned_store, backend="ivf", cache_size=0
+        )
+        approx.refresh()
+        assert approx.index.backend_name == "ivf"
+        assert "mode=partition" in repr(approx.index)  # cells from Step 1
+        latest = partitioned_store.latest
+        queries = list(latest.nodes)[:: max(1, latest.num_nodes // 60)]
+        hits = total = 0
+        for node in queries:
+            truth = {n for n, _ in exact.query_knn(node, 10)}
+            found = {n for n, _ in approx.query_knn(node, 10)}
+            hits += len(truth & found)
+            total += len(truth)
+        assert total > 0
+        assert hits / total >= 0.9
+
+    def test_ivf_incremental_refresh_equals_full_rebuild(
+        self, partitioned_store
+    ):
+        # Serve version after version with incremental refresh only,
+        # then compare bitwise against a one-shot build at the final
+        # version with its published assignment — covering the anchor ->
+        # partition mode switch at v1 along the way.
+        from repro.serving import IVFIndex
+
+        store = EmbeddingStore()
+        service = EmbeddingService(
+            store, backend="ivf", cache_size=0, refresh_tolerance=0.0
+        )
+        for v in range(partitioned_store.num_versions):
+            record = partitioned_store.version(v)
+            store.publish(
+                (list(record.nodes), record.matrix),
+                time_step=record.time_step,
+                metadata=dict(record.metadata),
+            )
+            touched = service.refresh()
+            assert 0 < touched <= record.num_nodes
+
+        final = partitioned_store.latest
+        rebuilt = IVFIndex()
+        rebuilt.build(
+            final.matrix,
+            assignment=np.asarray(
+                final.metadata["partition_cells"], dtype=np.int64
+            ),
+        )
+        for node in list(final.nodes)[:: max(1, final.num_nodes // 40)]:
+            vec = final.vector(node)
+            inc_rows, inc_scores = service.index.query(vec, 10)
+            full_rows, full_scores = rebuilt.query(vec, 10)
+            assert np.array_equal(inc_rows, full_rows)
+            assert np.array_equal(inc_scores, full_scores)
+
+
+class TestServingBugfixes:
+    def test_unit_cache_is_bounded_lru(self, streamed_store):
+        # Regression: pinned-version exact scans memoise a full float32
+        # unit matrix per version — the memo must stay a bounded LRU,
+        # not grow with every version ever queried.
+        service = EmbeddingService(
+            streamed_store, backend="exact", cache_size=0, unit_cache_size=2
+        )
+        num = streamed_store.num_versions
+        for v in range(num):
+            node = streamed_store.version(v).nodes[0]
+            service.query_knn(node, 3, version=v)
+        assert len(service._unit_cache) == min(2, num)
+        # LRU order: the most recently used versions survive.
+        assert set(service._unit_cache) == {num - 2, num - 1}
+        # Re-touching the older survivor protects it from eviction.
+        service.query_knn(streamed_store.version(num - 2).nodes[0], 3,
+                          version=num - 2)
+        service.query_knn(streamed_store.version(0).nodes[0], 3, version=0)
+        assert set(service._unit_cache) == {num - 2, 0}
+
+    def test_unit_cache_disabled(self, streamed_store):
+        service = EmbeddingService(
+            streamed_store, backend="exact", cache_size=0, unit_cache_size=0
+        )
+        service.query_knn(streamed_store.version(0).nodes[0], 3, version=0)
+        assert len(service._unit_cache) == 0
+        with pytest.raises(ValueError, match="unit_cache_size"):
+            EmbeddingService(streamed_store, unit_cache_size=-1)
+
+    def test_shrink_then_regrow_never_serves_stale_rows(self, streamed_store):
+        # Audit pin: after a shrinking version forces a rebuild, the
+        # LSH buckets (whose buffers never shrink) must not leak rows
+        # from the larger generation once the store grows again.
+        store = EmbeddingStore()
+        latest = streamed_store.latest
+        small = streamed_store.version(0)
+        assert small.num_nodes < latest.num_nodes
+        store.publish((list(latest.nodes), latest.matrix), time_step=0)
+        service = EmbeddingService(store, backend="lsh", cache_size=0)
+        service.refresh()
+        store.publish((list(small.nodes), small.matrix), time_step=1)
+        service.refresh()  # shrink -> rebuild
+        assert service.index.num_rows == small.num_nodes
+        mid = streamed_store.version(1)
+        store.publish((list(mid.nodes), mid.matrix), time_step=2)
+        service.refresh()  # regrow incrementally
+        assert service.index.num_rows == mid.num_nodes
+        # Golden: bitwise equal to a fresh index that never saw the
+        # larger generation (same frozen configuration).
+        rebuilt = LSHIndex(
+            num_bits=service.index.num_bits, center=service.index.center
+        )
+        rebuilt.build(small.matrix)
+        rebuilt.refresh(mid.matrix)
+        for node in list(mid.nodes)[:: max(1, mid.num_nodes // 30)]:
+            vec = mid.vector(node)
+            a_rows, a_scores = service.index.query(vec, 10)
+            b_rows, b_scores = rebuilt.query(vec, 10)
+            assert np.array_equal(a_rows, b_rows)
+            assert np.array_equal(a_scores, b_scores)
+            assert np.all(a_rows < mid.num_nodes)  # no stale generation
+
+
 class TestSnapshotModePublish:
     def test_glodyne_update_publishes(self, tiny_network):
         store = EmbeddingStore()
