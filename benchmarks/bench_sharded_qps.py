@@ -1,0 +1,315 @@
+"""Sharded-serving benchmark: router + N worker processes vs one daemon.
+
+``bench_server_qps`` measures what micro-batching buys a *single*
+daemon process; this bench measures what the multi-process tier
+(:mod:`repro.server.sharding`) buys on top. One closed-loop client pool
+hammers ``/g/bench/knn``:
+
+* **single** — one :class:`EmbeddingDaemon`, exact backend (the
+  configuration the router must reproduce bit for bit);
+* **sharded** — :func:`split_store` into ``NUM_SHARDS`` disjoint
+  views, one spawned worker process per shard
+  (:func:`repro.server.spawn_workers`), a :class:`ShardRouter` front
+  door scatter-gathering and merging.
+
+The exact backend is measured because its per-query cost scales with
+rows scanned — the component sharding actually divides. Every run also
+asserts the **merge identity**: the router's response stream for one
+client plan is neighbor-for-neighbor, score-for-score identical to the
+single-process stream, ties included.
+
+The throughput gate (>= ``SPEEDUP_GATE`` x single-process QPS) is
+asserted on ``cpu_count >= 4`` hosts in the full profile; single-core
+recording hosts (where N worker processes time-slice one core and the
+scatter fan-out is pure overhead) record a caveat instead.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_qps.py --tiny   # smoke
+    PYTHONPATH=src python benchmarks/bench_sharded_qps.py          # full
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.bench.telemetry import effective_cpu_count
+from repro.experiments import render_table
+from repro.server import EmbeddingDaemon, ShardRouter, shutdown_workers, spawn_workers
+from repro.serving import EmbeddingService, EmbeddingStore, split_store
+
+#: Worker processes in the sharded configuration (full profile).
+NUM_SHARDS = 4
+#: Sharded-vs-single QPS gate, asserted when ``cpu_count >= 4``.
+SPEEDUP_GATE = 1.8
+SINGLE_CORE_NOTE = (
+    "cpu_count < 4 on the recording host: the sharded-QPS gate "
+    f"(>= {SPEEDUP_GATE}x single-process) was reported but not asserted — "
+    "worker processes time-slice one core, so the fan-out cannot pay"
+)
+
+
+def build_store(num_nodes: int, dim: int, seed: int = 0) -> EmbeddingStore:
+    """A one-version store of random embeddings (request-path bench)."""
+    rng = np.random.default_rng(seed)
+    store = EmbeddingStore()
+    store.publish(
+        (list(range(num_nodes)), rng.standard_normal((num_nodes, dim)))
+    )
+    return store
+
+
+async def _client(
+    port: int, node_ids: np.ndarray, k: int
+) -> list[tuple[int, bytes]]:
+    """One keep-alive client: sequential kNN requests, parsed minimally."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    responses = []
+    try:
+        for node in node_ids:
+            writer.write(
+                f"GET /g/bench/knn?node={int(node)}&k={k} HTTP/1.1\r\n"
+                "Host: bench\r\n\r\n".encode("ascii")
+            )
+            await writer.drain()
+            header = await reader.readuntil(b"\r\n\r\n")
+            status = int(header.split(b" ", 2)[1])
+            length = 0
+            for line in header.lower().split(b"\r\n"):
+                if line.startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            body = await reader.readexactly(length)
+            responses.append((status, body))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    return responses
+
+
+async def _hammer(
+    port: int, plans: list[np.ndarray], k: int, stats
+) -> dict:
+    """Warm, reset, then run every client plan concurrently."""
+    await _client(port, plans[0][:5], k)
+    stats.reset()
+    started = time.perf_counter()
+    all_responses = await asyncio.gather(
+        *(_client(port, plan, k) for plan in plans)
+    )
+    elapsed = time.perf_counter() - started
+    flat = [resp for per_client in all_responses for resp in per_client]
+    assert all(status == 200 for status, _ in flat), "non-200 under load"
+    snapshot = stats.snapshot()
+    total = sum(len(plan) for plan in plans)
+    return {
+        "qps": total / elapsed,
+        "seconds": elapsed,
+        "requests": total,
+        "p50_ms": snapshot["latency_ms"]["p50"],
+        "p99_ms": snapshot["latency_ms"]["p99"],
+        "responses": all_responses[0],
+    }
+
+
+async def _measure_single(store: EmbeddingStore, plans, k) -> dict:
+    daemon = EmbeddingDaemon(
+        {"bench": EmbeddingService(store, backend="exact")},
+        reload_interval=None,
+    )
+    await daemon.start(port=0)
+    try:
+        return await _hammer(daemon.port, plans, k, daemon.stats)
+    finally:
+        await daemon.close()
+
+
+def _measure_sharded(store: EmbeddingStore, plans, k, num_shards: int) -> dict:
+    """Spawn workers, route, hammer, tear down — all from sync code."""
+    shard_stores, assignment = split_store(store, num_shards)
+    handles = spawn_workers(
+        [{"bench": s} for s in shard_stores], backend="exact"
+    )
+    try:
+
+        async def run() -> dict:
+            router = ShardRouter(
+                {"bench": (store, assignment)},
+                [handle.spec for handle in handles],
+            )
+            await router.start(port=0)
+            try:
+                return await _hammer(router.port, plans, k, router.stats)
+            finally:
+                await router.close()
+
+        return asyncio.run(run())
+    finally:
+        shutdown_workers(handles)
+
+
+def run_sharded_qps(
+    num_nodes: int = 20000, dim: int = 64, clients: int = 32,
+    requests_per_client: int = 60, k: int = 10, num_shards: int = NUM_SHARDS,
+) -> tuple[str, dict]:
+    """Single-process vs sharded throughput, plus the merge identity."""
+    store = build_store(num_nodes, dim)
+    rng = np.random.default_rng(7)
+    plans = [
+        rng.integers(0, num_nodes, size=requests_per_client)
+        for _ in range(clients)
+    ]
+    single = asyncio.run(_measure_single(store, plans, k))
+    sharded = _measure_sharded(store, plans, k, num_shards)
+    # Merge identity: the router's answer stream for client 0's plan is
+    # exactly the unsharded exact answer — node ids AND float scores
+    # (JSON round-trips both losslessly). The single *daemon* is not
+    # the reference here: its batched dispatch scores with a gemm,
+    # whose reduction order is not the per-query kernel's.
+    reference = EmbeddingService(store, backend="exact")
+    assert [
+        [(entry["node"], entry["score"])
+         for entry in json.loads(body)["neighbors"]]
+        for _, body in sharded["responses"]
+    ] == [
+        reference.query_knn(int(node), k) for node in plans[0]
+    ], "sharded answers diverged from the unsharded exact reference"
+
+    speedup = sharded["qps"] / max(single["qps"], 1e-9)
+    stats = {
+        "nodes": num_nodes,
+        "dim": dim,
+        "clients": clients,
+        "requests": single["requests"],
+        "num_shards": num_shards,
+        "single_qps": single["qps"],
+        "sharded_qps": sharded["qps"],
+        "sharded_speedup": speedup,
+        "single_p50_ms": single["p50_ms"],
+        "single_p99_ms": single["p99_ms"],
+        "sharded_p50_ms": sharded["p50_ms"],
+        "sharded_p99_ms": sharded["p99_ms"],
+        "merge_identity": True,  # asserted above
+    }
+    text = render_table(
+        ["configuration", "QPS", "p50", "p99"],
+        [
+            [
+                "single process (exact)",
+                f"{single['qps']:,.0f}",
+                f"{single['p50_ms']:.2f}ms",
+                f"{single['p99_ms']:.2f}ms",
+            ],
+            [
+                f"router + {num_shards} workers",
+                f"{sharded['qps']:,.0f}",
+                f"{sharded['p50_ms']:.2f}ms",
+                f"{sharded['p99_ms']:.2f}ms",
+            ],
+            ["speedup", f"{speedup:.2f}x", "", ""],
+        ],
+        title=(
+            f"sharded /knn throughput: {clients} clients x "
+            f"{requests_per_client} requests, {num_nodes} nodes d={dim}"
+        ),
+    )
+    return text, stats
+
+
+def _check_acceptance(stats: dict, tiny: bool = False) -> list[str]:
+    """Gate when the profile and host can show it; caveat otherwise.
+
+    The tiny profile never asserts (a few hundred nodes make the scan
+    cheaper than the scatter hop); the full profile asserts on
+    ``cpu_count >= 4`` hosts and records a caveat on smaller ones.
+    """
+    if tiny:
+        return []
+    cores = effective_cpu_count() or 1
+    if cores >= 4:
+        assert stats["sharded_speedup"] >= SPEEDUP_GATE, stats
+        return []
+    return [SINGLE_CORE_NOTE]
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (run via `pytest benchmarks/bench_sharded_qps.py`)
+# ----------------------------------------------------------------------
+def test_sharded_qps(benchmark):
+    text, stats = benchmark.pedantic(
+        run_sharded_qps,
+        kwargs=dict(
+            num_nodes=600, dim=32, clients=8, requests_per_client=20,
+            num_shards=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + text)
+    _check_acceptance(stats, tiny=True)
+
+
+# ----------------------------------------------------------------------
+# standalone entry
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke profile: seconds; identity asserted, gate skipped",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        text, stats = run_sharded_qps(
+            num_nodes=600, dim=32, clients=8, requests_per_client=20,
+            num_shards=2,
+        )
+    else:
+        text, stats = run_sharded_qps()
+    print(text)
+    for caveat in _check_acceptance(stats, tiny=args.tiny):
+        print(f"caveat: {caveat}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("sharded_qps", tags=("perf", "serving", "server", "sharding"))
+def run_bench(tiny: bool) -> dict:
+    if tiny:
+        text, stats = run_sharded_qps(
+            num_nodes=600, dim=32, clients=8, requests_per_client=20,
+            num_shards=2,
+        )
+    else:
+        text, stats = run_sharded_qps()
+    caveats = _check_acceptance(stats, tiny=tiny)
+    return {
+        "metrics": dict(stats),
+        "config": {
+            "backend": "exact",
+            "num_shards": stats["num_shards"],
+            "speedup_gate": SPEEDUP_GATE,
+            # Mirrors _check_acceptance exactly: the tiny profile never
+            # asserts, whatever the host.
+            "gate_asserted": not tiny and (effective_cpu_count() or 1) >= 4,
+        },
+        "summary": text,
+        "caveats": caveats,
+    }

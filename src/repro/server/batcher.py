@@ -75,7 +75,17 @@ class MicroBatcher:
         Optional zero-argument callable invoked synchronously right
         before each dispatch — the daemon's hot-reload hook (swap the
         index to the store head so the whole batch answers at one
-        version).
+        version). A *failing* hook does not fail the batch: the error
+        is counted (``stats.reload_errors``), reported through
+        ``on_reload_error``, and the batch answers at the last indexed
+        version instead — the same non-fatal contract as the daemon's
+        background reload poller. Only when nothing has ever been
+        indexed is there no stale version to fall back to, and the
+        batch fails with the hook's error.
+    on_reload_error:
+        Optional one-argument callable receiving the exception each
+        time ``before_dispatch`` fails (the daemon records it as
+        ``last_reload_error`` for ``/healthz``).
 
     Notes
     -----
@@ -93,6 +103,7 @@ class MicroBatcher:
         window: float = DEFAULT_WINDOW,
         stats=None,
         before_dispatch: Callable[[], None] | None = None,
+        on_reload_error: Callable[[Exception], None] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -103,6 +114,7 @@ class MicroBatcher:
         self.window = float(window)
         self.stats = stats
         self.before_dispatch = before_dispatch
+        self.on_reload_error = on_reload_error
         self._pending: list[_Pending] = []
         self._timer: asyncio.TimerHandle | None = None
 
@@ -180,12 +192,26 @@ class MicroBatcher:
         if self.stats is not None:
             self.stats.record_batch(len(batch))
             self.stats.record_knn(len(batch))
+        degraded = False
         if self.before_dispatch is not None:
             try:
                 self.before_dispatch()
             except Exception as error:
-                self._fail(batch, error)
-                return
+                # A failing hot reload (malformed head publish) must not
+                # fail the batch: the last indexed version can still
+                # serve — the same non-fatal contract as the daemon's
+                # background reload poller. Count it, surface it, and
+                # answer at the stale head.
+                if self.stats is not None:
+                    self.stats.reload_errors += 1
+                if self.on_reload_error is not None:
+                    self.on_reload_error(error)
+                if getattr(self.service, "indexed_version", None) is None:
+                    # Nothing ever indexed: there is no stale version to
+                    # degrade to, so the batch genuinely cannot answer.
+                    self._fail(batch, error)
+                    return
+                degraded = True
         # One query_many per distinct (k, exclude_self): the service's
         # candidate-coverage target scales with k, so mixing k values in
         # one index call would change what smaller-k queries see.
@@ -200,12 +226,13 @@ class MicroBatcher:
                     [pending.node for pending in group],
                     k,
                     exclude_self=exclude_self,
+                    refresh=not degraded,
                 )
             except Exception:
                 # A batch fails as a unit (e.g. one unknown node aborts
                 # the shared vector gather); fall back to per-request
                 # queries so only the offending lookups error.
-                self._settle_individually(group)
+                self._settle_individually(group, degraded=degraded)
             else:
                 # Captured synchronously with the index call — the
                 # version these results were computed at, immune to a
@@ -215,14 +242,27 @@ class MicroBatcher:
                     if not pending.future.done():
                         pending.future.set_result((result, version))
 
-    def _settle_individually(self, group: list[_Pending]) -> None:
-        """Per-request fallback: isolate which lookups actually fail."""
+    def _settle_individually(
+        self, group: list[_Pending], *, degraded: bool = False
+    ) -> None:
+        """Per-request fallback: isolate which lookups actually fail.
+
+        In degraded mode (the reload hook failed) each lookup pins to
+        the last indexed version — following the head per-request would
+        just re-raise the reload failure for every caller.
+        """
+        version = (
+            getattr(self.service, "indexed_version", None) if degraded else None
+        )
         for pending in group:
             if pending.future.done():
                 continue
             try:
                 result = self.service.query_knn(
-                    pending.node, pending.k, exclude_self=pending.exclude_self
+                    pending.node,
+                    pending.k,
+                    version=version,
+                    exclude_self=pending.exclude_self,
                 )
             except Exception as error:
                 pending.future.set_exception(error)

@@ -1,0 +1,609 @@
+"""Scatter-gather shard router: one front door over N worker processes.
+
+A single :class:`~repro.server.daemon.EmbeddingDaemon` tops out around
+one core (``benchmarks/bench_server_qps.py``); this module is the
+horizontal tier above it. :func:`repro.serving.shards.split_store`
+splits a store into disjoint per-shard views, each served by its own
+worker *process* (:mod:`repro.server.worker` — its own event loop,
+service, micro-batcher), and a :class:`ShardRouter` fronts them:
+
+* ``/g/<name>/knn`` **scatter-gathers**: the router looks the query
+  node's vector up in its own copy of the parent store, ships the
+  vector to every shard (``POST /knn`` with a JSON body — float32
+  round-trips through JSON exactly), and merges the per-shard top-k
+  into a global top-k with :func:`merge_topk`;
+* ``/g/<name>/score`` / ``/g/<name>/embed`` **proxy** to the owning
+  shard (cross-shard pairs fetch both vectors and score at the router
+  with the same scorer the service uses);
+* ``/healthz`` / ``/stats`` **aggregate** every worker's payload,
+  per-shard and rolled up;
+* ``/g/<name>/versions`` answers locally from the parent store (shard
+  stores replicate the same version ids).
+
+The merge is deterministic and, on the exact backend, **bit-identical**
+to the unsharded single-process answer: exact-scan scores use a
+shape-independent reduction (``index._cosine_scores``), shard matrices
+keep ascending parent-row order, and :func:`merge_topk` orders
+candidates by ``(-score, parent row)`` — the same tie-break as
+``index._top_k``. ``tests/test_server_sharding.py`` pins this
+property, ties included.
+
+One dead worker degrades, it does not cascade: the affected query
+routes answer ``503`` naming the shard, ``/healthz`` reports the shard
+``unreachable``, and the router keeps serving everything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+from urllib.parse import quote
+
+import numpy as np
+
+from repro.base import EmbeddingMap
+from repro.serving.shards import ShardAssignment
+from repro.serving.store import EmbeddingStore
+from repro.server.daemon import DEFAULT_IDLE_TIMEOUT, BaseHTTPDaemon, HTTPError
+from repro.server.http import Request
+from repro.tasks.link_prediction import score_pairs
+
+Node = Hashable
+
+#: Per-exchange timeout for router → worker calls, seconds.
+DEFAULT_SHARD_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Address of one shard worker: a name plus its HTTP endpoint."""
+
+    name: str
+    host: str
+    port: int
+
+
+class ShardUnavailable(Exception):
+    """A worker could not be reached (dead process, timeout, refused).
+
+    Parameters
+    ----------
+    spec:
+        The unreachable shard.
+    reason:
+        Transport-level failure description.
+    """
+
+    def __init__(self, spec: ShardSpec, reason: str) -> None:
+        super().__init__(f"shard {spec.name!r} unavailable: {reason}")
+        self.spec = spec
+        self.reason = reason
+
+
+def merge_topk(
+    shard_neighbors: Sequence[Sequence[tuple[Node, float]]],
+    row_of: Mapping[Node, int],
+    k: int,
+    *,
+    exclude: Sequence[Node] = (),
+) -> list[tuple[Node, float]]:
+    """Merge per-shard ranked ``(node, score)`` lists into a global top-k.
+
+    Deterministic and bit-identical to the unsharded exact answer:
+    candidates order by ``(-score, parent row)`` — exactly the
+    descending-score / ascending-row tie-break of ``index._top_k`` —
+    then ``exclude`` nodes are dropped and the list truncates to ``k``,
+    mirroring ``EmbeddingService._materialise``. Shards are disjoint,
+    so parent rows are unique and node ids never need comparing.
+
+    Parameters
+    ----------
+    shard_neighbors:
+        One ranked neighbor list per shard (any shard order).
+    row_of:
+        Node → parent-store row (``VersionRecord.row_of`` of the
+        version the shards answered at).
+    k:
+        Neighbours to keep after exclusion.
+    exclude:
+        Node ids dropped from the merged ranking (the query node when
+        the caller asked ``exclude_self``).
+
+    Returns
+    -------
+    list of (node, float)
+        Global best-first ``(node, score)`` pairs, at most ``k``.
+    """
+    candidates = [
+        (-float(score), row_of[node], node)
+        for neighbors in shard_neighbors
+        for node, score in neighbors
+    ]
+    candidates.sort(key=lambda entry: (entry[0], entry[1]))
+    merged: list[tuple[Node, float]] = []
+    for neg_score, _row, node in candidates:
+        if node in exclude:
+            continue
+        merged.append((node, -neg_score))
+        if len(merged) == k:
+            break
+    return merged
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, object, bool]:
+    """One worker HTTP response: ``(status, JSON payload, keep_alive)``."""
+    raw = await reader.readuntil(b"\n")
+    parts = raw.decode("ascii", "replace").split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ValueError(f"malformed status line {raw!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = (await reader.readuntil(b"\n")).rstrip(b"\r\n")
+        if not line:
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    return status, json.loads(body) if body else None, keep_alive
+
+
+class _ShardClient:
+    """Pooled keep-alive HTTP client for one worker endpoint.
+
+    Workers run with ``idle_timeout=None`` (the router is a trusted
+    client), so pooled connections stay valid between queries; a stale
+    pooled connection (worker restarted) is retried once on a fresh
+    socket before the shard is declared unavailable.
+    """
+
+    def __init__(self, spec: ShardSpec, timeout: float) -> None:
+        self.spec = spec
+        self.timeout = timeout
+        self._pool: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def request(
+        self, target: str, *, method: str = "GET", body: object | None = None
+    ) -> tuple[int, object]:
+        """One HTTP exchange; raises :class:`ShardUnavailable` on transport failure."""
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        head = [
+            f"{method} {target} HTTP/1.1",
+            f"Host: {self.spec.host}:{self.spec.port}",
+            "Connection: keep-alive",
+        ]
+        if payload:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(payload)}")
+        wire = ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + payload
+
+        while True:
+            fresh = False
+            conn = self._acquire()
+            if conn is None:
+                fresh = True
+                try:
+                    conn = await asyncio.wait_for(
+                        asyncio.open_connection(self.spec.host, self.spec.port),
+                        self.timeout,
+                    )
+                except (OSError, asyncio.TimeoutError) as error:
+                    raise ShardUnavailable(
+                        self.spec, f"connect failed: {error or type(error).__name__}"
+                    ) from None
+            reader, writer = conn
+            try:
+                writer.write(wire)
+                await writer.drain()
+                status, parsed, keep_alive = await asyncio.wait_for(
+                    _read_response(reader), self.timeout
+                )
+            except asyncio.TimeoutError:
+                self._discard(writer)
+                raise ShardUnavailable(
+                    self.spec, f"no response within {self.timeout:g}s"
+                ) from None
+            except (OSError, ConnectionError, asyncio.IncompleteReadError, ValueError) as error:
+                self._discard(writer)
+                if fresh:
+                    raise ShardUnavailable(
+                        self.spec, f"exchange failed: {error or type(error).__name__}"
+                    ) from None
+                continue  # stale pooled connection — retry on a fresh one
+            if keep_alive:
+                self._pool.append((reader, writer))
+            else:
+                self._discard(writer)
+            return status, parsed
+
+    def _acquire(self):
+        """A pooled live connection, or None."""
+        while self._pool:
+            reader, writer = self._pool.pop()
+            if not reader.at_eof() and not writer.is_closing():
+                return reader, writer
+            self._discard(writer)
+        return None
+
+    @staticmethod
+    def _discard(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        while self._pool:
+            _, writer = self._pool.pop()
+            self._discard(writer)
+
+
+@dataclass(frozen=True)
+class RouterGraph:
+    """Router-side view of one sharded graph.
+
+    The router keeps the *parent* (unsharded) store: it resolves query
+    nodes to vectors for the scatter, maps returned node ids back to
+    parent rows for the merge, and answers ``/versions`` locally.
+    """
+
+    name: str
+    store: EmbeddingStore
+    assignment: ShardAssignment
+    metric_check: tuple[str, ...] = field(default=("cosine", "dot"), repr=False)
+
+
+class ShardRouter(BaseHTTPDaemon):
+    """Front daemon scatter-gathering queries across shard workers.
+
+    Parameters
+    ----------
+    graphs:
+        ``{route name: (parent store, assignment)}`` — the same stores
+        that were split with :func:`repro.serving.shards.split_store`
+        and the assignments it returned.
+    shards:
+        One :class:`ShardSpec` per worker, in shard-id order;
+        ``len(shards)`` must equal every assignment's ``num_shards``.
+    shard_timeout:
+        Seconds per router → worker exchange before the shard is
+        declared unavailable (503 to the client).
+    idle_timeout:
+        Client-facing keep-alive idle timeout (the router front door
+        keeps the public default; worker links are separate).
+    latency_window:
+        Request latencies retained for ``/stats`` percentiles.
+    """
+
+    def __init__(
+        self,
+        graphs: Mapping[str, tuple[EmbeddingStore, ShardAssignment]],
+        shards: Sequence[ShardSpec],
+        *,
+        shard_timeout: float = DEFAULT_SHARD_TIMEOUT,
+        idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+        latency_window: int = 2048,
+    ) -> None:
+        if not graphs:
+            raise ValueError("router needs at least one sharded graph")
+        if not shards:
+            raise ValueError("router needs at least one shard worker")
+        super().__init__(idle_timeout=idle_timeout, latency_window=latency_window)
+        self.graphs: dict[str, RouterGraph] = {}
+        for name, (store, assignment) in graphs.items():
+            if assignment.num_shards != len(shards):
+                raise ValueError(
+                    f"graph {name!r} was split into {assignment.num_shards} "
+                    f"shards but {len(shards)} workers were given"
+                )
+            self.graphs[name] = RouterGraph(name, store, assignment)
+        self.shards = list(shards)
+        self._clients = [_ShardClient(spec, shard_timeout) for spec in self.shards]
+
+    async def close(self) -> None:
+        """Release worker connection pools, then the listening socket."""
+        for client in self._clients:
+            client.close()
+        await super().close()
+
+    # ------------------------------------------------------------------
+    # worker calls
+    # ------------------------------------------------------------------
+    async def _call(
+        self,
+        client: _ShardClient,
+        target: str,
+        *,
+        method: str = "GET",
+        body: object | None = None,
+    ) -> object:
+        """One worker exchange; non-200 and transport failures raise."""
+        try:
+            status, payload = await client.request(target, method=method, body=body)
+        except ShardUnavailable as error:
+            raise HTTPError(503, str(error)) from None
+        if status != 200:
+            detail = payload.get("error") if isinstance(payload, dict) else payload
+            raise HTTPError(
+                status, f"shard {client.spec.name!r}: {detail}"
+            )
+        return payload
+
+    async def _scatter(
+        self, target: str, *, method: str = "GET", body: object | None = None
+    ) -> list[object]:
+        """The same call on every shard, concurrently; all must succeed."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self._call(client, target, method=method, body=body)
+                    for client in self._clients
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(self, request: Request) -> object:
+        """Resolve the handler for ``request`` (HTTPError on bad routes)."""
+        parts = [part for part in request.path.split("/") if part]
+        if parts == ["healthz"]:
+            self._require(request, "GET")
+            return await self._healthz()
+        if parts == ["stats"]:
+            self._require(request, "GET")
+            return await self._stats()
+        if len(parts) == 3 and parts[0] == "g":
+            graph = self.graphs.get(parts[1])
+            if graph is None:
+                raise HTTPError(404, f"unknown graph {parts[1]!r}")
+            handler = {
+                "knn": self._knn,
+                "score": self._score,
+                "embed": self._embed,
+                "versions": self._versions,
+                "reload": self._reload,
+            }.get(parts[2])
+            if handler is None:
+                raise HTTPError(404, f"unknown endpoint {parts[2]!r}")
+            self._require(request, "POST" if parts[2] == "reload" else "GET")
+            return await handler(graph, request)
+        raise HTTPError(404, f"no route for {request.path!r}")
+
+    # ------------------------------------------------------------------
+    # endpoint handlers
+    # ------------------------------------------------------------------
+    async def _knn(self, graph: RouterGraph, request: Request) -> dict:
+        node = self._node_param(request, "node")
+        k = self._int_param(request, "k", default=10, minimum=1)
+        exclude_self = self._bool_param(request, "exclude_self", default=True)
+        version = self._version_param(request)
+        record = graph.store.version(version)  # LookupError → 404
+        vector = record.vector(node)  # KeyError → 404
+        # k+1 per shard suffices for a global top-(k+1): each shard's
+        # contribution to the global list is a prefix of its own ranking.
+        fetch = k + 1 if exclude_self else k
+        body = {
+            "vector": [float(x) for x in vector],
+            "k": fetch,
+            "version": None if version is None else record.version,
+        }
+        answers = await self._scatter(
+            f"/g/{graph.name}/knn", method="POST", body=body
+        )
+        served = {answer["version"] for answer in answers}
+        if len(served) != 1:
+            raise HTTPError(
+                503,
+                "shards disagree on the served version "
+                f"({sorted(served, key=repr)}); retry after reload",
+            )
+        served_version = served.pop()
+        merge_record = (
+            record if served_version == record.version
+            else graph.store.version(served_version)
+        )
+        merged = merge_topk(
+            [
+                [(entry["node"], entry["score"]) for entry in answer["neighbors"]]
+                for answer in answers
+            ],
+            merge_record.row_of,
+            k,
+            exclude=(node,) if exclude_self else (),
+        )
+        return {
+            "graph": graph.name,
+            "node": node,
+            "k": k,
+            "version": served_version,
+            "shards": len(self.shards),
+            "neighbors": [
+                {"node": neighbor, "score": score} for neighbor, score in merged
+            ],
+        }
+
+    async def _score(self, graph: RouterGraph, request: Request) -> dict:
+        u = self._node_param(request, "u")
+        v = self._node_param(request, "v")
+        metric = request.query.get("metric", "cosine")
+        if metric not in graph.metric_check:
+            raise HTTPError(
+                400, f"unknown metric {metric!r}; choose cosine or dot"
+            )
+        version = self._version_param(request)
+        record = graph.store.version(version)  # LookupError → 404
+        owner_u = graph.assignment.owner_of(u)
+        owner_v = graph.assignment.owner_of(v)
+        if owner_u == owner_v:
+            target = (
+                f"/g/{graph.name}/score?u={_node_query(u)}&v={_node_query(v)}"
+                f"&metric={metric}&version={record.version}"
+            )
+            payload = await self._call(self._clients[owner_u], target)
+            payload["shard"] = self.shards[owner_u].name
+            return payload
+        # Cross-shard pair: fetch both vectors from their owners and
+        # score at the router with the service's own scorer — float32
+        # round-trips through JSON exactly, so the score is the one the
+        # unsharded service would compute.
+        a_payload, b_payload = await asyncio.gather(
+            self._call(
+                self._clients[owner_u],
+                f"/g/{graph.name}/embed?node={_node_query(u)}"
+                f"&version={record.version}",
+            ),
+            self._call(
+                self._clients[owner_v],
+                f"/g/{graph.name}/embed?node={_node_query(v)}"
+                f"&version={record.version}",
+            ),
+        )
+        a = np.asarray(a_payload["vector"], dtype=np.float32)
+        b = np.asarray(b_payload["vector"], dtype=np.float32)
+        if metric == "cosine":
+            embeddings: EmbeddingMap = {u: a, v: b}
+            scores, keep = score_pairs(embeddings, [(u, v)])
+            assert bool(keep[0])
+            score = float(scores[0])
+        else:
+            score = float(np.asarray(a, dtype=np.float64) @ b)
+        return {
+            "graph": graph.name,
+            "u": u,
+            "v": v,
+            "metric": metric,
+            "version": record.version,
+            "score": score,
+            "shard": None,  # cross-shard: scored at the router
+        }
+
+    async def _embed(self, graph: RouterGraph, request: Request) -> dict:
+        node = self._node_param(request, "node")
+        version = self._version_param(request)
+        record = graph.store.version(version)  # LookupError → 404
+        owner = graph.assignment.owner_of(node)
+        target = (
+            f"/g/{graph.name}/embed?node={_node_query(node)}"
+            f"&version={record.version}"
+        )
+        payload = await self._call(self._clients[owner], target)
+        payload["shard"] = self.shards[owner].name
+        return payload
+
+    async def _versions(self, graph: RouterGraph, request: Request) -> dict:
+        return {
+            "graph": graph.name,
+            "versions": [
+                {
+                    "version": record.version,
+                    "time_step": record.time_step,
+                    "nodes": record.num_nodes,
+                    "dim": record.dim,
+                    "metadata": record.metadata,
+                }
+                for record in graph.store
+            ],
+            "shards": len(self.shards),
+            "assignment": graph.assignment.source,
+        }
+
+    async def _reload(self, graph: RouterGraph, request: Request) -> dict:
+        answers = await self._scatter(f"/g/{graph.name}/reload", method="POST")
+        return {
+            "graph": graph.name,
+            "shards": {
+                spec.name: answer
+                for spec, answer in zip(self.shards, answers)
+            },
+        }
+
+    async def _healthz(self) -> dict:
+        results = await asyncio.gather(
+            *(client.request("/healthz") for client in self._clients),
+            return_exceptions=True,
+        )
+        shards: dict[str, object] = {}
+        healthy = True
+        for spec, result in zip(self.shards, results):
+            if isinstance(result, BaseException):
+                healthy = False
+                shards[spec.name] = {
+                    "status": "unreachable",
+                    "error": str(result),
+                }
+            else:
+                status, payload = result
+                if status != 200:
+                    healthy = False
+                    shards[spec.name] = {"status": "error", "detail": payload}
+                else:
+                    shards[spec.name] = payload
+        return {
+            "status": "ok" if healthy else "degraded",
+            "role": "router",
+            "uptime_seconds": time.monotonic() - self.stats.started_monotonic,
+            "shards": shards,
+            "graphs": {
+                name: {
+                    "versions": graph.store.num_versions,
+                    "head_version": graph.store.latest.version
+                    if graph.store.num_versions
+                    else None,
+                    "num_shards": graph.assignment.num_shards,
+                    "assignment": graph.assignment.source,
+                }
+                for name, graph in self.graphs.items()
+            },
+        }
+
+    async def _stats(self) -> dict:
+        snapshot = self.stats.snapshot()
+        snapshot["role"] = "router"
+        results = await asyncio.gather(
+            *(client.request("/stats") for client in self._clients),
+            return_exceptions=True,
+        )
+        shards: dict[str, object] = {}
+        rollup = {
+            "requests": 0,
+            "knn_queries": 0,
+            "batch_dispatches": 0,
+            "index_swaps": 0,
+        }
+        for spec, result in zip(self.shards, results):
+            if isinstance(result, BaseException):
+                shards[spec.name] = {"error": str(result)}
+                continue
+            status, payload = result
+            if status != 200 or not isinstance(payload, dict):
+                shards[spec.name] = {"error": f"status {status}"}
+                continue
+            shards[spec.name] = payload
+            rollup["requests"] += payload.get("requests", 0)
+            knn = payload.get("knn", {})
+            rollup["knn_queries"] += knn.get("queries", 0)
+            rollup["batch_dispatches"] += knn.get("batch_dispatches", 0)
+            rollup["index_swaps"] += payload.get("hot_reload", {}).get(
+                "index_swaps", 0
+            )
+        snapshot["shards"] = shards
+        snapshot["shards_rollup"] = rollup
+        return snapshot
+
+
+def _node_query(node: Node) -> str:
+    """A node id as a URL-safe query value (inverse of ``parse_node_id``)."""
+    try:
+        encoded = json.dumps(node, separators=(",", ":"))
+    except (TypeError, ValueError):
+        encoded = str(node)
+    return quote(encoded, safe="")

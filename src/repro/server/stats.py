@@ -87,6 +87,7 @@ class ServerStats:
         self.index_swaps = 0
         self.rows_rehashed = 0
         self.protocol_errors = 0
+        self.idle_timeouts = 0
         self.reload_errors = 0
         self._latencies: deque[float] = deque(maxlen=self._latency_window)
 
@@ -116,6 +117,10 @@ class ServerStats:
     def record_protocol_error(self) -> None:
         """Count one malformed-framing connection (answered 4xx, closed)."""
         self.protocol_errors += 1
+
+    def record_idle_timeout(self) -> None:
+        """Count one idle keep-alive connection closed with 408."""
+        self.idle_timeouts += 1
 
     # ------------------------------------------------------------------
     # reporting
@@ -151,6 +156,7 @@ class ServerStats:
                 for status, count in sorted(self.responses_by_status.items())
             },
             "protocol_errors": self.protocol_errors,
+            "idle_timeouts": self.idle_timeouts,
             "knn": {
                 "queries": self.knn_queries,
                 "batch_dispatches": self.batch_dispatches,

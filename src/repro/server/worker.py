@@ -1,0 +1,204 @@
+"""Shard worker processes: one :class:`EmbeddingDaemon` per shard store.
+
+The GIL caps one asyncio daemon at roughly one core of kNN throughput,
+so the sharded tier (:mod:`repro.server.sharding`) runs one *process*
+per shard — each with its own event loop, its own
+:class:`~repro.serving.service.EmbeddingService`, its own micro-batcher
+and hot-reload poller — and reports its ephemeral port back to the
+parent over a pipe. Workers use the ``spawn`` start method (no
+inherited event-loop or socket state) and bind ``port=0``; the parent
+collects the resulting :class:`~repro.server.sharding.ShardSpec` list
+and hands it to the router.
+
+Workers serve with ``idle_timeout=None``: the router is the only
+client and pools keep-alive connections, so idling them out would only
+churn sockets. The router's own front door keeps the public timeout.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.serving.store import EmbeddingStore
+from repro.server.sharding import ShardSpec
+
+#: Seconds the parent waits for every worker to report readiness.
+DEFAULT_START_TIMEOUT = 60.0
+
+
+def _worker_main(conn, stores: dict, host: str, options: dict) -> None:
+    """Entry point of one spawned shard worker process.
+
+    Builds the services, binds an ephemeral port, reports
+    ``("ready", host, port)`` (or ``("error", message)``) over ``conn``,
+    then serves until the parent terminates the process.
+    """
+    import asyncio
+
+    from repro.serving.service import EmbeddingService
+    from repro.server.daemon import EmbeddingDaemon
+
+    try:
+        services = {
+            name: EmbeddingService(store, backend=options["backend"])
+            for name, store in stores.items()
+        }
+        daemon = EmbeddingDaemon(
+            services,
+            max_batch=options["max_batch"],
+            window=options["window"],
+            reload_interval=options["reload_interval"],
+            idle_timeout=None,  # the router pools keep-alive connections
+        )
+    except Exception as error:
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+        conn.close()
+        return
+
+    async def run() -> None:
+        await daemon.start(host=host, port=0)
+        conn.send(("ready", daemon.host, daemon.port))
+        conn.close()
+        try:
+            await daemon.serve_forever()
+        finally:
+            await daemon.close()
+
+    try:
+        asyncio.run(run())
+    except (KeyboardInterrupt, asyncio.CancelledError):  # pragma: no cover
+        pass
+
+
+@dataclass
+class WorkerHandle:
+    """One running shard worker: its address and its process."""
+
+    spec: ShardSpec
+    process: multiprocessing.process.BaseProcess
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        """Stop the worker: SIGTERM, join, SIGKILL if it lingers."""
+        if not self.process.is_alive():
+            self.process.join(timeout=0)
+            return
+        self.process.terminate()
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(timeout=timeout)
+
+
+def spawn_workers(
+    shard_stores: Sequence[Mapping[str, EmbeddingStore]],
+    *,
+    host: str = "127.0.0.1",
+    backend: str = "lsh",
+    max_batch: int = 64,
+    window: float = 0.0,
+    reload_interval: float | None = None,
+    start_timeout: float = DEFAULT_START_TIMEOUT,
+) -> list[WorkerHandle]:
+    """Spawn one daemon process per shard; block until all are ready.
+
+    Parameters
+    ----------
+    shard_stores:
+        One ``{graph name: shard store}`` map per worker — element
+        ``i`` of each graph's :func:`repro.serving.shards.split_store`
+        output. Every worker must serve the same graph names.
+    host:
+        Interface every worker binds (ephemeral port).
+    backend:
+        Serving index backend for the workers' services (``exact`` is
+        the bit-identical scatter-gather reference).
+    max_batch, window:
+        Micro-batcher knobs forwarded to each worker's daemon.
+    reload_interval:
+        Worker hot-reload poll period; ``None`` (the default) disables
+        it — spawned workers hold immutable store *copies*, so there is
+        no head movement to follow.
+    start_timeout:
+        Seconds to wait for every worker's readiness report before
+        tearing all of them down and raising.
+
+    Returns
+    -------
+    list of WorkerHandle
+        One handle per worker, in shard-id order (``shard-0``, ...).
+
+    Raises
+    ------
+    RuntimeError
+        When any worker dies or stays silent before reporting ready;
+        every already-started worker is terminated first.
+    """
+    if not shard_stores:
+        raise ValueError("spawn_workers needs at least one shard store map")
+    ctx = multiprocessing.get_context("spawn")
+    options = {
+        "backend": backend,
+        "max_batch": max_batch,
+        "window": window,
+        "reload_interval": reload_interval,
+    }
+    started: list[tuple[int, object, multiprocessing.process.BaseProcess]] = []
+    handles: list[WorkerHandle] = []
+    try:
+        for shard_id, stores in enumerate(shard_stores):
+            receiver, sender = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(sender, dict(stores), host, options),
+                name=f"repro-shard-{shard_id}",
+                daemon=True,
+            )
+            process.start()
+            sender.close()
+            started.append((shard_id, receiver, process))
+        deadline = time.monotonic() + start_timeout
+        for shard_id, receiver, process in started:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not receiver.poll(remaining):
+                raise RuntimeError(
+                    f"shard worker {shard_id} did not report readiness "
+                    f"within {start_timeout:g}s"
+                )
+            try:
+                message = receiver.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"shard worker {shard_id} died before reporting ready"
+                ) from None
+            finally:
+                receiver.close()
+            if message[0] != "ready":
+                raise RuntimeError(
+                    f"shard worker {shard_id} failed to start: {message[1]}"
+                )
+            handles.append(
+                WorkerHandle(
+                    spec=ShardSpec(f"shard-{shard_id}", message[1], message[2]),
+                    process=process,
+                )
+            )
+    except BaseException:
+        for _, _, process in started:
+            if process.is_alive():
+                process.terminate()
+        for _, _, process in started:
+            process.join(timeout=5.0)
+        raise
+    return handles
+
+
+def shutdown_workers(handles: Sequence[WorkerHandle]) -> None:
+    """Terminate every worker and reap the processes."""
+    for handle in handles:
+        if handle.process.is_alive():
+            handle.process.terminate()
+    for handle in handles:
+        handle.terminate()

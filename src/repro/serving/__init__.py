@@ -11,7 +11,10 @@ fresh Z^t per snapshot or flush; this package is the consumption side:
   :class:`~repro.serving.index.IVFIndex` — exact and approximate cosine
   kNN with incremental refresh (only moved rows re-hash);
 * :class:`~repro.serving.service.EmbeddingService` — cached kNN queries,
-  link scoring, and time-travel reads.
+  link scoring, and time-travel reads;
+* :func:`~repro.serving.shards.split_store` — per-shard store views
+  (partition cells ≙ shards) behind the multi-process serving tier
+  (:mod:`repro.server.sharding`).
 """
 
 from repro.serving.index import (
@@ -21,6 +24,7 @@ from repro.serving.index import (
     unit_rows,
 )
 from repro.serving.service import EmbeddingService
+from repro.serving.shards import ShardAssignment, split_store, stable_shard
 from repro.serving.store import (
     EmbeddingStore,
     VersionRecord,
@@ -34,8 +38,11 @@ __all__ = [
     "EmbeddingService",
     "EmbeddingStore",
     "LSHIndex",
+    "ShardAssignment",
     "VersionRecord",
     "load_store",
     "save_store",
+    "split_store",
+    "stable_shard",
     "unit_rows",
 ]

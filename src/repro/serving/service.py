@@ -34,6 +34,7 @@ from repro.serving.index import (
     BruteForceIndex,
     IVFIndex,
     LSHIndex,
+    _cosine_scores,
     _top_k,
     _unit_vector,
     unit_rows,
@@ -138,7 +139,13 @@ class EmbeddingService:
         receive the version's published ``partition_cells`` metadata —
         the per-row cell ids GloDyNE's Step 1 partitioner emitted — so
         the IVF cell layout follows the trainer's own partition.
+
+        An empty store (the trainer has not published yet — a shard
+        worker can start before its first publish) is a clean no-op, not
+        an error: there is nothing to index, so 0 rows were touched.
         """
+        if self.store.num_versions == 0:
+            return 0
         latest = self.store.latest
         if self._indexed_version == latest.version:
             return 0
@@ -263,6 +270,7 @@ class EmbeddingService:
         k: int = 10,
         *,
         exclude_self: bool = True,
+        refresh: bool = True,
     ) -> list[list[tuple[Node, float]]]:
         """Batched :meth:`query_knn` at the store head — one index dispatch.
 
@@ -276,6 +284,12 @@ class EmbeddingService:
         exclude_self:
             Drop each query node from its own result (the default, as in
             :meth:`query_knn`).
+        refresh:
+            Follow the store head before answering (the default). With
+            ``False`` the batch answers at the *last indexed* version
+            instead — the micro-batcher's degraded mode when a hot
+            reload fails but the stale index can still serve
+            (``LookupError`` when nothing has been indexed yet).
 
         Returns
         -------
@@ -303,8 +317,15 @@ class EmbeddingService:
         nodes = list(nodes)
         if not nodes:
             return []
-        self.refresh()  # lazy build / incremental follow-head; no-op
-        record = self.store.version(None)
+        if refresh:
+            self.refresh()  # lazy build / incremental follow-head; no-op
+            record = self.store.version(None)
+        else:
+            if self._indexed_version is None:
+                raise LookupError(
+                    "no indexed version to serve a refresh=False batch from"
+                )
+            record = self.store.version(self._indexed_version)
         use_index = self._indexed_version == record.version
         results: list[list[tuple[Node, float]] | None] = [None] * len(nodes)
         misses: list[int] = []
@@ -343,6 +364,60 @@ class EmbeddingService:
                     self._cache_put(key, result)
                 results[i] = result
         return [list(result) for result in results]
+
+    def query_knn_vector(
+        self,
+        vector: np.ndarray,
+        k: int = 10,
+        *,
+        version: int | None = None,
+    ) -> list[tuple[Node, float]]:
+        """The ``k`` nodes most cosine-similar to an arbitrary query vector.
+
+        The scatter side of sharded serving (:mod:`repro.serving.shards`):
+        a shard router ships the query *vector* to workers that do not
+        hold the query node, so workers answer by vector, not by id.
+        There is no self-node to exclude and no result caching — every
+        scattered vector is distinct, so cache keys would never repeat.
+
+        Parameters
+        ----------
+        vector:
+            Query vector of shape ``(dim,)``; any float dtype (cast to
+            float32, as :meth:`query_knn` casts stored rows).
+        k:
+            Neighbours to return, ``>= 1``.
+        version:
+            ``None`` follows the store's head through the index; an
+            explicit version time-travels via the exact scan.
+
+        Returns
+        -------
+        list of (node, float)
+            ``(node, cosine)`` pairs, best first, ties broken by
+            ascending row — bit-identical to the rows :meth:`query_knn`
+            would rank for a node embedded at exactly this vector.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if version is None:
+            self.refresh()  # lazy build / incremental follow-head; no-op
+        record = self.store.version(version)
+        vector = np.asarray(vector, dtype=np.float32).ravel()
+        if vector.shape[0] != record.dim:
+            raise ValueError(
+                f"query vector has dim {vector.shape[0]}, "
+                f"version {record.version} has dim {record.dim}"
+            )
+        use_index = version is None and self._indexed_version == record.version
+        if use_index:
+            rows, scores = self.index.query(vector, k)
+        else:
+            rows, scores = self._exact_scan(record, vector, k)
+        return [
+            (record.nodes[int(row)], float(score))
+            for row, score in zip(rows, scores)
+        ]
 
     def score_edge(
         self,
@@ -426,7 +501,10 @@ class EmbeddingService:
                 self._unit_cache.popitem(last=False)
         else:
             self._unit_cache.move_to_end(record.version)
-        scores = unit @ _unit_vector(vector)
+        # Shape-independent reduction (see index._cosine_scores): a
+        # shard's slice of this matrix scores its rows exactly like the
+        # full matrix does, so sharded answers merge bit-identically.
+        scores = _cosine_scores(unit, _unit_vector(vector))
         rows = np.arange(scores.size, dtype=np.int64)
         best = _top_k(scores, rows, k)
         return rows[best], scores[best]

@@ -1,0 +1,186 @@
+"""Shard an :class:`EmbeddingStore` into per-worker views — cells ≙ shards.
+
+One asyncio process tops out around one core of kNN throughput
+(``benchmarks/bench_server_qps.py``); the way past it is horizontal:
+split the store into ``num_shards`` disjoint row sets, give each to its
+own worker process (:mod:`repro.server.worker`), and scatter-gather
+queries across them (:mod:`repro.server.sharding`). This module is the
+data side of that split:
+
+* :func:`stable_shard` — a process-stable hash of a node id (Python's
+  builtin ``hash`` is salted per process and cannot place the same node
+  on the same shard twice);
+* :class:`ShardAssignment` — the node → shard ownership map the router
+  uses to proxy single-node routes;
+* :func:`split_store` — the splitter. When the head version carries
+  ``partition_cells`` metadata (GloDyNE's Step 1 cells, maintained by
+  :class:`repro.partition.incremental.IncrementalPartitioner`), shards
+  follow the partition (``cell % num_shards``) so co-located nodes stay
+  co-located; otherwise ownership falls back to :func:`stable_shard`.
+
+Every parent version is re-published into every shard store with the
+*same version id*, so a ``version=``-pinned query means the same thing
+on every worker as on the parent. Shard matrices keep their rows in
+ascending parent-row order — together with the exact backends'
+shape-independent scoring kernel (``index._cosine_scores``) that is
+what makes a scatter-gathered top-k merge bit-identical to the
+unsharded answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.serving.store import EmbeddingStore
+
+Node = Hashable
+
+__all__ = ["ShardAssignment", "split_store", "stable_shard"]
+
+
+def _node_key(node: Node) -> bytes:
+    """Canonical bytes for a node id, stable across processes and runs.
+
+    JSON keeps distinct ids distinct (int ``3`` → ``b"3"``, str ``"3"``
+    → ``b'"3"'``) and matches how ids travel through the HTTP layer;
+    non-JSON-serialisable ids fall back to their ``repr``.
+    """
+    try:
+        encoded = json.dumps(node, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        encoded = repr(node)
+    return encoded.encode("utf-8")
+
+
+def stable_shard(node: Node, num_shards: int) -> int:
+    """Hash ``node`` onto ``[0, num_shards)``, stably across processes.
+
+    blake2b of the canonical node key — unlike builtin ``hash``, which
+    is salted per interpreter, the same node always lands on the same
+    shard no matter which process (router, worker, test) asks.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    digest = hashlib.blake2b(_node_key(node), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """Node → shard ownership for one sharded store.
+
+    Attributes
+    ----------
+    num_shards:
+        How many shards the store was split into.
+    source:
+        ``"partition_cells"`` when ownership follows the head version's
+        published Step 1 cells, ``"hash"`` for the
+        :func:`stable_shard` fallback.
+    owner:
+        Explicit per-node shard ids (populated in ``partition_cells``
+        mode; empty in hash mode, where ownership is computed).
+    """
+
+    num_shards: int
+    source: str
+    owner: Mapping[Node, int] = field(default_factory=dict, repr=False)
+
+    def owner_of(self, node: Node) -> int:
+        """The shard that owns ``node`` (hash fallback for unseen nodes).
+
+        Nodes that joined the graph after the split (published to the
+        parent but not yet re-split) hash-place deterministically, so a
+        router never has to answer "nobody owns this id".
+        """
+        explicit = self.owner.get(node)
+        if explicit is not None:
+            return int(explicit)
+        return stable_shard(node, self.num_shards)
+
+
+def split_store(
+    store: EmbeddingStore, num_shards: int
+) -> tuple[list[EmbeddingStore], ShardAssignment]:
+    """Split ``store`` into ``num_shards`` disjoint per-shard stores.
+
+    Ownership is decided once, at the *head* version: by published
+    ``partition_cells`` metadata (``cell % num_shards``) when present
+    and row-aligned, else by :func:`stable_shard` of the node id. Every
+    parent version is then re-published into each shard store under the
+    same version id (rows in ascending parent-row order), so pinned
+    time travel and the head mean the same thing on every shard.
+
+    Parameters
+    ----------
+    store:
+        The parent store; never mutated. Must hold >= 1 version.
+    num_shards:
+        Shards to split into, ``>= 1``.
+
+    Returns
+    -------
+    (shard_stores, assignment)
+        One :class:`EmbeddingStore` per shard plus the ownership map.
+
+    Raises
+    ------
+    ValueError
+        On an empty parent store, ``num_shards < 1``, or a split that
+        would leave some shard empty at some version (stores cannot
+        hold zero-row versions — use fewer shards).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if store.num_versions == 0:
+        raise ValueError("cannot split an empty store (publish first)")
+
+    head = store.latest
+    cells = head.metadata.get("partition_cells")
+    if cells is not None and len(cells) == head.num_nodes:
+        owner = {
+            node: int(cell) % num_shards
+            for node, cell in zip(head.nodes, cells)
+        }
+        assignment = ShardAssignment(num_shards, "partition_cells", owner)
+    else:
+        assignment = ShardAssignment(num_shards, "hash")
+
+    shards = [EmbeddingStore() for _ in range(num_shards)]
+    for record in store:
+        by_shard: list[list[int]] = [[] for _ in range(num_shards)]
+        for row, node in enumerate(record.nodes):
+            by_shard[assignment.owner_of(node)].append(row)
+        for shard_id, rows in enumerate(by_shard):
+            if not rows:
+                raise ValueError(
+                    f"shard {shard_id} owns no rows at version "
+                    f"{record.version} ({record.num_nodes} nodes across "
+                    f"{num_shards} shards) — use fewer shards"
+                )
+            index = np.asarray(rows, dtype=np.int64)
+            metadata = dict(record.metadata)
+            record_cells = record.metadata.get("partition_cells")
+            if record_cells is not None and len(record_cells) == record.num_nodes:
+                # Slice this version's own cells so the shard's IVF
+                # backend still sees a row-aligned coarse quantizer.
+                metadata["partition_cells"] = [
+                    int(record_cells[row]) for row in rows
+                ]
+            metadata["shard"] = {"index": shard_id, "of": num_shards}
+            published = shards[shard_id].publish(
+                (
+                    tuple(record.nodes[row] for row in rows),
+                    record.matrix[index],
+                ),
+                time_step=record.time_step,
+                metadata=metadata,
+            )
+            # Same id on every shard — pinned queries stay meaningful.
+            assert published == record.version
+    return shards, assignment

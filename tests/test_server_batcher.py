@@ -192,15 +192,55 @@ def test_unknown_node_fails_only_its_own_request():
     assert ok_2 == reference.query_knn(2, 3)
 
 
-def test_before_dispatch_failure_fails_the_batch():
+def test_before_dispatch_failure_degrades_to_stale_head():
+    """A failing reload hook answers the batch at the last indexed version."""
     store = make_store()
-    service, _ = spied_service(store)
+    service = EmbeddingService(store)
+    service.refresh()  # index version 0
+    stale = service.indexed_version
+    rng = np.random.default_rng(99)
+    store.publish((list(range(64)), rng.standard_normal((64, 16))))
+
+    seen: list[Exception] = []
+    stats = ServerStats()
 
     def explode():
         raise RuntimeError("reload failed")
 
     batcher = MicroBatcher(
-        service, max_batch=64, window=0.0, before_dispatch=explode
+        service,
+        max_batch=64,
+        window=0.0,
+        stats=stats,
+        before_dispatch=explode,
+        on_reload_error=seen.append,
+    )
+
+    async def fire():
+        return await asyncio.gather(
+            batcher.query_with_version(0, 3), batcher.query_with_version(1, 3)
+        )
+
+    (ok_1, v_1), (ok_2, v_2) = run(fire())
+    assert v_1 == v_2 == stale
+    reference = EmbeddingService(store)
+    assert ok_1 == reference.query_knn(0, 3, version=stale)
+    assert ok_2 == reference.query_knn(1, 3, version=stale)
+    assert stats.reload_errors == 1
+    assert len(seen) == 1 and isinstance(seen[0], RuntimeError)
+
+
+def test_before_dispatch_failure_fails_when_nothing_indexed():
+    """With no stale version to degrade to, the hook's error fails the batch."""
+    store = make_store()
+    service = EmbeddingService(store)  # never refreshed: nothing indexed
+    stats = ServerStats()
+
+    def explode():
+        raise RuntimeError("reload failed")
+
+    batcher = MicroBatcher(
+        service, max_batch=64, window=0.0, stats=stats, before_dispatch=explode
     )
 
     async def fire():
@@ -211,6 +251,7 @@ def test_before_dispatch_failure_fails_the_batch():
 
     results = run(fire())
     assert all(isinstance(r, RuntimeError) for r in results)
+    assert stats.reload_errors == 1
 
 
 def test_constructor_validation():

@@ -38,13 +38,14 @@ def make_store(num_nodes: int = 48, dim: int = 12, seed: int = 0):
     return store
 
 
-async def fetch(port: int, target: str, method: str = "GET"):
+async def fetch(port: int, target: str, method: str = "GET", body=None):
     """One request on a fresh connection; returns (status, json payload)."""
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
-    writer.write(
-        f"{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
-        "\r\n".encode("ascii")
-    )
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = f"{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+    if payload:
+        head += f"Content-Length: {len(payload)}\r\n"
+    writer.write(head.encode("ascii") + b"\r\n" + payload)
     await writer.drain()
     data = await reader.read()
     writer.close()
@@ -216,10 +217,10 @@ def test_daemon_rejects_nonpositive_reload_interval():
 def test_reload_poller_survives_a_bad_head():
     """A malformed publish must not silently kill idle hot-reload.
 
-    Head queries fail loudly (the service's refresh raises — same as
-    in-process use), but the poller keeps running, ``/healthz`` surfaces
-    the error, and pinned-version time travel (which never refreshes)
-    still serves the last good version.
+    The poller keeps running, ``/healthz`` surfaces the error, head
+    queries *degrade* to the last good indexed version (200, stale
+    version id) instead of failing, and pinned-version time travel
+    (which never refreshes) still serves the last good version.
     """
     store = make_store(num_nodes=20, dim=8)
     service = EmbeddingService(store)
@@ -238,12 +239,12 @@ def test_reload_poller_survives_a_bad_head():
         assert status == 200
         assert health["last_reload_error"] is not None
         assert daemon.stats.reload_errors >= 1
-        # Head queries surface the poisoned-store error per request...
-        head_status, head_error = await fetch(
+        # Head queries degrade to the last good indexed version...
+        head_status, head_answer = await fetch(
             daemon.port, "/g/main/knn?node=0&k=3"
         )
-        assert head_status == 400
-        assert "dimensionality" in head_error["error"]
+        assert (head_status, head_answer["version"]) == (200, 0)
+        assert neighbors_as_pairs(head_answer) == neighbors_as_pairs(before)
         # ...while pinned time travel bypasses refresh and still works.
         pinned_status, pinned = await fetch(
             daemon.port, "/g/main/knn?node=0&k=3&version=0"
@@ -437,6 +438,184 @@ def test_string_node_ids_round_trip():
     assert payload["node"] == "user-3"
     reference = EmbeddingService(store)
     assert neighbors_as_pairs(payload) == reference.query_knn("user-3", 3)
+
+
+# ----------------------------------------------------------------------
+# idle keep-alive timeout (slow-loris guard)
+# ----------------------------------------------------------------------
+def test_idle_connection_times_out_with_408():
+    """A silent keep-alive client is answered 408 and disconnected."""
+    store = make_store(num_nodes=16)
+
+    async def scenario(daemon):
+        # A connection that never sends a byte...
+        silent = await raw_exchange_after_delay(daemon.port, b"", 0.0)
+        # ...and a slow-loris one trickling a partial request line.
+        loris = await raw_exchange_after_delay(
+            daemon.port, b"GET /g/main/knn?no", 0.0
+        )
+        return silent, loris
+
+    async def raw_exchange_after_delay(port, payload, delay):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        if delay:
+            await asyncio.sleep(delay)
+        if payload:
+            writer.write(payload)
+            await writer.drain()
+        data = await reader.read()  # returns once the daemon closes us
+        writer.close()
+        await writer.wait_closed()
+        return data
+
+    silent, loris = with_daemon(
+        {"main": EmbeddingService(store)}, scenario, idle_timeout=0.3
+    )
+    for data in (silent, loris):
+        assert data.startswith(b"HTTP/1.1 408 ")
+        assert b"connection: close" in data.lower()
+        assert b"without a complete request" in data
+
+
+def test_idle_timeout_stats_and_active_clients_unaffected():
+    """408s are counted; clients that do send requests never see one."""
+    store = make_store(num_nodes=16)
+
+    async def scenario(daemon):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", daemon.port
+        )
+        try:
+            # Two requests straddling an idle gap shorter than the
+            # timeout: the per-request timer resets on each exchange.
+            responses = []
+            for _ in range(2):
+                writer.write(
+                    b"GET /g/main/knn?node=1&k=3 HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                await writer.drain()
+                header = await reader.readuntil(b"\r\n\r\n")
+                length = int(
+                    re.search(rb"content-length: (\d+)", header.lower()).group(1)
+                )
+                responses.append(header + await reader.readexactly(length))
+                await asyncio.sleep(0.25)
+        finally:
+            writer.close()
+            await writer.wait_closed()
+        idle_reader, idle_writer = await asyncio.open_connection(
+            "127.0.0.1", daemon.port
+        )
+        await idle_reader.read()
+        idle_writer.close()
+        await idle_writer.wait_closed()
+        return responses, daemon.stats.idle_timeouts
+
+    responses, idle_timeouts = with_daemon(
+        {"main": EmbeddingService(store)}, scenario, idle_timeout=0.4
+    )
+    assert all(r.startswith(b"HTTP/1.1 200 ") for r in responses)
+    assert idle_timeouts == 1
+
+
+def test_daemon_rejects_nonpositive_idle_timeout():
+    store = make_store(num_nodes=8)
+    import pytest
+
+    with pytest.raises(ValueError, match="idle_timeout"):
+        EmbeddingDaemon({"main": EmbeddingService(store)}, idle_timeout=0)
+    # None is the documented "wait forever" mode (shard workers).
+    EmbeddingDaemon({"main": EmbeddingService(store)}, idle_timeout=None)
+
+
+# ----------------------------------------------------------------------
+# empty-store guard
+# ----------------------------------------------------------------------
+def test_empty_store_answers_503_until_first_publish():
+    """A graph with no published versions is unavailable, not broken."""
+    store = EmbeddingStore()
+    service = EmbeddingService(store)
+
+    async def scenario(daemon):
+        before = {}
+        for route in ("knn?node=0&k=3", "score?u=0&v=1", "embed?node=0"):
+            before[route] = await fetch(daemon.port, f"/g/main/{route}")
+        health = await fetch(daemon.port, "/healthz")
+        versions = await fetch(daemon.port, "/g/main/versions")
+        # First publish flips the graph live without a restart.
+        rng = np.random.default_rng(0)
+        store.publish((list(range(12)), rng.standard_normal((12, 6))))
+        after = await fetch(daemon.port, "/g/main/knn?node=0&k=3")
+        return before, health, versions, after
+
+    before, health, versions, after = with_daemon({"main": service}, scenario)
+    for route, (status, payload) in before.items():
+        assert status == 503, route
+        assert "no published versions" in payload["error"]
+    assert health[0] == 200 and health[1]["status"] == "ok"
+    assert versions[0] == 200 and versions[1]["versions"] == []
+    status, payload = after
+    assert status == 200
+    reference = EmbeddingService(store)
+    assert neighbors_as_pairs(payload) == reference.query_knn(0, 3)
+
+
+def test_empty_service_refresh_is_a_noop():
+    """Regression: refresh() on a version-less store must not raise."""
+    service = EmbeddingService(EmbeddingStore())
+    assert service.refresh() == 0
+    assert service.indexed_version is None
+
+
+# ----------------------------------------------------------------------
+# kNN by raw vector (the router's scatter target)
+# ----------------------------------------------------------------------
+def test_knn_by_vector_get_and_post_match_direct_service():
+    store = make_store(num_nodes=24, dim=6)
+    record = store.latest
+    vector = [float(x) for x in record.vector(5)]
+    reference = EmbeddingService(store)
+
+    async def scenario(daemon):
+        from urllib.parse import quote
+
+        encoded = quote(json.dumps(vector), safe="")
+        got = await fetch(daemon.port, f"/g/main/knn?vector={encoded}&k=4")
+        posted = await fetch(
+            daemon.port,
+            "/g/main/knn",
+            method="POST",
+            body={"vector": vector, "k": 4},
+        )
+        pinned = await fetch(
+            daemon.port,
+            "/g/main/knn",
+            method="POST",
+            body={"vector": vector, "k": 4, "version": 0},
+        )
+        bad = await fetch(
+            daemon.port, "/g/main/knn", method="POST", body={"vector": []}
+        )
+        return got, posted, pinned, bad
+
+    got, posted, pinned, bad = with_daemon(
+        {"main": EmbeddingService(store)}, scenario
+    )
+    expected_head = reference.query_knn_vector(np.asarray(vector), 4)
+    expected_pinned = reference.query_knn_vector(
+        np.asarray(vector), 4, version=0
+    )
+    for (status, payload), expected in (
+        (got, expected_head),
+        (posted, expected_head),
+        (pinned, expected_pinned),
+    ):
+        assert status == 200
+        assert payload["node"] is None
+        assert payload["version"] == 0
+        assert neighbors_as_pairs(payload) == expected
+    assert bad[0] == 400
+    assert "non-empty array" in bad[1]["error"]
 
 
 # ----------------------------------------------------------------------

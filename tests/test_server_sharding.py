@@ -1,0 +1,522 @@
+"""Sharded serving tier: split, merge, scatter-gather over real sockets.
+
+The acceptance property of the multi-process tier
+(:mod:`repro.server.sharding`): a :class:`ShardRouter` fronting N
+disjoint shard workers answers ``/knn`` **bit-identically** to the
+unsharded single-process exact answer — ties included — and one dead
+worker degrades (503 naming the shard) instead of cascading.
+
+Most tests run the workers as in-process :class:`EmbeddingDaemon`
+instances on ephemeral loopback ports (real HTTP, no process spawn);
+the spawn/CLI paths are exercised by the E2E-gated tests at the bottom.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import re
+import threading
+import time
+from contextlib import redirect_stdout
+from urllib.request import urlopen
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.serving import (
+    EmbeddingService,
+    EmbeddingStore,
+    ShardAssignment,
+    save_store,
+    split_store,
+    stable_shard,
+)
+from repro.server import (
+    EmbeddingDaemon,
+    ShardRouter,
+    ShardSpec,
+    merge_topk,
+    shutdown_workers,
+    spawn_workers,
+)
+
+
+def run(coro):
+    """Loop-runner for async tests (stdlib stand-in for pytest-asyncio)."""
+    return asyncio.run(coro)
+
+
+def make_store(
+    num_nodes: int = 48,
+    dim: int = 12,
+    seed: int = 0,
+    *,
+    versions: int = 1,
+    ties: bool = False,
+    mixed_ids: bool = False,
+):
+    """A parent store; ``ties`` duplicates rows so scores collide exactly."""
+    rng = np.random.default_rng(seed)
+    if mixed_ids:
+        nodes = [n if n % 2 else f"n{n}" for n in range(num_nodes)]
+    else:
+        nodes = list(range(num_nodes))
+    store = EmbeddingStore()
+    for _ in range(versions):
+        matrix = rng.standard_normal((num_nodes, dim))
+        if ties:
+            # Identical rows produce identical float32 unit rows and
+            # therefore *exactly* equal scores — the tie-break matters.
+            matrix[1::3] = matrix[0]
+            matrix[2::5] = matrix[1]
+        store.publish((nodes, matrix))
+    return store
+
+
+async def fetch(port: int, target: str, method: str = "GET", body=None):
+    """One request on a fresh connection; returns (status, json payload)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (
+        f"{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+    )
+    if payload:
+        head += f"Content-Length: {len(payload)}\r\n"
+    writer.write(head.encode("ascii") + b"\r\n" + payload)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    status_head, _, status_body = data.partition(b"\r\n\r\n")
+    return int(status_head.split(b" ")[1]), json.loads(status_body)
+
+
+def neighbors_as_pairs(payload: dict) -> list[tuple]:
+    return [(entry["node"], entry["score"]) for entry in payload["neighbors"]]
+
+
+def with_cluster(store, num_shards, coro_fn, *, backend="exact"):
+    """Split ``store``, serve each shard in-process, route, run, tear down.
+
+    ``coro_fn(router, workers)`` runs with everything listening on real
+    loopback sockets; workers are plain :class:`EmbeddingDaemon`
+    instances (same HTTP surface as spawned processes, no fork cost).
+    """
+    shard_stores, assignment = split_store(store, num_shards)
+
+    async def wrapper():
+        workers = []
+        router = None
+        try:
+            for shard_store in shard_stores:
+                worker = EmbeddingDaemon(
+                    {"main": EmbeddingService(shard_store, backend=backend)},
+                    reload_interval=None,
+                    idle_timeout=None,
+                )
+                await worker.start(port=0)
+                workers.append(worker)
+            specs = [
+                ShardSpec(f"shard-{i}", worker.host, worker.port)
+                for i, worker in enumerate(workers)
+            ]
+            router = ShardRouter({"main": (store, assignment)}, specs)
+            await router.start(port=0)
+            return await coro_fn(router, workers)
+        finally:
+            if router is not None:
+                await router.close()
+            for worker in workers:
+                await worker.close()
+
+    return run(wrapper())
+
+
+# ----------------------------------------------------------------------
+# split_store
+# ----------------------------------------------------------------------
+def test_split_store_partitions_rows_disjointly():
+    """Every node lands on exactly one shard; rows keep parent order."""
+    store = make_store(num_nodes=40, versions=2, mixed_ids=True)
+    shards, assignment = split_store(store, 3)
+    assert assignment.source == "hash"
+    for record in store:
+        seen: dict = {}
+        for shard_id, shard in enumerate(shards):
+            shard_record = shard.version(record.version)
+            # Same version ids as the parent, rows ascending in parent order.
+            parent_rows = [record.row_of[n] for n in shard_record.nodes]
+            assert parent_rows == sorted(parent_rows)
+            assert shard_record.metadata["shard"] == {
+                "index": shard_id,
+                "of": 3,
+            }
+            for node in shard_record.nodes:
+                assert node not in seen
+                seen[node] = shard_id
+                np.testing.assert_array_equal(
+                    shard_record.vector(node), record.vector(node)
+                )
+        assert set(seen) == set(record.nodes)
+    # The assignment agrees with where rows actually went.
+    for node, shard_id in seen.items():
+        assert assignment.owner_of(node) == shard_id
+
+
+def test_split_store_follows_partition_cells():
+    """Published Step 1 cells drive ownership: cell % num_shards."""
+    num_nodes, num_shards = 30, 3
+    rng = np.random.default_rng(7)
+    cells = [int(c) for c in rng.integers(0, 6, size=num_nodes)]
+    store = EmbeddingStore()
+    store.publish(
+        (list(range(num_nodes)), rng.standard_normal((num_nodes, 8))),
+        metadata={"partition_cells": cells},
+    )
+    shards, assignment = split_store(store, num_shards)
+    assert assignment.source == "partition_cells"
+    for node, cell in enumerate(cells):
+        assert assignment.owner_of(node) == cell % num_shards
+    # Each shard's sliced cells stay row-aligned with its own matrix.
+    for shard in shards:
+        record = shard.latest
+        sliced = record.metadata["partition_cells"]
+        assert len(sliced) == record.num_nodes
+        assert sliced == [cells[node] for node in record.nodes]
+
+
+def test_split_store_hash_mode_is_deterministic():
+    """Hash ownership is process-stable: two splits agree exactly."""
+    store = make_store(num_nodes=32, mixed_ids=True)
+    shards_a, assignment_a = split_store(store, 4)
+    shards_b, assignment_b = split_store(store, 4)
+    for a, b in zip(shards_a, shards_b):
+        assert a.latest.nodes == b.latest.nodes
+    for node in store.latest.nodes:
+        assert assignment_a.owner_of(node) == assignment_b.owner_of(node)
+        assert assignment_a.owner_of(node) == stable_shard(node, 4)
+
+
+def test_split_store_rejects_empty_store_and_empty_shards():
+    with pytest.raises(ValueError, match="empty store"):
+        split_store(EmbeddingStore(), 2)
+    with pytest.raises(ValueError, match="num_shards"):
+        split_store(make_store(), 0)
+    # 3 nodes over 16 shards must leave some shard with no rows.
+    with pytest.raises(ValueError, match="use fewer shards"):
+        split_store(make_store(num_nodes=3), 16)
+
+
+def test_assignment_hash_fallback_for_unseen_nodes():
+    """Nodes published after the split still get a deterministic owner."""
+    assignment = ShardAssignment(4, "partition_cells", {"a": 2})
+    assert assignment.owner_of("a") == 2
+    assert assignment.owner_of("never-seen") == stable_shard("never-seen", 4)
+
+
+# ----------------------------------------------------------------------
+# merge_topk: property-based bit-identity (no HTTP)
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=6, max_value=40),
+    dim=st.integers(min_value=2, max_value=10),
+    num_shards=st.integers(min_value=1, max_value=4),
+    k=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=1000),
+    ties=st.booleans(),
+)
+def test_merged_topk_equals_unsharded_exact(
+    num_nodes, dim, num_shards, k, seed, ties
+):
+    """Property: for any split, merge(shard top-(k+1)) == unsharded top-k.
+
+    Exact equality on both node ids and float scores — the merge and
+    the exact backends share one scoring kernel and one tie-break, so
+    ``==`` on the pair lists is a bit-level assertion.
+    """
+    store = make_store(num_nodes, dim, seed, ties=ties)
+    try:
+        shard_stores, assignment = split_store(store, num_shards)
+    except ValueError:
+        return  # the hash left some shard empty — vacuous draw
+    shard_services = [
+        EmbeddingService(s, backend="exact") for s in shard_stores
+    ]
+    reference = EmbeddingService(store, backend="exact")
+    record = store.latest
+    for node in range(0, num_nodes, max(1, num_nodes // 5)):
+        vector = record.vector(node)
+        per_shard = [
+            service.query_knn_vector(vector, k + 1)
+            for service in shard_services
+        ]
+        merged = merge_topk(per_shard, record.row_of, k, exclude=(node,))
+        assert merged == reference.query_knn(node, k)
+
+
+# ----------------------------------------------------------------------
+# router over real sockets (in-process workers)
+# ----------------------------------------------------------------------
+def test_router_knn_bit_identical_over_http():
+    """Router(3 shards) == unsharded exact service, over the wire."""
+    store = make_store(num_nodes=48, versions=2, mixed_ids=True)
+    reference = EmbeddingService(store, backend="exact")
+    nodes = list(store.latest.nodes)
+
+    async def scenario(router, workers):
+        checks = []
+        for node in nodes[::5]:
+            query = json.dumps(node, separators=(",", ":"))
+            for k in (1, 5, 23):
+                status, payload = await fetch(
+                    router.port, f"/g/main/knn?node={query}&k={k}"
+                )
+                checks.append((node, k, None, status, payload))
+            status, payload = await fetch(
+                router.port, f"/g/main/knn?node={query}&k=4&version=0"
+            )
+            checks.append((node, 4, 0, status, payload))
+        return checks
+
+    for node, k, version, status, payload in with_cluster(store, 3, scenario):
+        assert status == 200
+        assert payload["version"] == (1 if version is None else version)
+        assert payload["shards"] == 3
+        expected = reference.query_knn(node, k, version=version)
+        assert neighbors_as_pairs(payload) == expected
+
+
+def test_router_merges_ties_identically():
+    """Duplicated rows (exactly equal scores) merge in parent-row order."""
+    store = make_store(num_nodes=36, ties=True, seed=3)
+    reference = EmbeddingService(store, backend="exact")
+
+    async def scenario(router, workers):
+        answers = []
+        for node in range(0, 36, 4):
+            status, payload = await fetch(
+                router.port, f"/g/main/knn?node={node}&k=8"
+            )
+            answers.append((node, status, payload))
+        return answers
+
+    for node, status, payload in with_cluster(store, 3, scenario):
+        assert status == 200
+        assert neighbors_as_pairs(payload) == reference.query_knn(node, 8)
+
+
+def test_dead_shard_answers_503_and_router_stays_up():
+    """One dead worker: knn 503 names the shard; the rest keeps serving."""
+    store = make_store(num_nodes=30)
+
+    async def scenario(router, workers):
+        await workers[1].close()  # kill shard-1's listener
+        knn_status, knn_payload = await fetch(
+            router.port, "/g/main/knn?node=0&k=3"
+        )
+        health_status, health = await fetch(router.port, "/healthz")
+        versions_status, versions = await fetch(
+            router.port, "/g/main/versions"
+        )
+        return knn_status, knn_payload, health_status, health, versions_status, versions
+
+    knn_status, knn_payload, health_status, health, versions_status, versions = (
+        with_cluster(store, 3, scenario)
+    )
+    assert knn_status == 503
+    assert "shard-1" in knn_payload["error"]
+    assert health_status == 200
+    assert health["status"] == "degraded"
+    assert health["shards"]["shard-1"]["status"] == "unreachable"
+    assert health["shards"]["shard-0"]["status"] == "ok"
+    # Routes that do not touch the dead shard still answer.
+    assert versions_status == 200
+    assert versions["shards"] == 3
+
+
+def test_score_and_embed_proxy_to_owning_shard():
+    """Same-shard score proxies; cross-shard pairs score at the router."""
+    store = make_store(num_nodes=24, seed=5)
+    _, assignment = split_store(store, 2)
+    reference = EmbeddingService(store, backend="exact")
+    nodes = list(store.latest.nodes)
+    same = next(
+        (u, v)
+        for u in nodes
+        for v in nodes
+        if u != v and assignment.owner_of(u) == assignment.owner_of(v)
+    )
+    cross = next(
+        (u, v)
+        for u in nodes
+        for v in nodes
+        if assignment.owner_of(u) != assignment.owner_of(v)
+    )
+
+    async def scenario(router, workers):
+        results = {}
+        for label, (u, v) in (("same", same), ("cross", cross)):
+            for metric in ("cosine", "dot"):
+                results[label, metric] = await fetch(
+                    router.port,
+                    f"/g/main/score?u={u}&v={v}&metric={metric}",
+                )
+        results["embed"] = await fetch(router.port, f"/g/main/embed?node={nodes[7]}")
+        return results
+
+    results = with_cluster(store, 2, scenario)
+    for label, (u, v) in (("same", same), ("cross", cross)):
+        for metric in ("cosine", "dot"):
+            status, payload = results[label, metric]
+            assert status == 200
+            assert payload["score"] == reference.score_edge(u, v, metric=metric)
+            if label == "same":
+                assert payload["shard"] == f"shard-{assignment.owner_of(u)}"
+            else:
+                assert payload["shard"] is None
+    status, payload = results["embed"]
+    assert status == 200
+    assert payload["shard"] == f"shard-{assignment.owner_of(nodes[7])}"
+    assert payload["vector"] == [
+        float(x) for x in store.latest.vector(nodes[7])
+    ]
+
+
+def test_stats_aggregation_and_reload_broadcast():
+    """/stats rolls worker counters up; POST /reload fans out to all."""
+    store = make_store(num_nodes=20)
+
+    async def scenario(router, workers):
+        for node in range(4):
+            status, _ = await fetch(router.port, f"/g/main/knn?node={node}&k=3")
+            assert status == 200
+        stats_status, stats = await fetch(router.port, "/stats")
+        reload_status, reloaded = await fetch(
+            router.port, "/g/main/reload", method="POST"
+        )
+        return stats_status, stats, reload_status, reloaded
+
+    stats_status, stats, reload_status, reloaded = with_cluster(
+        store, 2, scenario
+    )
+    assert stats_status == 200
+    assert stats["role"] == "router"
+    assert set(stats["shards"]) == {"shard-0", "shard-1"}
+    # 4 scatters x 2 shards = 8 worker-side kNN queries.
+    assert stats["shards_rollup"]["knn_queries"] == 8
+    assert stats["shards_rollup"]["requests"] >= 8
+    assert reload_status == 200
+    assert set(reloaded["shards"]) == {"shard-0", "shard-1"}
+    for payload in reloaded["shards"].values():
+        assert payload["indexed_version"] == 0
+
+
+def test_router_rejects_mismatched_shard_count():
+    store = make_store(num_nodes=48)
+    _, assignment = split_store(store, 3)
+    with pytest.raises(ValueError, match="3 shards but 2 workers"):
+        ShardRouter(
+            {"main": (store, assignment)},
+            [ShardSpec("a", "127.0.0.1", 1), ShardSpec("b", "127.0.0.1", 2)],
+        )
+
+
+# ----------------------------------------------------------------------
+# real worker processes (E2E-gated: process spawn is slow)
+# ----------------------------------------------------------------------
+e2e = pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_E2E") == "0",
+    reason="multi-process e2e disabled (CI runs it in the smoke job)",
+)
+
+
+@e2e
+def test_spawned_workers_golden_query_and_teardown():
+    """Spawned worker processes answer the router bit-identically."""
+    store = make_store(num_nodes=32, seed=11)
+    shard_stores, assignment = split_store(store, 2)
+    reference = EmbeddingService(store, backend="exact")
+    handles = spawn_workers(
+        [{"main": s} for s in shard_stores], backend="exact"
+    )
+    try:
+        assert [h.spec.name for h in handles] == ["shard-0", "shard-1"]
+        assert all(h.process.is_alive() for h in handles)
+
+        async def scenario():
+            router = ShardRouter(
+                {"main": (store, assignment)},
+                [h.spec for h in handles],
+            )
+            await router.start(port=0)
+            try:
+                status, payload = await fetch(
+                    router.port, "/g/main/knn?node=9&k=6"
+                )
+                health_status, health = await fetch(router.port, "/healthz")
+                return status, payload, health_status, health
+            finally:
+                await router.close()
+
+        status, payload, health_status, health = run(scenario())
+        assert status == 200
+        assert neighbors_as_pairs(payload) == reference.query_knn(9, 6)
+        assert (health_status, health["status"]) == (200, "ok")
+    finally:
+        shutdown_workers(handles)
+    for handle in handles:
+        assert not handle.process.is_alive()
+
+
+@e2e
+def test_cli_serve_http_sharded_golden_over_the_wire(tmp_path):
+    """`repro serve-http --shards 2` answers exactly like query_knn."""
+    store = make_store(num_nodes=40, seed=2)
+    store_path = tmp_path / "store.npz"
+    save_store(store, store_path)
+
+    buffer = io.StringIO()
+    result: dict = {}
+
+    def target():
+        with redirect_stdout(buffer):
+            result["rc"] = cli_main(
+                [
+                    "serve-http", "--store", f"g={store_path}",
+                    "--backend", "exact", "--shards", "2",
+                    "--port", "0", "--max-seconds", "6",
+                ]
+            )
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    try:
+        deadline = time.monotonic() + 30
+        port = None
+        while time.monotonic() < deadline:
+            match = re.search(
+                r"routing .* on http://127\.0\.0\.1:(\d+)", buffer.getvalue()
+            )
+            if match:
+                port = int(match.group(1))
+                break
+            time.sleep(0.05)
+        assert port is not None, "router never announced its address"
+        with urlopen(f"http://127.0.0.1:{port}/g/g/knn?node=7&k=5", timeout=5) as r:
+            payload = json.load(r)
+        with urlopen(f"http://127.0.0.1:{port}/healthz", timeout=5) as r:
+            health = json.load(r)
+    finally:
+        thread.join(timeout=30)
+    assert result["rc"] == 0
+    assert health["status"] == "ok"
+    assert set(health["shards"]) == {"shard-0", "shard-1"}
+    reference = EmbeddingService(store, backend="exact")
+    assert neighbors_as_pairs(payload) == reference.query_knn(7, 5)
