@@ -1,0 +1,363 @@
+"""Tiered-store benchmark: cold-version RSS and int8 scan throughput.
+
+Two claims from the serving-tier storage design
+(:mod:`repro.serving.storage`, ``docs/guides/storage.md``) under test:
+
+1. **Cold versions cost disk, not RAM.** A tiered store
+   (``store_dir=...``, ``hot_versions=1``) spills every non-head version
+   to an mmap file; at >= 8 published versions its accounted resident
+   footprint must be >= 10x smaller than the same history kept all-RAM.
+   The gate runs on accounted matrix bytes (``storage_info()``) — what
+   the tiering layer controls; process ``VmRSS`` deltas ride along as
+   telemetry because allocator slack and numpy pools blur them.
+2. **Int8 candidate scans beat the float32 brute scan.** The quantized
+   brute path (coarse-to-fine int8 scan: a strided-column prescan copy
+   shortlists, the full-width chunked dequantize-and-GEMV scan re-ranks
+   the shortlist, an exact float32 rerank scores the final pool) must
+   answer >= 1.5x the queries per second of the shipped exact brute
+   backend on a large grid while holding recall@10 >= 0.95. The
+   quantized scan owes no bit-exactness, so it is free to use a
+   different kernel than the exact path's shared einsum — part of the
+   win is that freedom, and the committed document says so in its
+   caveats.
+
+Run standalone for a quick smoke (CI uses this)::
+
+    PYTHONPATH=src python benchmarks/bench_store_tiering.py --tiny
+
+The full run (committed to benchmarks/results/) scans a 200k x 128 grid
+and takes a couple of minutes::
+
+    PYTHONPATH=src python benchmarks/bench_store_tiering.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import write_result
+from repro.experiments import render_table
+from repro.serving import BruteForceIndex, EmbeddingStore
+
+#: Full-profile store shape for the RSS section.
+RSS_VERSIONS = 12
+RSS_NODES = 20_000
+RSS_DIM = 64
+#: Accounted resident-bytes reduction the tiered store must deliver.
+RSS_GATE = 10.0
+#: Version count floor the RSS gate is defined at.
+RSS_GATE_VERSIONS = 8
+
+#: Full-profile grid for the scan section (large enough that the scan,
+#: not the rerank, dominates).
+SCAN_NODES = 200_000
+SCAN_DIM = 128
+SCAN_QUERIES = 50
+SCAN_K = 10
+#: Timed sweeps per backend; the fastest is reported (noise floor on a
+#: shared 1-core host).
+SCAN_PASSES = 3
+#: Quantized-vs-float32 throughput and recall gates.
+QPS_GATE = 1.5
+RECALL_GATE = 0.95
+
+KERNEL_NOTE = (
+    "the exact baseline is bound to the repo's shape-independent einsum "
+    "kernel for bit-identical scores; the int8 scan owes no bit-exactness "
+    "and uses a coarse-to-fine chunked dequantize+GEMV kernel, so part of "
+    "its speedup is that kernel freedom, not quantization alone"
+)
+
+
+def _vm_rss_kb() -> int | None:
+    """Current process ``VmRSS`` in kB (Linux), else ``None``."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def _publish_history(
+    store: EmbeddingStore, versions: int, nodes: int, dim: int, seed: int = 0
+) -> None:
+    """Publish ``versions`` drifting snapshots of a ``nodes x dim`` matrix."""
+    rng = np.random.default_rng(seed)
+    ids = np.arange(nodes)
+    matrix = rng.standard_normal((nodes, dim)).astype(np.float32)
+    for t in range(versions):
+        matrix = matrix + rng.standard_normal((nodes, dim)).astype(
+            np.float32
+        ) * 0.01
+        store.publish((ids.tolist(), matrix), time_step=t)
+
+
+def run_rss(
+    versions: int = RSS_VERSIONS,
+    nodes: int = RSS_NODES,
+    dim: int = RSS_DIM,
+) -> tuple[str, dict]:
+    """All-RAM vs tiered store residency for the same version history."""
+    before = _vm_rss_kb()
+    plain = EmbeddingStore()
+    _publish_history(plain, versions, nodes, dim)
+    after_plain = _vm_rss_kb()
+
+    tier_dir = Path(tempfile.mkdtemp(prefix="bench-tier-"))
+    tiered = EmbeddingStore(store_dir=tier_dir, hot_versions=1)
+    _publish_history(tiered, versions, nodes, dim)
+    after_tiered = _vm_rss_kb()
+
+    plain_info = plain.storage_info()
+    tiered_info = tiered.storage_info()
+    ratio = plain_info["resident_bytes"] / max(
+        tiered_info["resident_bytes"], 1
+    )
+
+    # Cold page-in latency telemetry: how long one historical version
+    # takes to come back as an mmap view.
+    started = time.perf_counter()
+    record = tiered.version(0)
+    page_in_ms = (time.perf_counter() - started) * 1e3
+    assert record.num_nodes == nodes
+
+    stats = {
+        "versions": versions,
+        "nodes": nodes,
+        "dim": dim,
+        "plain_resident_bytes": int(plain_info["resident_bytes"]),
+        "tiered_resident_bytes": int(tiered_info["resident_bytes"]),
+        "tiered_cold_bytes": int(tiered_info["cold_bytes"]),
+        "resident_reduction": ratio,
+        "page_in_ms": page_in_ms,
+    }
+    if before is not None and after_plain is not None:
+        stats["plain_vmrss_delta_kb"] = after_plain - before
+        stats["tiered_vmrss_delta_kb"] = after_tiered - after_plain
+    mib = 1024 * 1024
+    text = render_table(
+        ["store", "resident", "on disk", "reduction"],
+        [
+            [
+                "all-RAM",
+                f"{stats['plain_resident_bytes'] / mib:.1f} MiB",
+                "0 MiB",
+                "1.0x",
+            ],
+            [
+                "tiered (hot_versions=1)",
+                f"{stats['tiered_resident_bytes'] / mib:.1f} MiB",
+                f"{stats['tiered_cold_bytes'] / mib:.1f} MiB",
+                f"{ratio:.1f}x",
+            ],
+        ],
+        title=(
+            f"store residency: {versions} versions x {nodes} nodes x "
+            f"d={dim} (cold page-in {page_in_ms:.2f}ms)"
+        ),
+    )
+    return text, stats
+
+
+def run_scan_qps(
+    nodes: int = SCAN_NODES,
+    dim: int = SCAN_DIM,
+    num_queries: int = SCAN_QUERIES,
+    k: int = SCAN_K,
+) -> tuple[str, dict]:
+    """Float32 exact brute vs int8-scan brute: QPS and recall@k."""
+    rng = np.random.default_rng(3)
+    centers = rng.standard_normal((256, dim)).astype(np.float32) * 4.0
+    assign = rng.integers(0, len(centers), size=nodes)
+    matrix = centers[assign] + rng.standard_normal((nodes, dim)).astype(
+        np.float32
+    ) * 0.35
+
+    exact = BruteForceIndex()
+    exact.build(matrix)
+    quant = BruteForceIndex(quantized="int8")
+    quant.build(matrix)
+    queries = matrix[rng.choice(nodes, num_queries, replace=False)]
+
+    # Warm pass (BLAS handles, staging buffers, page-faulting the member
+    # arrays in) outside the timed runs.
+    for index in (exact, quant):
+        index.query(queries[0], k)
+
+    def _passes(index) -> tuple[float, list]:
+        """Fastest of ``SCAN_PASSES`` timed sweeps over ``queries``.
+
+        The 1-core recording host jitters the memory-bandwidth-bound
+        float32 sweep by up to 2x run to run; min-of-passes measures
+        what each kernel can do, not what the box happened to allow.
+        """
+        best, results = float("inf"), []
+        for _ in range(SCAN_PASSES):
+            rows = []
+            started = time.perf_counter()
+            for q in queries:
+                rows.append(index.query(q, k)[0])
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best, results = elapsed, rows
+        return best, results
+
+    exact_s, exact_results = _passes(exact)
+    quant_s, quant_results = _passes(quant)
+
+    hits = sum(
+        len(set(a.tolist()) & set(e.tolist()))
+        for a, e in zip(quant_results, exact_results)
+    )
+    recall = hits / (num_queries * k)
+    speedup = exact_s / max(quant_s, 1e-9)
+    stats = {
+        "nodes": nodes,
+        "dim": dim,
+        "queries": num_queries,
+        "k": k,
+        "float32_qps": num_queries / exact_s,
+        "int8_qps": num_queries / quant_s,
+        "speedup": speedup,
+        "recall_at_k": recall,
+    }
+    text = render_table(
+        ["scan", "single QPS", f"recall@{k}"],
+        [
+            ["float32 brute (exact einsum)", f"{num_queries / exact_s:,.1f}",
+             "1.000"],
+            ["int8 scan + f32 rerank", f"{num_queries / quant_s:,.1f}",
+             f"{recall:.3f}"],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+        title=(
+            f"candidate scans: {nodes:,} nodes x d={dim}, "
+            f"{num_queries} queries, k={k}"
+        ),
+    )
+    return text, stats
+
+
+def run_full_suite() -> list[tuple[str, dict]]:
+    """The committed-results profile."""
+    return [run_rss(), run_scan_qps()]
+
+
+def _tiny_suite() -> list[tuple[str, dict]]:
+    return [
+        run_rss(versions=8, nodes=1500, dim=16),
+        run_scan_qps(nodes=20_000, dim=32, num_queries=20),
+    ]
+
+
+def _check_acceptance(sections: list[tuple[str, dict]]) -> None:
+    rss, scan = (stats for _, stats in sections)
+    assert rss["versions"] >= RSS_GATE_VERSIONS, rss
+    assert rss["resident_reduction"] >= RSS_GATE, rss
+    assert scan["recall_at_k"] >= RECALL_GATE, scan
+    assert scan["speedup"] >= QPS_GATE, scan
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (run via `pytest benchmarks/bench_store_tiering.py`)
+# ----------------------------------------------------------------------
+def test_store_tiering_acceptance(benchmark):
+    sections = benchmark.pedantic(run_full_suite, rounds=1, iterations=1)
+    text = "\n\n".join(section_text for section_text, _ in sections)
+    print("\n" + text)
+    write_result("store_tiering.txt", text)
+    _check_acceptance(sections)
+
+
+# ----------------------------------------------------------------------
+# standalone entry: --tiny for the CI smoke, full otherwise
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke profile: seconds, not minutes; no acceptance gate",
+    )
+    args = parser.parse_args(argv)
+
+    sections = _tiny_suite() if args.tiny else run_full_suite()
+    for text, _ in sections:
+        print(text)
+        print()
+    if not args.tiny:
+        _check_acceptance(sections)
+        write_result(
+            "store_tiering.txt",
+            "\n\n".join(section_text for section_text, _ in sections),
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+# ----------------------------------------------------------------------
+# orchestrator entry
+# ----------------------------------------------------------------------
+from repro.bench import register_bench  # noqa: E402
+
+
+@register_bench("store_tiering", tags=("perf", "serving", "storage"))
+def run_bench(tiny: bool) -> dict:
+    sections = _tiny_suite() if tiny else run_full_suite()
+    rss, scan = (stats for _, stats in sections)
+    metrics = {
+        "resident_reduction": rss["resident_reduction"],
+        "plain_resident_bytes": rss["plain_resident_bytes"],
+        "tiered_resident_bytes": rss["tiered_resident_bytes"],
+        "tiered_cold_bytes": rss["tiered_cold_bytes"],
+        "page_in_ms": rss["page_in_ms"],
+        "float32_qps": scan["float32_qps"],
+        "int8_qps": scan["int8_qps"],
+        "int8_vs_float32_qps": scan["speedup"],
+        "int8_recall_at_k": scan["recall_at_k"],
+    }
+    for key in ("plain_vmrss_delta_kb", "tiered_vmrss_delta_kb"):
+        if key in rss:
+            metrics[key] = rss[key]
+    caveats = [
+        KERNEL_NOTE,
+        "VmRSS deltas are telemetry only: the asserted RSS gate runs on "
+        "accounted matrix bytes (storage_info), which allocator slack "
+        "cannot blur",
+    ]
+    if not tiny:
+        _check_acceptance(sections)
+    else:
+        caveats.append("tiny profile: gates reported but not asserted")
+    return {
+        "metrics": metrics,
+        "config": {
+            "rss": {
+                "versions": rss["versions"],
+                "nodes": rss["nodes"],
+                "dim": rss["dim"],
+                "gate": RSS_GATE,
+                "gate_versions": RSS_GATE_VERSIONS,
+            },
+            "scan": {
+                "nodes": scan["nodes"],
+                "dim": scan["dim"],
+                "queries": scan["queries"],
+                "k": scan["k"],
+                "qps_gate": QPS_GATE,
+                "recall_gate": RECALL_GATE,
+            },
+        },
+        "summary": "\n\n".join(text for text, _ in sections),
+        "caveats": caveats,
+    }

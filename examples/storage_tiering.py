@@ -1,0 +1,143 @@
+"""Storage walkthrough: tiered versions, int8 scans, compaction.
+
+``examples/serving.py`` kept every published version resident in RAM;
+this walkthrough runs the storage features a long-lived store scales
+with (:mod:`repro.serving.storage`, [storage guide](../docs/guides/storage.md)):
+
+1. publish a drifting version history into a **tiered**
+   :class:`repro.serving.EmbeddingStore` (``store_dir=``) and watch
+   cold versions spill to mmap-backed files;
+2. page a cold version back in transparently, and ``pin`` one so it
+   stays resident;
+3. switch the service's candidate scan to the **int8** codec
+   (``quantized="int8"``) and verify the returned scores are
+   bit-identical to the exact backend's scores;
+4. **compact** the history (``keep_head_n`` + ``keep_every_k``),
+   observe tombstones and ``nearest=True`` degradation;
+5. save and reload the store, tombstones and tiering intact.
+
+Production runs the same knobs from the CLI::
+
+    python -m repro serve --dataset elec-sim --store store.npz \\
+        --store-dir tier/ --compact 2:4 --index exact --quantize int8
+
+Usage::
+
+    PYTHONPATH=src python examples/storage_tiering.py          # a few seconds
+    PYTHONPATH=src python examples/storage_tiering.py --tiny   # CI smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import EmbeddingService, EmbeddingStore
+from repro.serving import load_store, save_store
+
+
+def drifting_history(store: EmbeddingStore, versions: int, *,
+                     nodes: int, dim: int) -> None:
+    """Publish ``versions`` snapshots of a slowly drifting embedding."""
+    rng = np.random.default_rng(7)
+    matrix = rng.standard_normal((nodes, dim)).astype(np.float32)
+    ids = [f"n{i}" for i in range(nodes)]
+    for step in range(versions):
+        matrix = matrix + 0.02 * rng.standard_normal(matrix.shape).astype(
+            np.float32
+        )
+        store.publish((ids, matrix), time_step=step)
+
+
+def fmt_bytes(num: float) -> str:
+    """Humanise a byte count."""
+    for unit in ("B", "KB", "MB"):
+        if num < 1024:
+            return f"{num:.1f} {unit}"
+        num /= 1024
+    return f"{num:.1f} GB"
+
+
+def main() -> None:
+    tiny = "--tiny" in sys.argv[1:]
+    versions = 6 if tiny else 10
+    nodes = 400 if tiny else 2000
+    dim = 16 if tiny else 64
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tier_dir = Path(tmp) / "tier"
+
+        # 1. A tiered store: only the head stays resident, every older
+        #    version spills to a .npy + sidecar under store_dir.
+        store = EmbeddingStore(store_dir=tier_dir, hot_versions=1)
+        drifting_history(store, versions, nodes=nodes, dim=dim)
+        info = store.storage_info()
+        print(
+            f"published {info['versions']} versions of {nodes}x{dim}: "
+            f"{info['hot']} hot ({fmt_bytes(info['resident_bytes'])} "
+            f"resident), {info['cold']} cold "
+            f"({fmt_bytes(info['cold_bytes'])} on disk)"
+        )
+        all_ram = versions * nodes * dim * 4
+        print(
+            f"  an all-RAM store would hold {fmt_bytes(all_ram)} — "
+            f"{all_ram / info['resident_bytes']:.1f}x more resident"
+        )
+
+        # 2. Cold reads page in transparently (np.load(mmap_mode='r')),
+        #    and a pin materialises a version back to resident RAM.
+        record = store.version(0)
+        print(
+            f"version 0 paged in from {tier_dir.name}/: "
+            f"{type(record.matrix).__name__} of shape {record.matrix.shape}"
+        )
+        store.pin(0)
+        print(
+            f"pinned v0: hot={store.storage_info()['hot']} "
+            f"(pins survive spill and compaction)"
+        )
+        store.unpin(0)
+
+        # 3. Int8 candidate scans: approximate selection, exact scores.
+        exact = EmbeddingService(store, backend="exact")
+        quantized = EmbeddingService(store, backend="exact", quantized="int8")
+        probe = "n0"
+        answer = quantized.query_knn(probe, 5)
+        assert answer == exact.query_knn(probe, 5)
+        neighbours = ", ".join(f"{n}:{s:.3f}" for n, s in answer[:3])
+        print(
+            f"int8 kNN for {probe}: {neighbours}, ... — scores "
+            "bit-identical to the exact scan (float32 rerank)"
+        )
+
+        # 4. Compaction: keep the head 2 plus every 4th; everything else
+        #    becomes a tombstone — ids are never renumbered.
+        removed = store.compact(keep_head_n=2, keep_every_k=4)
+        print(
+            f"compacted {len(removed)} versions -> tombstones "
+            f"{store.tombstones}"
+        )
+        try:
+            store.version(removed[0])
+        except LookupError as error:
+            print(f"  version {removed[0]} now raises: {error}")
+        nearest = store.resolve_version(removed[0], nearest=True)
+        print(f"  nearest=True degrades v{removed[0]} -> v{nearest}")
+
+        # 5. Tombstones persist; a reload can re-tier into a new dir.
+        saved = Path(tmp) / "store.npz"
+        save_store(store, saved)
+        reloaded = load_store(saved, store_dir=Path(tmp) / "tier2")
+        assert reloaded.tombstones == store.tombstones
+        head = reloaded.latest
+        print(
+            f"reloaded {saved.name}: {reloaded.storage_info()['live']} live "
+            f"versions, head v{head.version} intact, tombstones preserved"
+        )
+
+
+if __name__ == "__main__":
+    main()

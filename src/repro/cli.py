@@ -330,6 +330,20 @@ def _parse_node(raw: str):
     return parse_node_id(raw)
 
 
+def _parse_compact(spec: str) -> tuple[int, int | None]:
+    """Parse a ``--compact HEAD_N[:EVERY_K]`` spec into policy knobs."""
+    head, sep, every = spec.partition(":")
+    try:
+        head_n = int(head)
+        every_k = int(every) if sep else None
+    except ValueError:
+        raise SystemExit(
+            f"bad --compact spec {spec!r}: expected HEAD_N or HEAD_N:EVERY_K "
+            "(e.g. 4 or 4:10)"
+        ) from None
+    return head_n, every_k
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Stream a dataset into a versioned embedding store and save it."""
     from repro.serving import EmbeddingStore, save_store
@@ -341,7 +355,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     events = network_to_events(network)
     walk = PROFILES[args.profile]["walk"]
-    store = EmbeddingStore()
+    store = EmbeddingStore(store_dir=args.store_dir)
     engine = StreamingGloDyNE(
         seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
         publish_to=store, dim=args.dim, alpha=0.1,
@@ -373,14 +387,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"{store.num_versions} versions in {elapsed:.2f}s",
         )
     )
+    if args.compact:
+        head_n, every_k = _parse_compact(args.compact)
+        dropped = store.compact(keep_head_n=head_n, keep_every_k=every_k)
+        print(
+            f"compacted store: dropped {len(dropped)} version(s) "
+            f"({store.num_versions - len(store.tombstones)} kept)"
+        )
     save_store(store, args.store)
     print(f"wrote versioned store -> {args.store}")
     if args.index:
         # Smoke-validate the saved store against the chosen serving
         # backend before handing it to serve-http / query.
-        from repro.serving import EmbeddingService
-
-        service = EmbeddingService(store, backend=args.index)
+        service = _make_service(store, args.index, args.quantize)
         node = store.latest.nodes[0]
         k = min(3, max(1, store.latest.num_nodes - 1))
         neighbors = service.query_knn(node, k=k)
@@ -389,16 +408,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_service(store, backend: str, quantized: str | None):
+    """Build an :class:`EmbeddingService`, mapping bad knob combos to exit 2."""
+    from repro.serving import EmbeddingService
+
+    try:
+        return EmbeddingService(store, backend=backend, quantized=quantized)
+    except ValueError as error:
+        raise SystemExit(f"bad backend configuration: {error}") from None
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Query a saved embedding store: kNN lookups and edge scoring."""
-    from repro.serving import EmbeddingService, load_store
+    from repro.serving import load_store
 
     try:
         store = load_store(args.store)
     except (OSError, ValueError) as error:
         print(f"cannot load store {args.store!r}: {error}", file=sys.stderr)
         return 1
-    service = EmbeddingService(store, backend=args.backend)
+    service = _make_service(store, args.backend, args.quantize)
     try:
         record = store.version(args.version)
     except LookupError as error:
@@ -450,11 +479,19 @@ def _http_services(args: argparse.Namespace) -> dict:
     defaults to the file stem); with no ``--store`` the command streams
     ``--dataset`` into a fresh in-memory store first, so a bare
     ``repro serve-http`` serves something real out of the box.
+
+    ``--store-dir`` tiers every loaded store: cold versions spill to
+    mmap files under ``<store-dir>/<name>``, so serving a long history
+    costs RAM for the hot window only. ``--compact`` applies a GC pass
+    per store after load; ``--quantize`` switches candidate scans to
+    the int8 codec (exact float32 rerank keeps results bit-identical
+    top-k for the rerank depth).
     """
     from pathlib import Path
 
-    from repro.serving import EmbeddingService, EmbeddingStore, load_store
+    from repro.serving import EmbeddingStore, load_store
 
+    compact = _parse_compact(args.compact) if args.compact else None
     services: dict = {}
     for spec in args.store or []:
         name, sep, path = spec.partition("=")
@@ -464,11 +501,14 @@ def _http_services(args: argparse.Namespace) -> dict:
             raise SystemExit(f"empty graph name in --store {spec!r}")
         if name in services:
             raise SystemExit(f"duplicate graph name {name!r} in --store")
+        spill_dir = Path(args.store_dir) / name if args.store_dir else None
         try:
-            store = load_store(path)
+            store = load_store(path, store_dir=spill_dir)
         except (OSError, ValueError) as error:
             raise SystemExit(f"cannot load store {path!r}: {error}") from None
-        services[name] = EmbeddingService(store, backend=args.backend)
+        if compact is not None:
+            store.compact(keep_head_n=compact[0], keep_every_k=compact[1])
+        services[name] = _make_service(store, args.backend, args.quantize)
     if not services:
         from repro.streaming import (
             FlushPolicy,
@@ -480,7 +520,10 @@ def _http_services(args: argparse.Namespace) -> dict:
             args.dataset, scale=args.scale, seed=args.data_seed,
             snapshots=args.snapshots,
         )
-        store = EmbeddingStore()
+        spill_dir = (
+            Path(args.store_dir) / args.dataset if args.store_dir else None
+        )
+        store = EmbeddingStore(store_dir=spill_dir)
         engine = StreamingGloDyNE(
             seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
             publish_to=store, dim=args.dim, alpha=0.1,
@@ -491,7 +534,11 @@ def _http_services(args: argparse.Namespace) -> dict:
         engine.ingest_many(network_to_events(network))
         if engine.pending_events:
             engine.flush()
-        services[args.dataset] = EmbeddingService(store, backend=args.backend)
+        if compact is not None:
+            store.compact(keep_head_n=compact[0], keep_every_k=compact[1])
+        services[args.dataset] = _make_service(
+            store, args.backend, args.quantize
+        )
     return services
 
 
@@ -738,6 +785,21 @@ def make_parser() -> argparse.ArgumentParser:
         help="after saving, smoke-validate the store against this serving "
         "backend with one kNN query",
     )
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="tier the store: spill cold versions to mmap files under DIR "
+        "(default: keep every version resident in RAM)",
+    )
+    serve.add_argument(
+        "--compact", default=None, metavar="HEAD_N[:EVERY_K]",
+        help="GC the store before saving: keep the newest HEAD_N versions "
+        "plus every EVERY_K-th (compacted ids tombstone, never renumber)",
+    )
+    serve.add_argument(
+        "--quantize", default=None, choices=["int8"],
+        help="candidate-scan codec for the --index smoke query (int8 scan "
+        "+ exact float32 rerank; needs --index exact or ivf)",
+    )
 
     serve_http = sub.add_parser(
         "serve-http",
@@ -806,6 +868,21 @@ def make_parser() -> argparse.ArgumentParser:
         help="with no --store: publish Step 1 partition cells per flush "
         "(feeds the partition-aware ivf backend)",
     )
+    serve_http.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="tier every served store: spill cold versions to mmap files "
+        "under DIR/<name> (default: all versions resident in RAM)",
+    )
+    serve_http.add_argument(
+        "--compact", default=None, metavar="HEAD_N[:EVERY_K]",
+        help="GC each store after load: keep the newest HEAD_N versions "
+        "plus every EVERY_K-th (compacted ids tombstone, never renumber)",
+    )
+    serve_http.add_argument(
+        "--quantize", default=None, choices=["int8"],
+        help="int8 candidate scans with exact float32 rerank (needs "
+        "--backend exact or ivf)",
+    )
 
     query = sub.add_parser(
         "query", help="kNN lookups / edge scoring against a saved store",
@@ -831,6 +908,11 @@ def make_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--version", type=int, default=None,
         help="store version to query (default: latest; negatives count back)",
+    )
+    query.add_argument(
+        "--quantize", default=None, choices=["int8"],
+        help="int8 candidate scans with exact float32 rerank (needs "
+        "--backend exact or ivf)",
     )
 
     return parser

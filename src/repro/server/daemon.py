@@ -409,6 +409,14 @@ class GraphEntry:
                 "largest": max(sizes, default=0),
                 "nprobe": index.nprobe,
             }
+        quantized = getattr(index, "quantized", None)
+        if quantized is not None:
+            payload["quantized"] = quantized
+        if store.store_dir is not None:
+            # Tiered stores report where the bytes live so operators
+            # can watch spill/compaction take effect without shelling
+            # into the box.
+            payload["storage"] = store.storage_info()
         return payload
 
 

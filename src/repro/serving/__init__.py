@@ -14,7 +14,11 @@ fresh Z^t per snapshot or flush; this package is the consumption side:
   link scoring, and time-travel reads;
 * :func:`~repro.serving.shards.split_store` — per-shard store views
   (partition cells ≙ shards) behind the multi-process serving tier
-  (:mod:`repro.server.sharding`).
+  (:mod:`repro.server.sharding`);
+* :mod:`~repro.serving.storage` — the tiered-store machinery: mmap
+  cold-version spill (:class:`~repro.serving.storage.ColdVersionStorage`),
+  the int8 candidate-scan codec, and
+  :class:`~repro.serving.storage.CompactionPolicy` GC rules.
 """
 
 from repro.serving.index import (
@@ -25,6 +29,13 @@ from repro.serving.index import (
 )
 from repro.serving.service import EmbeddingService
 from repro.serving.shards import ShardAssignment, split_store, stable_shard
+from repro.serving.storage import (
+    ColdVersionStorage,
+    CompactionPolicy,
+    dequantize_int8,
+    quantize_int8,
+    quantized_scores,
+)
 from repro.serving.store import (
     EmbeddingStore,
     VersionRecord,
@@ -34,13 +45,18 @@ from repro.serving.store import (
 
 __all__ = [
     "BruteForceIndex",
+    "ColdVersionStorage",
+    "CompactionPolicy",
     "IVFIndex",
     "EmbeddingService",
     "EmbeddingStore",
     "LSHIndex",
     "ShardAssignment",
     "VersionRecord",
+    "dequantize_int8",
     "load_store",
+    "quantize_int8",
+    "quantized_scores",
     "save_store",
     "split_store",
     "stable_shard",

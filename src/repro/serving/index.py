@@ -29,6 +29,16 @@ fresh index with the same constructor parameters: frozen configuration
 arguments and the first build, and candidate sets are deduplicated into
 sorted order before the exact re-rank.
 
+The exact and IVF backends additionally take ``quantized="int8"``: the
+*candidate* scan runs over an int8 per-row scale-quantized copy of the
+unit matrix (:mod:`repro.serving.storage`), and the top ``rerank``
+candidates are re-scored through the shared exact einsum kernel — final
+scores stay exact float32 cosines, recall is governed by how far down
+the int8 ranking the true neighbours sit (>= 0.95 recall@10 at the
+default depth; goldens pin it). Quantization is per-row, so a refresh
+re-encodes exactly the rows it re-normalises and stays bit-identical to
+a rebuild.
+
 Pure numpy, no external ANN dependency.
 """
 
@@ -36,7 +46,36 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.serving.storage import quantize_int8, quantized_scores
+
 __all__ = ["BruteForceIndex", "IVFIndex", "LSHIndex", "unit_rows"]
+
+#: Accepted values of the ``quantized`` index knob.
+_QUANTIZED_MODES = (None, "int8")
+
+#: Coarse-to-fine prescan knobs for the quantized brute scan. On large
+#: matrices the full-width int8 scan is dequantize-bound, so a
+#: contiguous copy of every ``_PRESCAN_STRIDE``-th code column (a 4x
+#: cheaper read) shortlists ``_PRESCAN_POOL x`` the rerank depth first;
+#: only the shortlist gets the full-width int8 scan. Engaged when the
+#: matrix holds at least ``_PRESCAN_MIN_RATIO x`` the shortlist — below
+#: that the two-level pass saves nothing.
+_PRESCAN_STRIDE = 4
+_PRESCAN_POOL = 8
+_PRESCAN_MIN_RATIO = 4
+
+
+def _resolve_rerank(rerank: int | None, k: int) -> int:
+    """Candidate pool size the int8 scan hands to the exact re-rank.
+
+    ``None`` derives ``max(32 * k, 256)`` — deep enough that int8
+    ranking error (max per-row quantization error is ``scale / 2``)
+    practically never pushes a true top-k row out of the pool, shallow
+    enough that the einsum re-rank stays negligible next to the scan.
+    """
+    if rerank is None:
+        return max(32 * k, 256)
+    return max(int(rerank), k)
 
 
 def unit_rows(matrix: np.ndarray) -> np.ndarray:
@@ -89,17 +128,52 @@ def _top_k(scores: np.ndarray, row_ids: np.ndarray, k: int) -> np.ndarray:
 
 
 class BruteForceIndex:
-    """Exact cosine kNN by full matrix scan (the recall ground truth)."""
+    """Exact cosine kNN by full matrix scan (the recall ground truth).
+
+    Parameters
+    ----------
+    quantized:
+        ``"int8"`` scans an int8 per-row scale-quantized copy of the
+        unit matrix instead of the float32 exact scan, then re-ranks the
+        top ``rerank`` candidates through the shared exact kernel —
+        returned scores are exact float32 cosines, but a true neighbour
+        the int8 ranking buried below the re-rank pool can be missed
+        (recall@10 >= 0.95 goldens pin the depth default). The scan
+        kernel (chunked dequantize + BLAS gemv, coarse-to-fine over a
+        strided-column prescan copy on large matrices) is materially
+        faster than the exact path's shape-independent einsum at
+        serving sizes. ``None`` (default) keeps the exact scan.
+    rerank:
+        Candidate pool the int8 scan hands to the exact re-rank
+        (``quantized`` mode only). ``None`` derives ``max(32*k, 256)``
+        per query.
+    """
 
     backend_name = "exact"
-    #: ``query_many`` scores via one gemm, whose reduction order differs
-    #: from the per-query gemv by up to an ulp — batched results are not
-    #: guaranteed bit-identical to sequential ``query`` calls.
-    batch_matches_single = False
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, quantized: str | None = None, rerank: int | None = None
+    ) -> None:
+        if quantized not in _QUANTIZED_MODES:
+            raise ValueError(
+                f"unknown quantized mode {quantized!r}; "
+                f"choose from {_QUANTIZED_MODES}"
+            )
+        if rerank is not None and rerank < 1:
+            raise ValueError("rerank must be >= 1 (or None)")
+        self.quantized = quantized
+        self.rerank = rerank
+        #: Unquantized ``query_many`` scores via one gemm, whose
+        #: reduction order differs from the per-query gemv by up to an
+        #: ulp — batched results are then not bit-identical to
+        #: sequential ``query`` calls. The quantized scan is per-query
+        #: already, so its batched path loops ``query`` and matches.
+        self.batch_matches_single = quantized is not None
         self._raw: np.ndarray | None = None
         self._unit: np.ndarray | None = None
+        self._codes: np.ndarray | None = None  # (N, d) int8, quantized mode
+        self._scales: np.ndarray | None = None  # (N,) float32
+        self._codes_lo: np.ndarray | None = None  # (N, ceil(d/4)) prescan
         self.last_refresh_rows = 0
 
     @property
@@ -111,6 +185,11 @@ class BruteForceIndex:
         """(Re)build from scratch over ``matrix`` rows."""
         self._raw = np.array(matrix, dtype=np.float32)
         self._unit = unit_rows(self._raw)
+        if self.quantized:
+            self._codes, self._scales = quantize_int8(self._unit)
+            self._codes_lo = np.ascontiguousarray(
+                self._codes[:, ::_PRESCAN_STRIDE]
+            )
         self.last_refresh_rows = self.num_rows
 
     def refresh(self, matrix: np.ndarray, tolerance: float = 0.0) -> int:
@@ -133,8 +212,30 @@ class BruteForceIndex:
                 unit = np.empty_like(matrix)
                 unit[:old_n] = self._unit
                 self._raw, self._unit = raw, unit
+                if self.quantized:
+                    codes = np.empty(matrix.shape, dtype=np.int8)
+                    codes[:old_n] = self._codes
+                    scales = np.empty(matrix.shape[0], dtype=np.float32)
+                    scales[:old_n] = self._scales
+                    codes_lo = np.empty(
+                        (matrix.shape[0], self._codes_lo.shape[1]),
+                        dtype=np.int8,
+                    )
+                    codes_lo[:old_n] = self._codes_lo
+                    self._codes, self._scales = codes, scales
+                    self._codes_lo = codes_lo
             self._raw[changed] = matrix[changed]
-            self._unit[changed] = unit_rows(matrix[changed])
+            fresh_unit = unit_rows(matrix[changed])
+            self._unit[changed] = fresh_unit
+            if self.quantized:
+                # Per-row codec: re-encoding only the touched rows is
+                # bit-identical to a full rebuild's encoding.
+                self._codes[changed], self._scales[changed] = quantize_int8(
+                    fresh_unit
+                )
+                self._codes_lo[changed] = self._codes[
+                    changed, ::_PRESCAN_STRIDE
+                ]
         self.last_refresh_rows = int(changed.size)
         return int(changed.size)
 
@@ -152,19 +253,63 @@ class BruteForceIndex:
         -------
         (row_ids, scores)
             ``int64`` row indices and their ``float32`` cosines, best
-            first, ties broken by ascending row id.
+            first, ties broken by ascending row id. In ``quantized``
+            mode the scores are still exact (re-ranked through the
+            shared kernel); only candidate *selection* is approximate.
         """
         if self._unit is None:
             raise RuntimeError("index is empty — call build() first")
         if k < 1:
             raise ValueError("k must be >= 1")
         q = _unit_vector(vector)
+        if self.quantized:
+            return self._quantized_query(q, k)
         # Shape-independent reduction: a shard-sliced matrix scores its
         # rows exactly like the full matrix does (see _cosine_scores).
         scores = _cosine_scores(self._unit, q)
         rows = np.arange(scores.size, dtype=np.int64)
         best = _top_k(scores, rows, k)
         return rows[best], scores[best]
+
+    def _quantized_query(
+        self, q: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Int8 candidate scan + exact float32 re-rank of the pool.
+
+        The int8 scan (chunked dequantize into a float32 staging buffer,
+        BLAS gemv per chunk) ranks rows approximately; the best
+        ``rerank`` candidates are then re-scored with the exact
+        shape-independent kernel, so the *returned* scores for any row
+        are bit-identical to the exact backend's scores for that row.
+
+        On large matrices the scan itself goes coarse-to-fine: a
+        contiguous every-``_PRESCAN_STRIDE``-th-column copy of the codes
+        (4x fewer bytes to dequantize) shortlists
+        ``_PRESCAN_POOL x rerank`` rows, and only the shortlist gets the
+        full-width int8 scan. Both levels rank deterministically
+        (``_top_k`` ties toward the lower row id), so refresh-vs-rebuild
+        bit-identity is preserved.
+        """
+        n = self._codes.shape[0]
+        rows = np.arange(n, dtype=np.int64)
+        depth = min(_resolve_rerank(self.rerank, k), n)
+        shortlist = _PRESCAN_POOL * depth
+        if n >= _PRESCAN_MIN_RATIO * shortlist:
+            q_lo = np.ascontiguousarray(q[::_PRESCAN_STRIDE])
+            coarse = quantized_scores(self._codes_lo, self._scales, q_lo)
+            keep = _top_k(coarse, rows, shortlist)
+            scanned = np.sort(rows[keep])
+            approx = quantized_scores(
+                self._codes[scanned], self._scales[scanned], q
+            )
+        else:
+            scanned = rows
+            approx = quantized_scores(self._codes, self._scales, q)
+        pool = _top_k(approx, scanned, depth)
+        candidates = np.sort(scanned[pool])
+        scores = _cosine_scores(self._unit[candidates], q)
+        best = _top_k(scores, candidates, k)
+        return candidates[best], scores[best]
 
     def query_many(
         self, vectors: np.ndarray, k: int = 10
@@ -192,12 +337,19 @@ class BruteForceIndex:
         results depend on the batch shape, scores may differ from
         :meth:`query` in the last ulp (``batch_matches_single`` is False);
         the ranking is still exact. Callers that need bit-identical
-        batched/unbatched results use the LSH backend.
+        batched/unbatched results use the LSH backend. In ``quantized``
+        mode the batch loops :meth:`query` instead — the chunked int8
+        scan is already the fast kernel, and the loop keeps batched
+        answers bit-identical to single ones (``batch_matches_single``
+        is True), so they share the serving cache.
         """
         if self._unit is None:
             raise RuntimeError("index is empty — call build() first")
         if k < 1:
             raise ValueError("k must be >= 1")
+        if self.quantized:
+            vectors = np.asarray(vectors, dtype=np.float32)
+            return [self.query(vectors[i], k) for i in range(vectors.shape[0])]
         queries = unit_rows(vectors)
         scores = self._unit @ queries.T  # (N, Q)
         rows = np.arange(scores.shape[0], dtype=np.int64)
@@ -671,6 +823,16 @@ class IVFIndex:
         backend hashes it. ``None`` derives the center from the first
         build and freezes it; pass ``other_index.center`` to rebuild a
         serving index from scratch with identical anchor assignment.
+    quantized:
+        ``"int8"`` pre-ranks the gathered cell members with the int8
+        per-row scale codec (:mod:`repro.serving.storage`) and exact
+        re-ranks only the top ``rerank`` of them — the returned scores
+        stay exact float32 cosines. Pays off when probed cells gather
+        far more members than the re-rank pool. ``None`` (default)
+        exact re-ranks every gathered member.
+    rerank:
+        Candidate pool the int8 pre-rank hands to the exact re-rank
+        (``quantized`` mode only); ``None`` derives ``max(32*k, 256)``.
 
     Notes
     -----
@@ -703,6 +865,8 @@ class IVFIndex:
         min_recall_fallback: float = 0.0,
         seed: int = 0,
         center: np.ndarray | None = None,
+        quantized: str | None = None,
+        rerank: int | None = None,
     ) -> None:
         if num_cells is not None and num_cells < 1:
             raise ValueError("num_cells must be >= 1")
@@ -710,10 +874,19 @@ class IVFIndex:
             raise ValueError("nprobe must be >= 1")
         if not 0.0 <= min_recall_fallback <= 1.0:
             raise ValueError("min_recall_fallback must lie in [0, 1]")
+        if quantized not in _QUANTIZED_MODES:
+            raise ValueError(
+                f"unknown quantized mode {quantized!r}; "
+                f"choose from {_QUANTIZED_MODES}"
+            )
+        if rerank is not None and rerank < 1:
+            raise ValueError("rerank must be >= 1 (or None)")
         self._num_cells_arg = None if num_cells is None else int(num_cells)
         self.nprobe = int(nprobe)
         self.min_recall_fallback = float(min_recall_fallback)
         self.seed = int(seed)
+        self.quantized = quantized
+        self.rerank = rerank
         #: Auto-sized anchors (and an auto-derived center) may be
         #: re-sized by a serving layer when the store outgrows the first
         #: build; explicit values are a user's pin (see LSHIndex).
@@ -728,6 +901,8 @@ class IVFIndex:
         self._n = 0
         self._raw: np.ndarray | None = None
         self._unit: np.ndarray | None = None
+        self._codes: np.ndarray | None = None  # (N, d) int8, quantized mode
+        self._scales: np.ndarray | None = None  # (N,) float32
         self._assign: np.ndarray | None = None  # (N,) int64 cell ids
         self._members: list[np.ndarray] = []  # sorted int64 rows per cell
         self._centroids: np.ndarray | None = None  # (C, d) float32
@@ -842,6 +1017,13 @@ class IVFIndex:
             unit[: self._n] = self._unit[: self._n]
             assign[: self._n] = self._assign[: self._n]
         self._raw, self._unit, self._assign = raw, unit, assign
+        if self.quantized:
+            codes = np.empty((new_capacity, dim), dtype=np.int8)
+            scales = np.empty(new_capacity, dtype=np.float32)
+            if self._n:
+                codes[: self._n] = self._codes[: self._n]
+                scales[: self._n] = self._scales[: self._n]
+            self._codes, self._scales = codes, scales
 
     # ------------------------------------------------------------------
     def build(self, matrix: np.ndarray, *, assignment=None) -> None:
@@ -875,6 +1057,8 @@ class IVFIndex:
         self._n = n
         self._raw = np.array(matrix)
         self._unit = unit
+        if self.quantized:
+            self._codes, self._scales = quantize_int8(unit)
         self._assign = assign
         self._members = [np.empty(0, dtype=np.int64) for _ in range(num_cells)]
         if n:
@@ -933,7 +1117,14 @@ class IVFIndex:
         self._n = n
         if changed.size:
             self._raw[changed] = matrix[changed]
-            self._unit[changed] = unit_rows(matrix[changed])
+            fresh_unit = unit_rows(matrix[changed])
+            self._unit[changed] = fresh_unit
+            if self.quantized:
+                # Per-row codec: refresh-encoding only touched rows is
+                # bit-identical to a rebuild's full encoding.
+                self._codes[changed], self._scales[changed] = quantize_int8(
+                    fresh_unit
+                )
         # Which rows change cell, and to where. `mover_old` is -1 for
         # brand-new rows (they have no cell to leave).
         num_cells_old = len(self._members)
@@ -1084,8 +1275,19 @@ class IVFIndex:
         # Cells are disjoint, so a sort (no dedup) restores the
         # ascending-row-id invariant _top_k's tie-break relies on.
         candidates = parts[0] if len(parts) == 1 else np.sort(np.concatenate(parts))
+        depth = _resolve_rerank(self.rerank, k)
+        if self.quantized and candidates.size > depth:
+            # Int8 pre-rank of the gathered members; only the top pool
+            # pays the exact kernel. Gathering codes via fancy indexing
+            # copies 1/4 the bytes a float32 gather would.
+            approx = quantized_scores(
+                self._codes[candidates], self._scales[candidates], q
+            )
+            pool = _top_k(approx, candidates, depth)
+            candidates = np.sort(candidates[pool])
         # Shape-independent re-rank (see _cosine_scores): the full-probe
-        # fallback therefore reproduces the exact backend bit-for-bit.
+        # fallback therefore reproduces the exact backend bit-for-bit
+        # (unquantized — the int8 pre-rank trims the candidate set).
         scores = _cosine_scores(self._unit[candidates], q)
         best = _top_k(scores, candidates, k)
         return candidates[best], scores[best]
@@ -1131,6 +1333,8 @@ class IVFIndex:
             min_recall_fallback=self.min_recall_fallback,
             seed=self.seed,
             center=None if self.auto_sized else self.center,
+            quantized=self.quantized,
+            rerank=self.rerank,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -60,6 +60,14 @@ class EmbeddingService:
         published version carries ``partition_cells`` metadata (GloDyNE's
         Step 1 cells), the service forwards it as the index's coarse
         quantizer; otherwise the index falls back to its frozen anchors.
+    quantized:
+        ``"int8"`` builds the backend with the int8 candidate-scan
+        codec (:mod:`repro.serving.storage`): the scan pre-ranks rows
+        from quantized codes and exact-reranks the top pool, so
+        returned scores stay exact float32 cosines. Supported by the
+        ``exact`` and ``ivf`` backends (``ValueError`` on ``lsh``,
+        whose candidate gather is already sub-linear); ignored when
+        ``index`` is given.
     index:
         A pre-configured index instance (e.g. an :class:`LSHIndex` with
         tuned table/bit counts, or an :class:`IVFIndex` with a tuned
@@ -83,6 +91,7 @@ class EmbeddingService:
         store: EmbeddingStore,
         *,
         backend: str = "lsh",
+        quantized: str | None = None,
         index: BruteForceIndex | LSHIndex | IVFIndex | None = None,
         refresh_tolerance: float = 1e-7,
         cache_size: int = 1024,
@@ -93,11 +102,17 @@ class EmbeddingService:
                 raise ValueError(
                     f"unknown backend {backend!r}; choose from {_BACKENDS}"
                 )
-            index = {
-                "lsh": LSHIndex,
-                "exact": BruteForceIndex,
-                "ivf": IVFIndex,
-            }[backend]()
+            if backend == "lsh":
+                if quantized is not None:
+                    raise ValueError(
+                        "quantized scans need the exact or ivf backend; "
+                        "lsh already gathers sub-linear candidate sets"
+                    )
+                index = LSHIndex()
+            elif backend == "exact":
+                index = BruteForceIndex(quantized=quantized)
+            else:
+                index = IVFIndex(quantized=quantized)
         if unit_cache_size < 0:
             raise ValueError("unit_cache_size must be >= 0")
         self.store = store
@@ -445,9 +460,19 @@ class EmbeddingService:
             return float(np.asarray(a, dtype=np.float64) @ b)
         raise ValueError(f"unknown metric {metric!r}; choose cosine or dot")
 
-    def embed_at(self, version: int | None = None) -> EmbeddingMap:
-        """Time-travel read: the full embedding map of ``version``."""
-        return self.store.version(version).as_map()
+    def embed_at(
+        self, version: int | None = None, *, nearest: bool = False
+    ) -> EmbeddingMap:
+        """Time-travel read: the full embedding map of ``version``.
+
+        On a tiered store a cold version pages in transparently
+        (bit-identical to the resident original). ``nearest=True``
+        degrades a compacted-away version to the nearest kept one
+        instead of raising ``LookupError`` — pin versions you must be
+        able to read exactly (:meth:`EmbeddingStore.pin
+        <repro.serving.store.EmbeddingStore.pin>`).
+        """
+        return self.store.version(version, nearest=nearest).as_map()
 
     # ------------------------------------------------------------------
     def _materialise(

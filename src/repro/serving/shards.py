@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Hashable, Mapping
 
 import numpy as np
@@ -105,7 +106,10 @@ class ShardAssignment:
 
 
 def split_store(
-    store: EmbeddingStore, num_shards: int
+    store: EmbeddingStore,
+    num_shards: int,
+    *,
+    store_dir: "str | Path | None" = None,
 ) -> tuple[list[EmbeddingStore], ShardAssignment]:
     """Split ``store`` into ``num_shards`` disjoint per-shard stores.
 
@@ -116,12 +120,23 @@ def split_store(
     same version id (rows in ascending parent-row order), so pinned
     time travel and the head mean the same thing on every shard.
 
+    Tiering is preserved: a tiered parent (``store_dir`` set) yields
+    tiered shards — each shard spills its own cold versions under
+    ``<parent store_dir>/shards/shard-<i>`` (or ``store_dir`` here) with
+    the parent's ``hot_versions`` window, so sharding a long history
+    never re-residents it N times. Compacted (tombstoned) parent
+    versions stay tombstoned at the same ids on every shard.
+
     Parameters
     ----------
     store:
-        The parent store; never mutated. Must hold >= 1 version.
+        The parent store; never mutated. Must hold >= 1 live version.
     num_shards:
         Shards to split into, ``>= 1``.
+    store_dir:
+        Spill base directory for the shard stores (shard ``i`` uses
+        ``store_dir/shard-<i>``). Default: derived from the parent's
+        ``store_dir`` when tiered, else shards stay all-RAM.
 
     Returns
     -------
@@ -151,8 +166,26 @@ def split_store(
     else:
         assignment = ShardAssignment(num_shards, "hash")
 
-    shards = [EmbeddingStore() for _ in range(num_shards)]
-    for record in store:
+    if store_dir is None and store.store_dir is not None:
+        store_dir = store.store_dir / "shards"
+    shards = [
+        EmbeddingStore(
+            store_dir=(
+                None if store_dir is None else Path(store_dir) / f"shard-{i}"
+            ),
+            hot_versions=store.hot_versions,
+        )
+        for i in range(num_shards)
+    ]
+    tombstoned = set(store.tombstones)
+    for version_id in range(store.num_versions):
+        if version_id in tombstoned:
+            # Keep the id space aligned with the parent: a compacted
+            # version is tombstoned, not renumbered, on every shard.
+            for shard in shards:
+                shard._append_tombstone()
+            continue
+        record = store.version(version_id)
         by_shard: list[list[int]] = [[] for _ in range(num_shards)]
         for row, node in enumerate(record.nodes):
             by_shard[assignment.owner_of(node)].append(row)

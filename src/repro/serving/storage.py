@@ -1,0 +1,342 @@
+"""Tiered version storage: mmap-backed cold spill, int8 codec, compaction.
+
+The serving store (:mod:`repro.serving.store`) is append-only — every
+GloDyNE flush publishes a full float32 Z^t — so its memory footprint
+grows linearly with history: ~0.5 GB per version at 1M nodes x d=128.
+This module supplies the three mechanisms that keep a long history
+servable, all behind the unchanged :class:`~repro.serving.store.
+EmbeddingStore` API:
+
+* **Cold spill** (:class:`ColdVersionStorage`) — versions outside the
+  hot window (head + pins) are written to disk as one raw ``.npy``
+  matrix plus a JSON sidecar (node ids via the
+  :mod:`repro.core.persistence` codec, so arbitrary str/int ids
+  round-trip) and dropped from RAM. Reads page them back in through
+  ``np.load(..., mmap_mode="r")`` — the kernel's page cache holds only
+  the rows a query touches, and reclaims them under pressure.
+* **Int8 quantization** (:func:`quantize_int8` / :func:`quantized_scores`)
+  — a per-row symmetric scale codec (``scale = max|row| / 127``) the
+  exact and IVF indexes use for their *candidate* scans. The scan
+  kernel dequantizes chunks into a reusable float32 buffer and hands
+  each chunk to BLAS gemv: numpy has no SIMD int8 dot, so this is the
+  fastest int8-storage scan pure numpy offers, and unlike the exact
+  path it owes no bit-exactness contract — top candidates are re-ranked
+  through the shared einsum kernel, which restores exact final scores.
+* **Compaction** (:class:`CompactionPolicy`) — a ``keep_head_n`` +
+  ``keep_every_k`` GC rule. Dropped versions are tombstoned, not
+  renumbered, so version ids stay stable; ``resolve_version`` degrades
+  to the nearest kept version only when the caller passes an explicit
+  ``nearest=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.persistence import decode_node_column, encode_node_column
+
+__all__ = [
+    "ColdVersionStorage",
+    "CompactionPolicy",
+    "dequantize_int8",
+    "quantize_int8",
+    "quantized_scores",
+]
+
+#: On-disk format of a spilled version (sidecar ``format`` field).
+COLD_FORMAT_VERSION = 1
+
+#: Rows per dequantize-and-gemv chunk in :func:`quantized_scores`.
+#: Tuned on the recording host: large enough to amortise the gemv call,
+#: small enough that the float32 staging buffer stays L2-resident
+#: (1024 x 128 x 4 B = 512 KiB).
+DEFAULT_SCAN_CHUNK = 1024
+
+
+# ----------------------------------------------------------------------
+# int8 per-row scale quantization
+# ----------------------------------------------------------------------
+def quantize_int8(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize rows to int8 with a per-row symmetric scale.
+
+    Each row is encoded as ``round(row / scale)`` with
+    ``scale = max|row| / 127`` — the classic symmetric scheme: zero maps
+    to zero exactly and the full int8 range is spent on the row's actual
+    dynamic range. All-zero rows get scale 0 and decode back to zero.
+
+    Parameters
+    ----------
+    matrix:
+        Float matrix of shape ``(n, d)`` (any float dtype).
+
+    Returns
+    -------
+    (codes, scales)
+        ``int8`` codes of shape ``(n, d)`` and ``float32`` per-row
+        scales of shape ``(n,)`` with
+        ``matrix ≈ codes.astype(float32) * scales[:, None]``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    peak = np.max(np.abs(matrix), axis=1)
+    scales = (peak / 127.0).astype(np.float32)
+    safe = np.where(scales > 0.0, scales, np.float32(1.0))
+    codes = np.rint(matrix / safe[:, None]).astype(np.int8)
+    return codes, scales
+
+
+def dequantize_int8(codes: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Reconstruct the float32 matrix :func:`quantize_int8` encoded.
+
+    Parameters
+    ----------
+    codes:
+        ``int8`` codes of shape ``(n, d)``.
+    scales:
+        ``float32`` per-row scales of shape ``(n,)``.
+
+    Returns
+    -------
+    np.ndarray
+        Float32 reconstruction, max per-row error ``scale / 2``.
+    """
+    codes = np.asarray(codes, dtype=np.int8)
+    scales = np.asarray(scales, dtype=np.float32)
+    return codes.astype(np.float32) * scales[:, None]
+
+
+def quantized_scores(
+    codes: np.ndarray,
+    scales: np.ndarray,
+    query: np.ndarray,
+    *,
+    chunk: int = DEFAULT_SCAN_CHUNK,
+) -> np.ndarray:
+    """Approximate per-row dot products against an int8-coded matrix.
+
+    The kernel dequantizes ``chunk`` rows at a time into one reusable
+    float32 staging buffer (a SIMD int8→float32 cast) and reduces each
+    chunk with BLAS gemv, then applies the per-row scales once at the
+    end. Numpy's integer matmul has no vectorised kernel, so staging
+    through float32 beats every direct int8 reduction — and beats the
+    exact path's shape-independent einsum scan, which buys determinism
+    the approximate candidate scan does not need (top candidates are
+    re-ranked exactly afterwards).
+
+    Parameters
+    ----------
+    codes:
+        ``int8`` codes of shape ``(n, d)``.
+    scales:
+        ``float32`` per-row scales of shape ``(n,)``.
+    query:
+        Float query vector of shape ``(d,)``.
+    chunk:
+        Rows per staging chunk (:data:`DEFAULT_SCAN_CHUNK`).
+
+    Returns
+    -------
+    np.ndarray
+        Float32 approximate scores of shape ``(n,)`` —
+        ``dequantize_int8(codes, scales) @ query`` without materialising
+        the dequantized matrix.
+    """
+    codes = np.asarray(codes, dtype=np.int8)
+    scales = np.asarray(scales, dtype=np.float32)
+    query = np.asarray(query, dtype=np.float32).ravel()
+    n, d = codes.shape
+    out = np.empty(n, dtype=np.float32)
+    staging = np.empty((min(chunk, n) or 1, d), dtype=np.float32)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = staging[: stop - start]
+        np.copyto(block, codes[start:stop], casting="unsafe")
+        out[start:stop] = block @ query
+    out *= scales
+    return out
+
+
+# ----------------------------------------------------------------------
+# cold (on-disk, mmap-backed) version storage
+# ----------------------------------------------------------------------
+class ColdVersionStorage:
+    """Directory of spilled store versions, one ``.npy`` + sidecar each.
+
+    Version ``v`` lives in two files under ``directory``:
+    ``v{v:06d}.npy`` (the raw float32 matrix, written by ``np.save`` so
+    a later ``np.load(mmap_mode="r")`` maps it without copying) and
+    ``v{v:06d}.json`` (format version, time step, metadata, and the
+    node column encoded with the :mod:`repro.core.persistence` codec).
+    The class is a dumb file manager — hot/cold policy lives in
+    :class:`~repro.serving.store.EmbeddingStore`.
+
+    Parameters
+    ----------
+    directory:
+        Spill directory; created (with parents) if missing.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def matrix_path(self, version: int) -> Path:
+        """Path of version ``version``'s raw matrix file."""
+        return self.directory / f"v{int(version):06d}.npy"
+
+    def sidecar_path(self, version: int) -> Path:
+        """Path of version ``version``'s JSON sidecar."""
+        return self.directory / f"v{int(version):06d}.json"
+
+    def __contains__(self, version: int) -> bool:
+        return self.matrix_path(version).exists()
+
+    def versions(self) -> list[int]:
+        """Spilled version ids present on disk, ascending."""
+        found = []
+        for path in self.directory.glob("v*.npy"):
+            stem = path.stem[1:]
+            if stem.isdigit() and self.sidecar_path(int(stem)).exists():
+                found.append(int(stem))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    def spill(self, record) -> None:
+        """Write one :class:`~repro.serving.store.VersionRecord` to disk.
+
+        Idempotent: versions are immutable, so an already-spilled id is
+        left untouched (a pinned version that goes cold again does not
+        rewrite its files). The sidecar is written after the matrix and
+        via an atomic rename, so a crash mid-spill never leaves a
+        sidecar pointing at a truncated matrix.
+        """
+        version = int(record.version)
+        if version in self:
+            return
+        np.save(self.matrix_path(version), np.asarray(record.matrix))
+        sidecar = {
+            "format": COLD_FORMAT_VERSION,
+            "version": version,
+            "time_step": int(record.time_step),
+            "metadata": record.metadata,
+            "nodes": encode_node_column(record.nodes).tolist(),
+        }
+        tmp = self.sidecar_path(version).with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(sidecar))
+        tmp.replace(self.sidecar_path(version))
+
+    def load(self, version: int):
+        """Page a spilled version back in as a ``VersionRecord``.
+
+        The matrix comes back as a read-only ``np.memmap`` — only the
+        rows a consumer touches occupy physical memory, and the round
+        trip is bit-identical to the RAM-resident original (``np.save``
+        writes the raw buffer). Node ids decode through the shared
+        persistence codec.
+        """
+        from repro.serving.store import VersionRecord
+
+        version = int(version)
+        sidecar = json.loads(self.sidecar_path(version).read_text())
+        fmt = int(sidecar.get("format", -1))
+        if fmt != COLD_FORMAT_VERSION:
+            raise ValueError(
+                f"cold version format {fmt} != supported {COLD_FORMAT_VERSION}"
+            )
+        nodes = tuple(
+            decode_node_column(np.asarray(sidecar["nodes"], dtype=object))
+        )
+        matrix = np.load(self.matrix_path(version), mmap_mode="r")
+        return VersionRecord(
+            version=version,
+            time_step=int(sidecar["time_step"]),
+            nodes=nodes,
+            matrix=matrix,
+            metadata=sidecar.get("metadata") or {},
+            row_of={node: i for i, node in enumerate(nodes)},
+        )
+
+    def delete(self, version: int) -> None:
+        """Remove a spilled version's files (missing files are a no-op)."""
+        self.matrix_path(version).unlink(missing_ok=True)
+        self.sidecar_path(version).unlink(missing_ok=True)
+
+    def bytes_on_disk(self, versions: Iterable[int] | None = None) -> int:
+        """Total file size of the given (default: all) spilled versions."""
+        if versions is None:
+            versions = self.versions()
+        total = 0
+        for version in versions:
+            for path in (self.matrix_path(version), self.sidecar_path(version)):
+                if path.exists():
+                    total += path.stat().st_size
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ColdVersionStorage({str(self.directory)!r})"
+
+
+# ----------------------------------------------------------------------
+# compaction / GC policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Which historical versions a compaction pass keeps.
+
+    A version survives when it is (any of): one of the newest
+    ``keep_head_n`` live versions; a multiple of ``keep_every_k``
+    (``version % keep_every_k == 0`` — a coarse time-travel spine);
+    or pinned. Everything else is tombstoned by
+    :meth:`EmbeddingStore.compact
+    <repro.serving.store.EmbeddingStore.compact>`.
+
+    Parameters
+    ----------
+    keep_head_n:
+        Newest live versions to keep, ``>= 1`` (the head must survive —
+        it is what the index serves).
+    keep_every_k:
+        Keep every k-th version id as a historical spine; ``None``
+        keeps no spine (only the head window and pins survive).
+    """
+
+    keep_head_n: int = 1
+    keep_every_k: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.keep_head_n < 1:
+            raise ValueError("keep_head_n must be >= 1 (the head must survive)")
+        if self.keep_every_k is not None and self.keep_every_k < 1:
+            raise ValueError("keep_every_k must be >= 1 (or None)")
+
+    def survivors(
+        self, live_versions: Sequence[int], pinned: Iterable[int] = ()
+    ) -> set[int]:
+        """The subset of ``live_versions`` this policy keeps.
+
+        Parameters
+        ----------
+        live_versions:
+            Ids of the currently live (non-tombstoned) versions.
+        pinned:
+            Ids that must survive regardless of the policy.
+
+        Returns
+        -------
+        set of int
+            Surviving version ids (always includes the newest
+            ``keep_head_n`` of ``live_versions`` and every pin).
+        """
+        ordered = sorted(int(v) for v in live_versions)
+        keep = set(ordered[-self.keep_head_n:]) if ordered else set()
+        if self.keep_every_k is not None:
+            keep.update(v for v in ordered if v % self.keep_every_k == 0)
+        keep.update(int(v) for v in pinned if v in set(ordered))
+        return keep

@@ -227,3 +227,52 @@ class TestServeAndQuery:
         )
         assert code == 0
         assert "top-3 similar to 0" in capsys.readouterr().out
+
+    def test_serve_tiered_compact_quantized(self, tmp_path, capsys):
+        # --store-dir spills cold versions to disk, --compact GCs before
+        # saving, --quantize int8 runs the smoke query through the int8
+        # scan path; query then loads the compacted store quantized.
+        store_path = tmp_path / "store.npz"
+        tier_dir = tmp_path / "tier"
+        code = main(
+            [
+                "serve", "--dataset", "elec-sim", "--scale", "0.25",
+                "--snapshots", "4", "--dim", "8", "--flush-events", "40",
+                "--store", str(store_path), "--store-dir", str(tier_dir),
+                "--compact", "2", "--index", "exact", "--quantize", "int8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke query [exact]" in out
+        assert "compacted store" in out
+        assert any(tier_dir.glob("*.npy"))  # cold spill files exist
+        code = main(
+            [
+                "query", "--store", str(store_path), "--node", "0",
+                "--k", "3", "--backend", "exact", "--quantize", "int8",
+            ]
+        )
+        assert code == 0
+        assert "top-3 similar to 0" in capsys.readouterr().out
+
+    def test_bad_compact_spec_exits(self, tmp_path, capsys):
+        store_path = tmp_path / "store.npz"
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve", "--dataset", "elec-sim", "--scale", "0.25",
+                    "--snapshots", "4", "--dim", "8",
+                    "--store", str(store_path), "--compact", "zero",
+                ]
+            )
+
+    def test_quantize_needs_exact_or_ivf(self, tmp_path, capsys):
+        store_path = self._serve(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="backend"):
+            main(
+                [
+                    "query", "--store", str(store_path), "--node", "0",
+                    "--backend", "lsh", "--quantize", "int8",
+                ]
+            )

@@ -74,6 +74,7 @@ def test_core_pages_are_reachable_from_nav():
         "guides/train.md",
         "guides/stream.md",
         "guides/serve.md",
+        "guides/storage.md",
         "guides/benchmark.md",
         "api.md",
         "contributing.md",
@@ -220,6 +221,77 @@ def public_defs_missing_docstrings(path: Path) -> list[str]:
 
     visit_body(tree.body, "")
     return missing
+
+
+# ----------------------------------------------------------------------
+# CLI flags: documented vs. real
+# ----------------------------------------------------------------------
+FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]+")
+
+# Flags documented for tools outside this repo's own parsers.
+FOREIGN_FLAGS = {
+    "--strict",  # mkdocs build --strict
+}
+
+
+def repro_cli_flags() -> set[str]:
+    """Every option string ``repro.cli.make_parser`` defines, recursively."""
+    import argparse
+
+    from repro.cli import make_parser
+
+    flags: set[str] = set()
+    stack = [make_parser()]
+    while stack:
+        parser = stack.pop()
+        for action in parser._actions:
+            flags.update(action.option_strings)
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return flags
+
+
+def script_flags(path: Path) -> set[str]:
+    """``add_argument("--flag", ...)`` literals from a script's AST."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    flags: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    flags.add(arg.value)
+    return flags
+
+
+def test_documented_cli_flags_exist():
+    """Every ``--flag`` the docs mention must exist in a real parser.
+
+    Guards against knob-table drift: renaming a flag in ``repro/cli.py``
+    (or ``benchmarks/run_all.py`` / ``examples/``) must take the docs
+    along, and a guide cannot document a flag that was never shipped.
+    """
+    valid = repro_cli_flags() | FOREIGN_FLAGS
+    valid |= script_flags(REPO_ROOT / "benchmarks" / "run_all.py")
+    for script in sorted((REPO_ROOT / "examples").glob("*.py")):
+        valid |= script_flags(script)
+    sources = sorted(DOCS_DIR.rglob("*.md")) + [REPO_ROOT / "README.md"]
+    unknown = [
+        f"{page.relative_to(REPO_ROOT)}: {flag}"
+        for page in sources
+        for flag in FLAG.findall(page.read_text(encoding="utf-8"))
+        if flag not in valid
+    ]
+    assert unknown == [], (
+        "documented flags no parser defines:\n" + "\n".join(unknown)
+    )
 
 
 def test_public_api_surface_is_fully_docstringed():

@@ -1,0 +1,81 @@
+"""Link-check a built mkdocs site: every local href/src must resolve.
+
+``mkdocs build --strict`` already fails on broken *markdown* links; this
+crawl runs over the rendered HTML instead, so anything the theme or
+mkdocstrings injected is covered too and the uploaded site artifact is
+known link-clean. External (``http``/``https``/``mailto``) targets are
+out of scope — CI should not depend on third-party uptime.
+
+Usage::
+
+    python tools/check_site_links.py site
+"""
+
+from __future__ import annotations
+
+import sys
+from html.parser import HTMLParser
+from pathlib import Path
+from urllib.parse import unquote, urlsplit
+
+
+class _RefCollector(HTMLParser):
+    """Collect every href/src attribute value from one HTML document."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.refs: list[str] = []
+
+    def handle_starttag(self, tag, attrs):  # noqa: D102 (HTMLParser hook)
+        for name, value in attrs:
+            if name in ("href", "src") and value:
+                self.refs.append(value)
+
+
+def _resolve(page: Path, ref: str, site: Path) -> Path | None:
+    """Map a local ref to the filesystem path it should point at."""
+    parts = urlsplit(ref)
+    if parts.scheme or parts.netloc:
+        return None  # external: not checked
+    path = unquote(parts.path)
+    if not path:
+        return None  # pure fragment (#anchor)
+    base = site if path.startswith("/") else page.parent
+    target = (base / path.lstrip("/")).resolve()
+    if path.endswith("/"):
+        target = target / "index.html"
+    return target
+
+
+def check_site(site: Path) -> list[str]:
+    """Return ``page -> ref`` descriptions for every dangling local ref."""
+    broken: list[str] = []
+    for page in sorted(site.rglob("*.html")):
+        collector = _RefCollector()
+        collector.feed(page.read_text(encoding="utf-8", errors="replace"))
+        for ref in collector.refs:
+            target = _resolve(page, ref, site)
+            if target is not None and not target.exists():
+                broken.append(f"{page.relative_to(site)}: {ref}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point: exit 1 when any local reference dangles."""
+    site = Path(argv[1] if len(argv) > 1 else "site").resolve()
+    pages = len(list(site.rglob("*.html")))
+    if not pages:
+        print(f"no HTML under {site} — build the site first", file=sys.stderr)
+        return 1
+    broken = check_site(site)
+    if broken:
+        print("dangling local references:", file=sys.stderr)
+        for entry in broken:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"link-check OK: {pages} pages, no dangling local references")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
