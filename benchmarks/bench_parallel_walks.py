@@ -13,6 +13,11 @@ Two claims measured, matching :mod:`repro.parallel`'s design:
    SGNS negatives once per mega-batch instead of once per minibatch;
    measured as a train-round timing against the legacy per-minibatch
    stream.
+3. **Walk kernel backends** — serial walk generation with
+   ``backend="python"`` vs ``backend="auto"`` (the compiled transition
+   kernel when numba is installed, the python kernel otherwise). On an
+   unweighted graph the walk stream is bit-identical across backends —
+   asserted in-bench — so the timing difference is pure kernel cost.
 
 Run standalone::
 
@@ -193,6 +198,61 @@ def run_negative_prefetch(
     return text, stats
 
 
+def run_backend_walks(
+    num_nodes: int = 2000,
+    num_walks: int = 5,
+    walk_length: int = 40,
+) -> tuple[str, dict]:
+    """Serial walk throughput per kernel backend, identity asserted."""
+    from repro.sgns import numba_available
+
+    graph = walk_benchmark_graph(num_nodes, seed=6)
+    csr = CSRAdjacency.from_graph(graph)
+    starts = np.arange(csr.num_nodes)
+
+    def walk_round(backend: str) -> tuple[float, np.ndarray]:
+        began = time.perf_counter()
+        walks = generate_walks(
+            csr, starts, num_walks, walk_length, np.random.default_rng(8),
+            backend=backend,
+        )
+        return time.perf_counter() - began, walks
+
+    walk_round("python")  # warm caches outside timing
+    walk_round("auto")
+    python_s, python_walks = walk_round("python")
+    auto_s, auto_walks = walk_round("auto")
+
+    # Uniform walks consume the same rng draws on every backend: the
+    # streams must match exactly, whether or not numba resolved.
+    assert np.array_equal(python_walks, auto_walks)
+
+    transitions = python_walks.shape[0] * (walk_length - 1)
+    stats = {
+        "numba_available": numba_available(),
+        "backend_python_s": python_s,
+        "backend_auto_s": auto_s,
+        "backend_python_transitions_per_sec":
+            transitions / max(python_s, 1e-9),
+        "backend_auto_transitions_per_sec": transitions / max(auto_s, 1e-9),
+    }
+    resolved = "numba" if stats["numba_available"] else "python fallback"
+    text = render_table(
+        ["backend", "seconds", "transitions/sec"],
+        [
+            ["python", f"{python_s:.3f}s",
+             f"{stats['backend_python_transitions_per_sec']:,.0f}"],
+            [f"auto ({resolved})", f"{auto_s:.3f}s",
+             f"{stats['backend_auto_transitions_per_sec']:,.0f}"],
+        ],
+        title=(
+            f"serial walk kernels: {python_walks.shape[0]} walks x "
+            f"{walk_length} steps, bit-identical streams"
+        ),
+    )
+    return text, stats
+
+
 # ----------------------------------------------------------------------
 # pytest entry points
 # ----------------------------------------------------------------------
@@ -208,6 +268,15 @@ def test_parallel_corpus_throughput(benchmark):
         assert stats["speedup"] >= 2.0, stats
     else:
         assert stats["speedup"] > 0.3, stats
+
+
+def test_backend_walks_bit_identical(benchmark):
+    text, stats = benchmark.pedantic(run_backend_walks, rounds=1, iterations=1)
+    print("\n" + text)
+    write_result("parallel_backend_walks.txt", text)
+    # Identity is asserted inside run_backend_walks; without numba the
+    # two timings measure the same kernel, so only sanity-check them.
+    assert stats["backend_auto_s"] > 0.0
 
 
 def test_negative_prefetch_not_slower(benchmark):
@@ -236,8 +305,12 @@ def run_bench(tiny: bool) -> dict:
         if tiny
         else dict()
     )
+    backend_kwargs = (
+        dict(num_nodes=400, num_walks=3, walk_length=15) if tiny else dict()
+    )
     corpus_text, corpus_stats = run_corpus_throughput(**corpus_kwargs)
     prefetch_text, prefetch_stats = run_negative_prefetch(**prefetch_kwargs)
+    backend_text, backend_stats = run_backend_walks(**backend_kwargs)
     return {
         "metrics": {
             "corpus_speedup": corpus_stats["speedup"],
@@ -253,6 +326,7 @@ def run_bench(tiny: bool) -> dict:
             "prefetch_speedup": prefetch_stats["speedup"],
             "prefetch_legacy_s": prefetch_stats["legacy_s"],
             "prefetch_mega_s": prefetch_stats["mega_s"],
+            **backend_stats,
         },
         "config": {
             "workers": corpus_stats["workers"],
@@ -260,5 +334,5 @@ def run_bench(tiny: bool) -> dict:
             "negative_prefetch": prefetch_stats["prefetch"],
             **{f"corpus_{k}": v for k, v in corpus_kwargs.items()},
         },
-        "summary": corpus_text + "\n\n" + prefetch_text,
+        "summary": "\n\n".join([corpus_text, prefetch_text, backend_text]),
     }

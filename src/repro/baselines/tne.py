@@ -56,6 +56,7 @@ class TNE(DynamicEmbeddingMethod):
         decay: float = 0.6,
         seed: int | None = None,
         workers: int = 1,
+        backend: str = "auto",
     ) -> None:
         """``decay`` is the weight of history in the temporal pooling:
         ``F^t = decay * F^{t-1} + (1 - decay) * Z^t_aligned``.
@@ -74,6 +75,7 @@ class TNE(DynamicEmbeddingMethod):
             negative=negative,
             epochs=epochs,
             workers=workers,
+            backend=backend,
         )
         self.decay = float(decay)
         self._seed = seed

@@ -62,15 +62,16 @@ PROFILES = {
 
 
 def _builders(
-    profile: dict, workers: int = 1, incremental_partition: bool = False
+    profile: dict, workers: int = 1, incremental_partition: bool = False,
+    backend: str = "auto",
 ) -> dict:
     walk = profile["walk"]
     iters = profile["bcgd_iterations"]
     dyngem = profile["dyngem"]
     # Only the Skip-Gram-walk methods have a parallel hot path; the dense
-    # baselines ignore --workers. Incremental Step 1 partition
+    # baselines ignore --workers / --backend. Incremental Step 1 partition
     # maintenance only exists for GloDyNE (the only partitioning method).
-    walk_par = dict(walk, workers=workers)
+    walk_par = dict(walk, workers=workers, backend=backend)
     return {
         "glodyne": lambda dim, seed: GloDyNE(
             dim=dim, alpha=0.1, seed=seed,
@@ -103,12 +104,13 @@ METHOD_NAMES = sorted(_builders(PROFILES["quick"]))
 
 def build_method(
     name: str, dim: int, seed: int, profile: str = "quick", workers: int = 1,
-    incremental_partition: bool = False,
+    incremental_partition: bool = False, backend: str = "auto",
 ) -> DynamicEmbeddingMethod:
     try:
         builders = _builders(
             PROFILES[profile], workers=workers,
             incremental_partition=incremental_partition,
+            backend=backend,
         )
     except KeyError:
         raise SystemExit(
@@ -156,6 +158,7 @@ def cmd_embed(args: argparse.Namespace) -> int:
     method = build_method(
         args.method, args.dim, args.seed, args.profile, workers=args.workers,
         incremental_partition=args.incremental_partition,
+        backend=args.backend,
     )
     started = time.perf_counter()
     result = run_method(method, network)
@@ -194,6 +197,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     method = build_method(
         args.method, args.dim, args.seed, args.profile, workers=args.workers,
         incremental_partition=args.incremental_partition,
+        backend=args.backend,
     )
     result = run_method(method, network)
     if not result.ok:
@@ -286,7 +290,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid flush policy: {error}") from None
     engine = StreamingGloDyNE(
         seed=args.seed, policy=policy, dim=args.dim, alpha=0.1,
-        workers=args.workers,
+        workers=args.workers, backend=args.backend,
         incremental_partition=args.incremental_partition, **walk,
     )
     started = time.perf_counter()
@@ -696,6 +700,12 @@ def make_parser() -> argparse.ArgumentParser:
             help="maintain Step 1's partition incrementally across "
             "snapshots instead of rebuilding it per step (GloDyNE only)",
         )
+        p.add_argument(
+            "--backend", default="auto", choices=["auto", "python", "numba"],
+            help="SGNS/walk kernel backend: auto uses numba when "
+            "installed, falling back to the bit-identical pure-python "
+            "kernels (Skip-Gram-walk methods only)",
+        )
 
     embed = sub.add_parser("embed", help="embed a dynamic network")
     common(embed)
@@ -735,6 +745,11 @@ def make_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--incremental-partition", action="store_true",
         help="maintain Step 1's partition incrementally across flushes",
+    )
+    stream.add_argument(
+        "--backend", default="auto", choices=["auto", "python", "numba"],
+        help="SGNS/walk kernel backend for each flush (auto = numba when "
+        "installed, else the bit-identical pure-python kernels)",
     )
     stream.add_argument(
         "--flush-events", type=int, default=400,

@@ -32,8 +32,9 @@ from repro.core.selection import SelectionContext, get_strategy
 from repro.graph.csr import CSRAdjacency
 from repro.graph.diff import diff_snapshots, weighted_node_changes
 from repro.graph.static import Graph
-from repro.parallel import DEFAULT_CHUNK_STARTS, generate_walks
+from repro.parallel import DEFAULT_CHUNK_STARTS, generate_corpus
 from repro.partition.incremental import IncrementalPartitioner
+from repro.sgns import kernels
 from repro.sgns.model import SGNSModel
 from repro.sgns.trainer import TrainConfig, train_on_corpus
 from repro.walks.corpus import build_pair_corpus
@@ -89,6 +90,16 @@ class GloDyNEConfig:
     workers: int = 1
     chunk_starts: int = DEFAULT_CHUNK_STARTS
     negative_prefetch: int | None = None
+    # Kernel backend for the SGNS gradient step and walk transitions
+    # (:mod:`repro.sgns.kernels`): "auto" uses numba when importable and
+    # falls back to the pure-python kernels silently; both produce
+    # bit-identical embeddings, so the knob affects wall-clock only.
+    # Resolved lazily per process (spawned walk workers re-resolve from
+    # the string). Biased (p/q != 1) walks ignore it; weighted snapshots
+    # switch non-python backends to the alias-table stepper, which is
+    # reproducible per backend but draws a different stream than the
+    # python searchsorted stepper.
+    backend: str = "auto"
 
     #: Minibatches per negative mega-batch when workers >= 2 and
     #: ``negative_prefetch`` is left on auto. A constant (never derived
@@ -114,6 +125,10 @@ class GloDyNEConfig:
             raise ValueError("partition_eps must be non-negative")
         if self.partition_cut_slack < 0:
             raise ValueError("partition_cut_slack must be non-negative")
+        if self.backend not in kernels.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {kernels.BACKENDS}, got {self.backend!r}"
+            )
 
     def resolved_negative_prefetch(self) -> int:
         """Effective mega-batch size: explicit value, else profile default."""
@@ -130,6 +145,7 @@ class GloDyNEConfig:
             min_lr=self.min_lr,
             batch_size=self.batch_size,
             negative_prefetch=self.resolved_negative_prefetch(),
+            backend=self.backend,
         )
 
 
@@ -413,9 +429,18 @@ class GloDyNE(DynamicEmbeddingMethod):
     ) -> StepTrace:
         cfg = self.config
         if cfg.walk_p == 1.0 and cfg.walk_q == 1.0:
-            walks = generate_walks(
-                csr, start_indices, cfg.num_walks, cfg.walk_length, self.rng,
+            # Fused walk→corpus: chunks stream into the corpus builder as
+            # workers produce them, so the full walk matrix never exists
+            # in this process at workers>=2. Bit-identical to the old
+            # generate_walks + build_pair_corpus two-phase path (and it
+            # must run *before* ensure_nodes — both draw from self.rng,
+            # and the legacy draw order is walks, then row init, then
+            # training).
+            corpus = generate_corpus(
+                csr, start_indices, cfg.num_walks, cfg.walk_length,
+                cfg.window_size, self.rng,
                 workers=cfg.workers, chunk_starts=cfg.chunk_starts,
+                backend=cfg.backend, fused=True,
             )
         else:
             from repro.walks.biased import simulate_biased_walks
@@ -424,7 +449,7 @@ class GloDyNE(DynamicEmbeddingMethod):
                 csr, start_indices, cfg.num_walks, cfg.walk_length,
                 self.rng, p=cfg.walk_p, q=cfg.walk_q,
             )
-        corpus = build_pair_corpus(walks, cfg.window_size, csr.num_nodes)
+            corpus = build_pair_corpus(walks, cfg.window_size, csr.num_nodes)
 
         # The model vocabulary is global across time; register every node
         # of the snapshot (walks may visit any of them).

@@ -37,8 +37,9 @@ def _deepwalk_round(
 ) -> None:
     """One full DeepWalk training round (walks from every node).
 
-    Honours ``config.workers``: the variants share GloDyNE's parallel
-    walk engine (serial and bit-identical at workers=1).
+    Honours ``config.workers`` and ``config.backend``: the variants share
+    GloDyNE's parallel walk engine (serial and bit-identical at
+    workers=1) and its kernel backends.
     """
     csr = CSRAdjacency.from_graph(snapshot)
     walks = generate_walks(
@@ -49,6 +50,7 @@ def _deepwalk_round(
         rng,
         workers=config.workers,
         chunk_starts=config.chunk_starts,
+        backend=config.backend,
     )
     corpus = build_pair_corpus(walks, config.window_size, csr.num_nodes)
     model.ensure_nodes(csr.nodes)

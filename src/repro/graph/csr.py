@@ -38,6 +38,7 @@ class CSRAdjacency:
         "weights",
         "_cumulative",
         "_global_cumulative",
+        "_row_alias",
         "_uniform",
     )
 
@@ -61,6 +62,7 @@ class CSRAdjacency:
         # need it.
         self._cumulative: np.ndarray | None = None
         self._global_cumulative: np.ndarray | None = None
+        self._row_alias: tuple[np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRAdjacency":
@@ -144,6 +146,32 @@ class CSRAdjacency:
             np.cumsum(self.weights, out=gcum[1:])
             self._global_cumulative = gcum
         return self._global_cumulative
+
+    def row_alias_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened per-row alias tables for O(1) weighted transitions.
+
+        Builds a Walker/Vose :class:`repro.walks.alias.AliasTable` per
+        node row and flattens them into two CSR-aligned arrays
+        ``(probability, alias)``: the table slot for neighbour ``k`` of
+        node ``i`` lives at ``indptr[i] + k``, and ``alias`` entries are
+        row-local neighbour positions. Consumed by the alias walk kernels
+        (:mod:`repro.sgns.kernels`); built lazily and cached because only
+        weighted graphs on the alias backend need it.
+        """
+        if self._row_alias is None:
+            from repro.walks.alias import AliasTable
+
+            probability = np.ones(self.weights.size, dtype=np.float64)
+            alias = np.zeros(self.weights.size, dtype=np.int64)
+            for i in range(self.num_nodes):
+                start, end = int(self.indptr[i]), int(self.indptr[i + 1])
+                if end == start:
+                    continue
+                table = AliasTable(self.weights[start:end])
+                probability[start:end] = table.probability
+                alias[start:end] = table.alias
+            self._row_alias = (probability, alias)
+        return self._row_alias
 
     def to_scipy(self):
         """Export as ``scipy.sparse.csr_matrix`` (symmetric adjacency)."""

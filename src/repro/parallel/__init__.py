@@ -20,6 +20,7 @@ from repro.parallel.engine import (
     chunk_plan,
     generate_corpus,
     generate_walks,
+    iter_walk_chunks,
     shutdown_pools,
     spawn_chunk_seeds,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "chunk_plan",
     "generate_corpus",
     "generate_walks",
+    "iter_walk_chunks",
     "shutdown_pools",
     "spawn_chunk_seeds",
 ]

@@ -35,7 +35,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.graph.csr import CSRAdjacency
-from repro.walks.corpus import PairCorpus, build_pair_corpus
+from repro.walks.corpus import PairCorpus, StreamedCorpusBuilder, build_pair_corpus
 from repro.walks.random_walk import simulate_walks
 
 #: Start nodes per chunk. Part of the determinism contract: changing it
@@ -56,11 +56,18 @@ class SharedCSR:
     Use as a context manager; exit closes *and unlinks* the blocks.
     """
 
-    def __init__(self, csr: CSRAdjacency) -> None:
+    def __init__(self, csr: CSRAdjacency, backend: str = "python") -> None:
         self._blocks: list[shared_memory.SharedMemory] = []
         arrays = {"indptr": csr.indptr, "indices": csr.indices}
         if not csr.is_uniform:
             arrays["gcum"] = csr.global_cumulative_weights()
+            if backend != "python":
+                # Non-python backends step weighted walks through per-row
+                # alias tables instead of the global cumsum; workers need
+                # the flattened tables attached (built once, parent-side).
+                probability, alias = csr.row_alias_tables()
+                arrays["aprob"] = probability
+                arrays["aalias"] = alias
         described = {}
         try:
             for name, array in arrays.items():
@@ -113,11 +120,18 @@ class _SharedCSRView:
         self.indptr = attached["indptr"]
         self.indices = attached["indices"]
         self._gcum = attached.get("gcum")
+        self._aprob = attached.get("aprob")
+        self._aalias = attached.get("aalias")
         self.degrees = np.diff(self.indptr)
 
     def global_cumulative_weights(self) -> np.ndarray:
         assert self._gcum is not None
         return self._gcum
+
+    def row_alias_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Attached flattened alias tables (shared only for kernel backends)."""
+        assert self._aprob is not None and self._aalias is not None
+        return self._aprob, self._aalias
 
 
 def _attach_view(
@@ -139,24 +153,55 @@ def _walk_chunk(
     num_walks: int,
     walk_length: int,
     seed: np.random.SeedSequence,
+    backend: str = "python",
 ) -> None:
     """Pool task: walk one chunk against the shared CSR. Top-level for pickling.
 
     Results are written straight into the shared output matrix described
     by ``out`` (block name, full shape, this chunk's starting row) — the
     walk rows never round-trip through pickle, which on a full snapshot
-    is tens of megabytes per update.
+    is tens of megabytes per update. ``backend`` travels as a plain
+    string and is resolved inside the worker (per-process, per the
+    kernel-backend contract).
     """
     out_name, out_shape, row_offset = out
     view, blocks = _attach_view(spec)
     out_block = shared_memory.SharedMemory(name=out_name)
     try:
         rng = np.random.default_rng(seed)
-        walks = simulate_walks(view, starts, num_walks, walk_length, rng)
+        walks = simulate_walks(
+            view, starts, num_walks, walk_length, rng, backend=backend
+        )
         matrix = np.ndarray(out_shape, dtype=np.int64, buffer=out_block.buf)
         matrix[row_offset: row_offset + walks.shape[0]] = walks
     finally:
         out_block.close()
+        for block in blocks:
+            block.close()
+
+
+def _walk_chunk_rows(
+    spec: dict,
+    starts: np.ndarray,
+    num_walks: int,
+    walk_length: int,
+    seed: np.random.SeedSequence,
+    backend: str = "python",
+) -> np.ndarray:
+    """Pool task for the streaming path: walk one chunk, *return* its rows.
+
+    Unlike :func:`_walk_chunk` there is no shared output matrix — that is
+    the point: the fused walk→train path never materializes the full walk
+    matrix anywhere, so each chunk's rows come back through pickle and
+    are folded into the corpus builder as they arrive.
+    """
+    view, blocks = _attach_view(spec)
+    try:
+        rng = np.random.default_rng(seed)
+        return simulate_walks(
+            view, starts, num_walks, walk_length, rng, backend=backend
+        )
+    finally:
         for block in blocks:
             block.close()
 
@@ -239,18 +284,24 @@ def generate_walks(
     *,
     workers: int = 1,
     chunk_starts: int = DEFAULT_CHUNK_STARTS,
+    backend: str = "python",
 ) -> np.ndarray:
     """Truncated walks from ``start_indices`` — serial or chunked-parallel.
 
     ``workers=1`` is the legacy serial path on the caller's rng, bit for
     bit. ``workers>=2`` runs the chunked engine; its output is invariant
     to the worker count and to pool availability (see module docstring).
+    ``backend`` selects the transition kernels (see
+    :func:`repro.walks.random_walk.simulate_walks`); it is threaded to
+    workers as a string and resolved per process.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     starts = np.asarray(start_indices, dtype=np.int64)
     if workers == 1:
-        return simulate_walks(csr, starts, num_walks, walk_length, rng)
+        return simulate_walks(
+            csr, starts, num_walks, walk_length, rng, backend=backend
+        )
 
     chunks = chunk_plan(starts.size, chunk_starts)
     seeds = spawn_chunk_seeds(rng, len(chunks))
@@ -266,7 +317,7 @@ def generate_walks(
                 out_block = shared_memory.SharedMemory(
                     create=True, size=max(1, shape[0] * shape[1] * 8)
                 )
-                with SharedCSR(csr) as shared:
+                with SharedCSR(csr, backend=backend) as shared:
                     futures = [
                         pool.submit(
                             _walk_chunk,
@@ -276,6 +327,7 @@ def generate_walks(
                             num_walks,
                             walk_length,
                             seed,
+                            backend,
                         )
                         for chunk, seed in zip(chunks, seeds)
                     ]
@@ -296,11 +348,102 @@ def generate_walks(
         [
             simulate_walks(
                 csr, starts[chunk], num_walks, walk_length,
-                np.random.default_rng(seed),
+                np.random.default_rng(seed), backend=backend,
             )
             for chunk, seed in zip(chunks, seeds)
         ]
     )
+
+
+def iter_walk_chunks(
+    csr: CSRAdjacency,
+    start_indices,
+    num_walks: int,
+    walk_length: int,
+    rng: np.random.Generator,
+    *,
+    workers: int = 1,
+    chunk_starts: int = DEFAULT_CHUNK_STARTS,
+    backend: str = "python",
+):
+    """Yield walk-row chunks instead of one stacked matrix (fused path).
+
+    Yields ``(rows, walk_length)`` int64 blocks whose row-order
+    concatenation equals :func:`generate_walks` with identical arguments,
+    bit for bit — both paths consume the caller rng the same way
+    (``workers=1``: the serial stream; ``workers>=2``: the single
+    :func:`spawn_chunk_seeds` draw) and walk each chunk from the same
+    child seed.
+
+    ``workers=1`` walks the full matrix up front (chunking the *serial
+    rng stream* would change it) and yields row-block views, so the fused
+    path's memory win applies at ``workers>=2``: there, chunks are walked
+    by pool workers and stream back one at a time — the full
+    ``(n_walks, walk_length)`` matrix never exists in any process. A pool
+    that breaks mid-stream finishes the remaining chunks in-process from
+    their own seeds, so even a mid-iteration failure yields the exact
+    same blocks.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    starts = np.asarray(start_indices, dtype=np.int64)
+    if workers == 1:
+        walks = simulate_walks(
+            csr, starts, num_walks, walk_length, rng, backend=backend
+        )
+        for chunk in chunk_plan(starts.size, chunk_starts):
+            yield walks[chunk.start * num_walks: chunk.stop * num_walks]
+        return
+
+    chunks = chunk_plan(starts.size, chunk_starts)
+    seeds = spawn_chunk_seeds(rng, len(chunks))
+    if starts.size == 0:
+        return
+
+    def _in_process(position: int):
+        for chunk, seed in zip(chunks[position:], seeds[position:]):
+            yield simulate_walks(
+                csr, starts[chunk], num_walks, walk_length,
+                np.random.default_rng(seed), backend=backend,
+            )
+
+    pool = _get_pool(workers) if len(chunks) > 1 else None
+    if pool is None:
+        yield from _in_process(0)
+        return
+
+    shared = SharedCSR(csr, backend=backend)
+    try:
+        try:
+            futures = [
+                pool.submit(
+                    _walk_chunk_rows,
+                    shared.spec,
+                    starts[chunk],
+                    num_walks,
+                    walk_length,
+                    seed,
+                    backend,
+                )
+                for chunk, seed in zip(chunks, seeds)
+            ]
+        except (BrokenProcessPool, OSError) as error:
+            _discard_pool(workers, error)
+            yield from _in_process(0)
+            return
+        for position, future in enumerate(futures):
+            try:
+                block = future.result()
+            except (BrokenProcessPool, OSError) as error:
+                _discard_pool(workers, error)
+                # Recompute this chunk and every later one from their own
+                # seeds — chunk results depend only on (chunk, seed), so
+                # the stream picks up exactly where the pool died.
+                yield from _in_process(position)
+                return
+            yield block
+    finally:
+        shared.close()
 
 
 def _discard_pool(workers: int, error: BaseException) -> None:
@@ -326,10 +469,29 @@ def generate_corpus(
     *,
     workers: int = 1,
     chunk_starts: int = DEFAULT_CHUNK_STARTS,
+    backend: str = "python",
+    fused: bool = False,
 ) -> PairCorpus:
-    """Walks plus sliding-window pair corpus in one call (Eq. 5 + Eq. 6)."""
+    """Walks plus sliding-window pair corpus in one call (Eq. 5 + Eq. 6).
+
+    With ``fused=True`` walk chunks are folded straight into a
+    :class:`~repro.walks.corpus.StreamedCorpusBuilder` as they arrive
+    from :func:`iter_walk_chunks`, so at ``workers>=2`` the stacked walk
+    matrix never exists in any process. The returned corpus is
+    bit-identical either way (same rng consumption, same pair order).
+    """
+    if fused:
+        builder = StreamedCorpusBuilder(
+            window_size=window_size, num_nodes=csr.num_nodes
+        )
+        for chunk in iter_walk_chunks(
+            csr, start_indices, num_walks, walk_length, rng,
+            workers=workers, chunk_starts=chunk_starts, backend=backend,
+        ):
+            builder.push(chunk)
+        return builder.finalize()
     walks = generate_walks(
         csr, start_indices, num_walks, walk_length, rng,
-        workers=workers, chunk_starts=chunk_starts,
+        workers=workers, chunk_starts=chunk_starts, backend=backend,
     )
     return build_pair_corpus(walks, window_size, csr.num_nodes)

@@ -1,15 +1,37 @@
-"""Pure-numpy Skip-Gram Negative Sampling (the gensim substitute)."""
+"""Pure-numpy Skip-Gram Negative Sampling (the gensim substitute).
 
+The gradient arithmetic lives in :mod:`repro.sgns.kernels`, which also
+hosts the optional numba-compiled twins — every backend is bit-identical
+(the differential suite in ``tests/test_kernel_equivalence.py`` is the
+proof), so ``TrainConfig.backend`` trades wall-clock only.
+"""
+
+from repro.sgns.kernels import (
+    BackendUnavailable,
+    KernelBackend,
+    numba_available,
+    resolve_backend,
+)
 from repro.sgns.model import SGNSModel, log_sigmoid, sigmoid
-from repro.sgns.trainer import TrainConfig, build_noise_table, train_on_corpus
+from repro.sgns.trainer import (
+    TrainConfig,
+    build_noise_table,
+    train_on_corpus,
+    train_on_walk_stream,
+)
 from repro.sgns.vocab import Vocabulary
 
 __all__ = [
+    "BackendUnavailable",
+    "KernelBackend",
     "SGNSModel",
     "TrainConfig",
     "Vocabulary",
     "build_noise_table",
     "log_sigmoid",
+    "numba_available",
+    "resolve_backend",
     "sigmoid",
     "train_on_corpus",
+    "train_on_walk_stream",
 ]

@@ -1,0 +1,441 @@
+"""Native-speed SGNS and walk kernels behind an import-guarded numba backend.
+
+The SGNS inner loop dominates end-to-end training (see
+``BENCH_parallel_walks``: the prefetch train path costs ~3-4x the walk
+corpus), and pure-numpy mega-batching bought ~1x. This module provides
+compiled kernels for the two hot loops — the SGNS gradient step and the
+walk transition — without giving up the repo's bit-exact determinism
+contract.
+
+Three implementations of one algorithm family:
+
+``python``
+    The canonical vectorised numpy implementations. Always available;
+    this is what ships, what the goldens pin, and what every other
+    backend must reproduce bit for bit.
+``numba``
+    ``@njit``-compiled scalar-loop twins of the same float64 accumulation
+    order. Requires numba (import-guarded); resolving it without numba
+    raises :class:`BackendUnavailable` with an actionable message.
+``interpreted``
+    The numba kernel *source* executed by the plain interpreter. Slow,
+    but it needs no compiler — it is the differential-testing reference
+    that lets ``tests/test_kernel_equivalence.py`` prove the loop
+    algorithms bit-identical to the vectorised path even on hosts
+    without numba installed.
+
+Bit-exactness is engineered, not hoped for:
+
+* **No transcendental is ever evaluated inside a kernel.** numpy's
+  vectorised ``exp`` and libm's ``exp`` (what a compiled kernel would
+  call) differ in the last ulp, so both backends read the same
+  precomputed word2vec-style sigmoid table (:func:`sigmoid_table`), and
+  lookups are exact array reads.
+* **Reductions are sequential by specification.** ``einsum`` contracts
+  with SIMD pairwise accumulation that a scalar loop cannot replay, so
+  the canonical step (:func:`sgns_step_numpy`, which
+  :meth:`repro.sgns.model.SGNSModel.train_batch` wraps) accumulates dot
+  products in explicit ascending-``d`` order and gradient sums in
+  ascending-``q`` order — an order a loop (and LLVM without fastmath)
+  reproduces exactly.
+* **Scatters follow ``np.add.at`` order**: all gradients are computed
+  from the pre-update matrices, then applied centre rows first, context
+  rows second, negative rows last, each in batch order.
+
+RNG stays on the caller's side: kernels consume pre-drawn randomness
+(negative draws in the trainer, per-step transition draws in the walk
+steppers), so the ``prefetch=1`` legacy sampler stream is byte-identical
+whichever backend executes the arithmetic, and spawned workers resolving
+``backend="auto"`` independently cannot diverge on unweighted graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "BackendUnavailable",
+    "KernelBackend",
+    "MAX_EXP",
+    "SIGMOID_TABLE_SIZE",
+    "numba_available",
+    "resolve_backend",
+    "sigmoid_table",
+    "table_sigmoid",
+]
+
+#: Public backend names accepted by ``TrainConfig.backend`` /
+#: ``GloDyNEConfig.backend`` / CLI ``--backend``. ``interpreted`` is also
+#: accepted everywhere but is a testing reference, not a product knob.
+PUBLIC_BACKENDS = ("auto", "python", "numba")
+BACKENDS = PUBLIC_BACKENDS + ("interpreted",)
+
+# ----------------------------------------------------------------------
+# shared sigmoid table (word2vec's EXP_TABLE discipline)
+# ----------------------------------------------------------------------
+#: Number of bins in the shared sigmoid lookup table.
+SIGMOID_TABLE_SIZE = 4096
+#: Scores at or beyond ±MAX_EXP saturate to exactly 0.0 / 1.0, as in
+#: word2vec's EXP_TABLE discipline; inside the range the table is within
+#: 2.5e-3 of the exact logistic.
+MAX_EXP = 6.0
+_TABLE_SCALE = SIGMOID_TABLE_SIZE / (2.0 * MAX_EXP)
+
+_SIG_TABLE: np.ndarray | None = None
+
+
+def sigmoid_table() -> np.ndarray:
+    """The shared float64 sigmoid lookup table (computed once).
+
+    ``table[i] = sigma((2 i / size - 1) * MAX_EXP)`` for
+    ``i in 0..size`` — the exact logistic sampled at bin edges
+    (``size + 1`` entries, so a lookup can interpolate the bin ``[i,
+    i+1]``). Word2vec's EXP_TABLE layout, plus the right edge. Both
+    backends index it with the same truncating cast and the same
+    interpolation arithmetic, so the approximated sigmoid is identical
+    across them by construction.
+    """
+    global _SIG_TABLE
+    if _SIG_TABLE is None:
+        x = (
+            2.0 * np.arange(SIGMOID_TABLE_SIZE + 1, dtype=np.float64)
+            / SIGMOID_TABLE_SIZE
+            - 1.0
+        ) * MAX_EXP
+        _SIG_TABLE = 1.0 / (1.0 + np.exp(-x))
+        _SIG_TABLE.setflags(write=False)
+    return _SIG_TABLE
+
+
+def table_sigmoid(x: np.ndarray, table: np.ndarray | None = None) -> np.ndarray:
+    """Vectorised table sigmoid — the canonical (python-backend) lookup.
+
+    Linear interpolation between bin edges (max error ~2e-6 at 4096
+    bins), saturating to exactly 1.0 / 0.0 at and beyond ``±MAX_EXP``.
+    Both halves of that design are load-bearing for training stability,
+    not just fidelity: a plain floor-bin lookup biases the gradient by
+    up to one bin width (~3e-3), which stops the gradient from decaying
+    as scores saturate — compounded through ``np.add.at``'s
+    duplicate-row accumulation, that residual push grows weight norms
+    without bound. Interpolation restores the exact logistic's decay to
+    within 2e-6, and the exact 0/1 saturation (word2vec's out-of-range
+    rule) makes the gradient vanish entirely past the table edge.
+
+    The scalar twin inside the loop kernels performs the identical
+    saturation tests, truncating cast, and interpolation expression, so
+    lookups agree bit for bit.
+    """
+    if table is None:
+        table = sigmoid_table()
+    pos = (np.clip(x, -MAX_EXP, MAX_EXP) + MAX_EXP) * _TABLE_SCALE
+    idx = pos.astype(np.int64)
+    np.clip(idx, 0, SIGMOID_TABLE_SIZE - 1, out=idx)
+    frac = pos - idx
+    base = table[idx]
+    out = base + (table[idx + 1] - base) * frac
+    out[x >= MAX_EXP] = 1.0
+    out[x <= -MAX_EXP] = 0.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# canonical vectorised implementations (the ``python`` backend)
+# ----------------------------------------------------------------------
+def sgns_step_numpy(
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    negatives: np.ndarray,
+    lr: float,
+    table: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One canonical SGD step over a pair minibatch; returns the scores.
+
+    This *is* the legacy update stream: gradients of Eq. (9) with the
+    table sigmoid, accumulated in ascending-``d`` / ascending-``q``
+    order, scattered with ``np.add.at`` so duplicate rows accumulate in
+    batch order. Every other backend reproduces this function bit for
+    bit. Returns ``(pos_scores, neg_scores)`` (pre-update dot products)
+    so callers can derive the batch loss without re-reading the weights.
+    """
+    dim = w_in.shape[1]
+    num_neg = negatives.shape[1]
+    h = w_in[centers]                      # (B, d) pre-update gathers
+    u_pos = w_out[contexts]                # (B, d)
+    u_neg = w_out[negatives]               # (B, q, d)
+
+    # Sequential-d dot products (see module docstring). The transposed
+    # copies keep each of the d vectorised passes contiguous.
+    h_t = np.ascontiguousarray(h.T)
+    u_pos_t = np.ascontiguousarray(u_pos.T)
+    u_neg_t = np.ascontiguousarray(u_neg.transpose(2, 0, 1))
+    pos_score = np.zeros(h.shape[0], dtype=np.float64)
+    neg_score = np.zeros(negatives.shape, dtype=np.float64)
+    for k in range(dim):
+        pos_score += h_t[k] * u_pos_t[k]
+        neg_score += h_t[k][:, None] * u_neg_t[k]
+
+    g_pos = table_sigmoid(pos_score, table) - 1.0   # d(-log sig(x))/dx
+    g_neg = table_sigmoid(neg_score, table)         # d(-log sig(-x))/dx
+
+    grad_h = g_pos[:, None] * u_pos
+    for j in range(num_neg):                        # sequential-q sum
+        grad_h += g_neg[:, j, None] * u_neg[:, j]
+
+    np.add.at(w_in, centers, -lr * grad_h)
+    np.add.at(w_out, contexts, -lr * (g_pos[:, None] * h))
+    np.add.at(
+        w_out,
+        negatives.ravel(),
+        (-lr * (g_neg[:, :, None] * h[:, None, :])).reshape(-1, dim),
+    )
+    return pos_score, neg_score
+
+
+def uniform_resolve_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    current: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Uniform walk transition: neighbour ``offsets[i]`` of ``current[i]``."""
+    return indices[indptr[current] + offsets]
+
+
+def alias_resolve_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    probability: np.ndarray,
+    alias: np.ndarray,
+    current: np.ndarray,
+    idx: np.ndarray,
+    coin: np.ndarray,
+) -> np.ndarray:
+    """Weighted transition via per-row alias tables (Walker/Vose draws).
+
+    ``probability``/``alias`` are the flattened per-row tables from
+    :meth:`repro.graph.csr.CSRAdjacency.row_alias_tables`; ``idx`` and
+    ``coin`` are the walker's pre-drawn uniform slot and coin. The
+    decision rule is exactly :meth:`repro.walks.alias.AliasTable.sample`:
+    take the alias when ``coin >= probability[slot]``.
+    """
+    row_start = indptr[current]
+    slot = row_start + idx
+    local = np.where(coin >= probability[slot], alias[slot], idx)
+    return indices[row_start + local]
+
+
+# ----------------------------------------------------------------------
+# scalar-loop twins (the ``numba`` / ``interpreted`` backends)
+# ----------------------------------------------------------------------
+# These functions are written in nopython-compilable style: plain loops,
+# float64 scalars, preallocated buffers, no closures. numba compiles
+# them unchanged; the interpreter runs them unchanged. LLVM without
+# fastmath neither reassociates float adds nor fuses mul+add, so the
+# compiled arithmetic is the interpreted arithmetic.
+def _sgns_step_loops(w_in, w_out, centers, contexts, negatives, lr, table):
+    """Loop twin of :func:`sgns_step_numpy` (same order, same scatters)."""
+    batch = centers.shape[0]
+    dim = w_in.shape[1]
+    num_neg = negatives.shape[1]
+    neg_lr = -lr
+
+    h = np.empty((batch, dim), dtype=np.float64)
+    grad_h = np.empty((batch, dim), dtype=np.float64)
+    g_pos = np.empty(batch, dtype=np.float64)
+    g_neg = np.empty((batch, num_neg), dtype=np.float64)
+    pos_score = np.empty(batch, dtype=np.float64)
+    neg_score = np.empty((batch, num_neg), dtype=np.float64)
+
+    # Phase A: everything derived from the PRE-update matrices.
+    for b in range(batch):
+        c = centers[b]
+        for k in range(dim):
+            h[b, k] = w_in[c, k]
+    for b in range(batch):
+        ctx = contexts[b]
+        acc = 0.0
+        for k in range(dim):
+            acc += h[b, k] * w_out[ctx, k]
+        pos_score[b] = acc
+        if acc >= MAX_EXP:
+            g_pos[b] = 0.0
+        elif acc <= -MAX_EXP:
+            g_pos[b] = -1.0
+        else:
+            p = (acc + MAX_EXP) * _TABLE_SCALE
+            j = int(p)
+            if j > SIGMOID_TABLE_SIZE - 1:
+                j = SIGMOID_TABLE_SIZE - 1
+            g_pos[b] = (table[j] + (table[j + 1] - table[j]) * (p - j)) - 1.0
+        for n in range(num_neg):
+            row = negatives[b, n]
+            acc = 0.0
+            for k in range(dim):
+                acc += h[b, k] * w_out[row, k]
+            neg_score[b, n] = acc
+            if acc >= MAX_EXP:
+                g_neg[b, n] = 1.0
+            elif acc <= -MAX_EXP:
+                g_neg[b, n] = 0.0
+            else:
+                p = (acc + MAX_EXP) * _TABLE_SCALE
+                j = int(p)
+                if j > SIGMOID_TABLE_SIZE - 1:
+                    j = SIGMOID_TABLE_SIZE - 1
+                g_neg[b, n] = table[j] + (table[j + 1] - table[j]) * (p - j)
+    for b in range(batch):
+        ctx = contexts[b]
+        gp = g_pos[b]
+        for k in range(dim):
+            acc = gp * w_out[ctx, k]
+            for n in range(num_neg):
+                acc += g_neg[b, n] * w_out[negatives[b, n], k]
+            grad_h[b, k] = acc
+
+    # Phase B: scatters in np.add.at order — centres, contexts, negatives.
+    for b in range(batch):
+        c = centers[b]
+        for k in range(dim):
+            w_in[c, k] += neg_lr * grad_h[b, k]
+    for b in range(batch):
+        ctx = contexts[b]
+        gp = g_pos[b]
+        for k in range(dim):
+            w_out[ctx, k] += neg_lr * (gp * h[b, k])
+    for b in range(batch):
+        for n in range(num_neg):
+            row = negatives[b, n]
+            gn = g_neg[b, n]
+            for k in range(dim):
+                w_out[row, k] += neg_lr * (gn * h[b, k])
+    return pos_score, neg_score
+
+
+def _uniform_resolve_loops(indptr, indices, current, offsets):
+    """Loop twin of :func:`uniform_resolve_numpy`."""
+    n = current.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        out[i] = indices[indptr[current[i]] + offsets[i]]
+    return out
+
+
+def _alias_resolve_loops(indptr, indices, probability, alias, current, idx, coin):
+    """Loop twin of :func:`alias_resolve_numpy`."""
+    n = current.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        row_start = indptr[current[i]]
+        slot = row_start + idx[i]
+        if coin[i] >= probability[slot]:
+            local = alias[slot]
+        else:
+            local = idx[i]
+        out[i] = indices[row_start + local]
+    return out
+
+
+# ----------------------------------------------------------------------
+# backend resolution
+# ----------------------------------------------------------------------
+class BackendUnavailable(RuntimeError):
+    """Raised when ``backend="numba"`` is requested but numba is missing."""
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A resolved kernel implementation set.
+
+    ``sgns_step`` mutates ``(w_in, w_out)`` in place and returns the
+    pre-update ``(pos_scores, neg_scores)``; the two ``*_resolve``
+    callables map pre-drawn randomness to walk transitions. ``compiled``
+    records whether the callables are numba-jitted (``numba``) or plain
+    python (``python`` / ``interpreted``).
+    """
+
+    name: str
+    compiled: bool
+    sgns_step: Callable
+    uniform_resolve: Callable
+    alias_resolve: Callable
+
+
+def _import_numba():
+    """Import hook the tests monkeypatch to simulate a numba-free host."""
+    import numba
+
+    return numba
+
+
+def numba_available() -> bool:
+    """True when numba is importable in *this* process (checked lazily)."""
+    try:
+        _import_numba()
+    except ImportError:
+        return False
+    return True
+
+
+_COMPILED: dict[str, Callable] = {}
+
+
+def _compiled_kernels() -> dict[str, Callable]:
+    """Jit-compile the loop twins once per process (memoised)."""
+    numba = _import_numba()
+    if not _COMPILED:
+        jit = numba.njit(cache=True, fastmath=False)
+        _COMPILED["sgns_step"] = jit(_sgns_step_loops)
+        _COMPILED["uniform_resolve"] = jit(_uniform_resolve_loops)
+        _COMPILED["alias_resolve"] = jit(_alias_resolve_loops)
+    return _COMPILED
+
+
+def resolve_backend(name: str = "auto") -> KernelBackend:
+    """Resolve a backend name to a :class:`KernelBackend`.
+
+    Resolution is deliberately *lazy and per-process*: configs carry only
+    the string, so pickled configs shipped to spawned workers (the
+    parallel walk engine, shard servers) re-resolve independently —
+    ``auto`` silently selects ``python`` wherever numba is absent and
+    ``numba`` wherever it is present.
+    """
+    if name == "auto":
+        name = "numba" if numba_available() else "python"
+    if name == "python":
+        return KernelBackend(
+            name="python",
+            compiled=False,
+            sgns_step=sgns_step_numpy,
+            uniform_resolve=uniform_resolve_numpy,
+            alias_resolve=alias_resolve_numpy,
+        )
+    if name == "interpreted":
+        return KernelBackend(
+            name="interpreted",
+            compiled=False,
+            sgns_step=_sgns_step_loops,
+            uniform_resolve=_uniform_resolve_loops,
+            alias_resolve=_alias_resolve_loops,
+        )
+    if name == "numba":
+        try:
+            kernels = _compiled_kernels()
+        except ImportError as error:
+            raise BackendUnavailable(
+                "backend='numba' was requested but numba is not importable "
+                f"({error}); install numba (pip install numba) or use "
+                "backend='auto' to fall back to the pure-python kernels"
+            ) from None
+        return KernelBackend(
+            name="numba",
+            compiled=True,
+            sgns_step=kernels["sgns_step"],
+            uniform_resolve=kernels["uniform_resolve"],
+            alias_resolve=kernels["alias_resolve"],
+        )
+    raise ValueError(f"unknown kernel backend {name!r}; choose from {BACKENDS}")

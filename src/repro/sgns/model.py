@@ -13,10 +13,11 @@ absolute-position stability of Figure 5.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.sgns.kernels import sgns_step_numpy, sigmoid_table
 from repro.sgns.vocab import Vocabulary
 
 Node = Hashable
@@ -140,40 +141,34 @@ class SGNSModel:
         negatives: np.ndarray,
         lr: float,
         compute_loss: bool = False,
+        step: Callable | None = None,
     ) -> float:
         """One SGD step over a pair batch with pre-drawn negatives.
 
         Maximises Eq. (9): ``log σ(Z_i·Z_j) + Σ_q log σ(-Z_i·Z_j')`` for
         every positive pair ``(centers[b], contexts[b])`` against
-        ``negatives[b, :]``. Gradients are scattered with ``np.add.at`` so
-        duplicate rows inside one batch accumulate correctly.
+        ``negatives[b, :]``. The arithmetic lives in
+        :func:`repro.sgns.kernels.sgns_step_numpy` (or the compiled twin
+        passed via ``step``): table sigmoid, pinned accumulation order,
+        ``np.add.at``-order scatters so duplicate rows inside one batch
+        accumulate correctly — and identically across backends.
 
         Returns the mean negative log-likelihood of the batch when
-        ``compute_loss`` is set (0.0 otherwise).
+        ``compute_loss`` is set (0.0 otherwise). The loss is always
+        derived in numpy from the scores the kernel returns, so it too is
+        backend-invariant.
         """
-        w_in, w_out = self._w_in, self._w_out
-        h = w_in[centers]                      # (B, d)
-        u_pos = w_out[contexts]                # (B, d)
-        u_neg = w_out[negatives]               # (B, q, d)
-
-        pos_score = np.einsum("bd,bd->b", h, u_pos)
-        neg_score = np.einsum("bd,bqd->bq", h, u_neg)
-
-        g_pos = sigmoid(pos_score) - 1.0       # d(-logσ(x))/dx = σ(x)-1
-        g_neg = sigmoid(neg_score)             # d(-logσ(-x))/dx = σ(x)
-
-        grad_h = g_pos[:, None] * u_pos + np.einsum("bq,bqd->bd", g_neg, u_neg)
-        grad_pos = g_pos[:, None] * h
-        grad_neg = g_neg[:, :, None] * h[:, None, :]
-
-        np.add.at(w_in, centers, -lr * grad_h)
-        np.add.at(w_out, contexts, -lr * grad_pos)
-        np.add.at(
-            w_out,
-            negatives.ravel(),
-            (-lr * grad_neg).reshape(-1, self.dim),
+        if step is None:
+            step = sgns_step_numpy
+        pos_score, neg_score = step(
+            self._w_in,
+            self._w_out,
+            centers,
+            contexts,
+            negatives,
+            lr,
+            sigmoid_table(),
         )
-
         if compute_loss:
             loss = -log_sigmoid(pos_score).sum() - log_sigmoid(-neg_score).sum()
             return float(loss / max(1, centers.size))

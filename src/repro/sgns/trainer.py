@@ -10,12 +10,14 @@ as in word2vec/gensim.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
+from repro.sgns import kernels
 from repro.sgns.model import SGNSModel
 from repro.walks.alias import AliasTable
-from repro.walks.corpus import PairCorpus
+from repro.walks.corpus import PairCorpus, StreamedCorpusBuilder
 
 
 @dataclass
@@ -39,6 +41,15 @@ class TrainConfig:
     # stream bit for bit; larger values trade stream compatibility for
     # fewer sampler round-trips (the parallel profile uses 32).
     negative_prefetch: int = 1
+    # Kernel backend executing the gradient arithmetic: "auto" picks numba
+    # when importable and falls back to the pure-python kernels silently;
+    # "numba" demands the compiled kernels (raising BackendUnavailable
+    # without numba); "python" pins the canonical numpy path. All backends
+    # are bit-identical (see repro.sgns.kernels), so this knob never
+    # changes results — only wall-clock. Resolution happens lazily inside
+    # train_on_corpus, so pickled configs shipped to spawned workers
+    # re-resolve per process.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.negative < 1:
@@ -51,6 +62,10 @@ class TrainConfig:
             raise ValueError("batch_size must be >= 1")
         if self.negative_prefetch < 1:
             raise ValueError("negative_prefetch must be >= 1")
+        if self.backend not in kernels.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {kernels.BACKENDS}, got {self.backend!r}"
+            )
 
 
 def build_noise_table(
@@ -102,6 +117,8 @@ def train_on_corpus(
     centers = row_of[corpus.centers]
     contexts = row_of[corpus.contexts]
 
+    step = kernels.resolve_backend(config.backend).sgns_step
+
     total_visits = corpus.num_pairs * config.epochs
     visited = 0
     last_epoch_loss = 0.0
@@ -118,15 +135,23 @@ def train_on_corpus(
                 noise_table.sample(rng, size=(group.size, config.negative))
             ]
             for offset in range(0, group.size, config.batch_size):
-                batch = group[offset: offset + config.batch_size]
+                # One stop bound shared by the pair slice and the negative
+                # slice. (An earlier revision computed the two bounds
+                # independently — `offset + batch_size` for pairs but
+                # `offset + batch.size` for negatives — which only agreed
+                # because the final partial group re-checked the noise-draw
+                # count; see the 3-pair/prefetch-32 regression test.)
+                stop = min(offset + config.batch_size, group.size)
+                batch = group[offset:stop]
                 progress = visited / total_visits
                 lr = max(config.min_lr, config.lr * (1.0 - progress))
                 loss = model.train_batch(
                     centers[batch],
                     contexts[batch],
-                    group_negatives[offset: offset + batch.size],
+                    group_negatives[offset:stop],
                     lr,
                     compute_loss=want_loss,
+                    step=step,
                 )
                 if want_loss:
                     losses.append(loss * batch.size)
@@ -134,3 +159,39 @@ def train_on_corpus(
         if want_loss and losses:
             last_epoch_loss = sum(losses) / corpus.num_pairs
     return last_epoch_loss
+
+
+def train_on_walk_stream(
+    model: SGNSModel,
+    chunks: Iterable[np.ndarray],
+    window_size: int,
+    num_nodes: int,
+    row_of: np.ndarray,
+    rng: np.random.Generator,
+    config: TrainConfig | None = None,
+    compute_loss: bool = False,
+) -> tuple[float, PairCorpus]:
+    """Fused walk→train: consume walk chunks, then train — one call.
+
+    ``chunks`` is any iterable of walk-row matrices (typically
+    :func:`repro.parallel.engine.iter_walk_chunks`); they are folded into
+    a :class:`~repro.walks.corpus.StreamedCorpusBuilder`, whose
+    ``finalize`` is bit-identical to materialising the full walk matrix
+    and calling :func:`~repro.walks.corpus.build_pair_corpus` — so the
+    subsequent :func:`train_on_corpus` consumes the exact same pair
+    arrays, rng stream, and lr schedule as the two-phase path. The win is
+    memory, not semantics: the ``(n_walks, walk_length)`` matrix never
+    exists in this process (the pair arrays still do — the epoch
+    permutation contract needs them).
+
+    Returns ``(last epoch loss, the finalized corpus)`` so callers can
+    reuse corpus statistics (noise counts, pair totals) for telemetry.
+    """
+    builder = StreamedCorpusBuilder(window_size=window_size, num_nodes=num_nodes)
+    for chunk in chunks:
+        builder.push(chunk)
+    corpus = builder.finalize()
+    loss = train_on_corpus(
+        model, corpus, row_of, rng, config=config, compute_loss=compute_loss
+    )
+    return loss, corpus

@@ -2,12 +2,18 @@
 
 from repro.walks.alias import AliasTable
 from repro.walks.biased import simulate_biased_walks
-from repro.walks.corpus import PairCorpus, build_pair_corpus, corpus_from_graph_walks
+from repro.walks.corpus import (
+    PairCorpus,
+    StreamedCorpusBuilder,
+    build_pair_corpus,
+    corpus_from_graph_walks,
+)
 from repro.walks.random_walk import TRUNCATED, simulate_walks, walk_node_ids
 
 __all__ = [
     "AliasTable",
     "PairCorpus",
+    "StreamedCorpusBuilder",
     "TRUNCATED",
     "build_pair_corpus",
     "corpus_from_graph_walks",

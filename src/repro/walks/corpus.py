@@ -93,6 +93,95 @@ def build_pair_corpus(
     return PairCorpus(centers=centers, contexts=contexts, counts=counts)
 
 
+class StreamedCorpusBuilder:
+    """Incremental twin of :func:`build_pair_corpus` for walk-chunk streams.
+
+    Feed row-blocks of the walk matrix (in row order) via :meth:`push`;
+    :meth:`finalize` returns a :class:`PairCorpus` **bit-identical** to
+    ``build_pair_corpus(np.vstack(chunks), ...)`` — same pair order, same
+    counts — without the stacked matrix ever existing. The identity holds
+    because the batch builder's per-offset ``walks[:, :-o].ravel()`` is
+    row-major, so concatenating each chunk's raveled slice in push order
+    reproduces it exactly, and the truncation filter is elementwise (it
+    commutes with the concatenation). Pairs are finalized offset-major
+    with the same direction interleave as the batch builder.
+
+    This is what makes the fused walk→train path
+    (:func:`repro.sgns.trainer.train_on_walk_stream`) free of semantic
+    drift: the trainer sees arrays the materialized path would have
+    produced byte for byte.
+    """
+
+    def __init__(self, window_size: int, num_nodes: int) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self._window_size = int(window_size)
+        self._num_nodes = int(num_nodes)
+        self._walk_length: int | None = None
+        self._left: list[list[np.ndarray]] = []
+        self._right: list[list[np.ndarray]] = []
+        self._finalized = False
+
+    def _offsets(self) -> range:
+        assert self._walk_length is not None
+        return range(1, min(self._window_size, self._walk_length - 1) + 1)
+
+    def push(self, chunk: np.ndarray) -> None:
+        """Fold one walk-row block (``(rows, walk_length)`` int matrix) in."""
+        if self._finalized:
+            raise RuntimeError("builder already finalized")
+        chunk = np.asarray(chunk)
+        if chunk.ndim != 2:
+            raise ValueError("walk chunks must be 2-D matrices")
+        if self._walk_length is None:
+            self._walk_length = int(chunk.shape[1])
+            self._left = [[] for _ in self._offsets()]
+            self._right = [[] for _ in self._offsets()]
+        elif chunk.shape[1] != self._walk_length:
+            raise ValueError(
+                f"chunk walk_length {chunk.shape[1]} != {self._walk_length}"
+            )
+        if chunk.shape[0] == 0:
+            return
+        for slot, offset in enumerate(self._offsets()):
+            left = chunk[:, :-offset].ravel()
+            right = chunk[:, offset:].ravel()
+            valid = (left != TRUNCATED) & (right != TRUNCATED)
+            self._left[slot].append(left[valid])
+            self._right[slot].append(right[valid])
+
+    def finalize(self) -> PairCorpus:
+        """Assemble the corpus (offset-major, both directions per offset)."""
+        if self._finalized:
+            raise RuntimeError("builder already finalized")
+        self._finalized = True
+        center_chunks: list[np.ndarray] = []
+        context_chunks: list[np.ndarray] = []
+        if self._walk_length is not None:
+            for slot in range(len(self._left)):
+                if not self._left[slot]:
+                    continue
+                left = np.concatenate(self._left[slot])
+                right = np.concatenate(self._right[slot])
+                center_chunks.append(left)
+                context_chunks.append(right)
+                center_chunks.append(right)
+                context_chunks.append(left)
+        self._left = []
+        self._right = []
+
+        if center_chunks:
+            centers = np.concatenate(center_chunks)
+            contexts = np.concatenate(context_chunks)
+        else:
+            centers = np.empty(0, dtype=np.int64)
+            contexts = np.empty(0, dtype=np.int64)
+        counts = np.zeros(self._num_nodes, dtype=np.int64)
+        if centers.size:
+            np.add.at(counts, centers, 1)
+        return PairCorpus(centers=centers, contexts=contexts, counts=counts)
+
+
 def corpus_from_graph_walks(
     csr,
     start_indices,

@@ -27,6 +27,7 @@ def simulate_walks(
     num_walks: int,
     walk_length: int,
     rng: np.random.Generator,
+    backend: str = "python",
 ) -> np.ndarray:
     """Run ``num_walks`` truncated walks of ``walk_length`` nodes per start.
 
@@ -42,6 +43,17 @@ def simulate_walks(
     rng:
         Source of randomness; pass a seeded ``numpy.random.default_rng``
         for reproducible corpora.
+    backend:
+        Kernel backend for the transition arithmetic (see
+        :mod:`repro.sgns.kernels`). ``"python"`` is the canonical
+        vectorised path. On unweighted graphs every backend consumes the
+        same rng draws and resolves the same gathers, so walks are
+        bit-identical across backends. On *weighted* graphs non-python
+        backends switch from the global-cumsum inverse-CDF stepper to the
+        per-row alias-table kernel: statistically identical (both sample
+        Eq. 5 exactly) but a different draw stream (alias consumes an
+        integer + a coin per step vs one uniform), so weighted walks are
+        reproducible per backend, not across them.
 
     Returns
     -------
@@ -62,15 +74,37 @@ def simulate_walks(
     walks = np.full((total, walk_length), TRUNCATED, dtype=np.int64)
     walks[:, 0] = np.repeat(starts, num_walks)
 
-    if csr.is_uniform:
-        _step_uniform(csr, walks, rng)
+    if backend == "python":
+        if csr.is_uniform:
+            _step_uniform(csr, walks, rng)
+        else:
+            _step_weighted(csr, walks, rng)
     else:
-        _step_weighted(csr, walks, rng)
+        # Lazy import: repro.sgns imports repro.walks, so a module-level
+        # import here would be circular. Resolution is per-process and
+        # per-call, matching the trainer's lazy-backend contract.
+        from repro.sgns.kernels import resolve_backend
+
+        kernel = resolve_backend(backend)
+        if csr.is_uniform:
+            _step_uniform(csr, walks, rng, resolve=kernel.uniform_resolve)
+        else:
+            _step_weighted_alias(csr, walks, rng, kernel.alias_resolve)
     return walks
 
 
-def _step_uniform(csr: CSRAdjacency, walks: np.ndarray, rng: np.random.Generator) -> None:
-    """Vectorised stepping when every edge weight is identical."""
+def _step_uniform(
+    csr: CSRAdjacency,
+    walks: np.ndarray,
+    rng: np.random.Generator,
+    resolve=None,
+) -> None:
+    """Vectorised stepping when every edge weight is identical.
+
+    ``resolve`` swaps the gather arithmetic for a kernel backend's
+    transition resolver; the rng draws are identical either way, so the
+    produced walks are too.
+    """
     degrees = csr.degrees
     indptr = csr.indptr
     indices = csr.indices
@@ -86,7 +120,48 @@ def _step_uniform(csr: CSRAdjacency, walks: np.ndarray, rng: np.random.Generator
             return
         current = current[movable]
         offsets = rng.integers(0, deg[movable])
-        walks[alive, step] = indices[indptr[current] + offsets]
+        if resolve is None:
+            walks[alive, step] = indices[indptr[current] + offsets]
+        else:
+            walks[alive, step] = resolve(indptr, indices, current, offsets)
+
+
+def _step_weighted_alias(
+    csr: CSRAdjacency,
+    walks: np.ndarray,
+    rng: np.random.Generator,
+    resolve,
+) -> None:
+    """Weighted stepping via per-row Walker/Vose alias tables (Eq. 5).
+
+    Each transition consumes one uniform slot draw plus one coin —
+    exactly :meth:`repro.walks.alias.AliasTable.sample`'s decision rule,
+    applied through the flattened tables from
+    :meth:`repro.graph.csr.CSRAdjacency.row_alias_tables` so ``resolve``
+    (a kernel backend's alias resolver) can process every walker without
+    touching per-row Python objects. O(1) per transition vs the
+    searchsorted stepper's O(log nnz).
+    """
+    degrees = csr.degrees
+    indptr = csr.indptr
+    indices = csr.indices
+    probability, alias = csr.row_alias_tables()
+    walk_length = walks.shape[1]
+
+    alive = np.arange(walks.shape[0])
+    for step in range(1, walk_length):
+        current = walks[alive, step - 1]
+        deg = degrees[current]
+        movable = deg > 0
+        alive = alive[movable]
+        if alive.size == 0:
+            return
+        current = current[movable]
+        idx = rng.integers(0, deg[movable])
+        coin = rng.random(current.size)
+        walks[alive, step] = resolve(
+            indptr, indices, probability, alias, current, idx, coin
+        )
 
 
 def _step_weighted(csr: CSRAdjacency, walks: np.ndarray, rng: np.random.Generator) -> None:
