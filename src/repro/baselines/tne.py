@@ -12,6 +12,11 @@ exponential temporal pooling over the aligned history, which preserves the
 method's profile — near-static quality per step, heavy total cost (a full
 DeepWalk per snapshot), smooth temporal trajectories. Like the original,
 node deletions are unsupported (n/a on AS733 in the paper's tables).
+
+Pipeline note: tNE is the worked example of extending the stage graph —
+its per-step pipeline is the shared DeepWalk stages (select-all → walk →
+train) plus one method-specific :class:`AlignPoolStage`. A new temporal
+method is one new stage, not a reimplementation of the loop.
 """
 
 from __future__ import annotations
@@ -21,9 +26,16 @@ from typing import Hashable
 import numpy as np
 
 from repro.base import DynamicEmbeddingMethod, EmbeddingMap
-from repro.core.glodyne import GloDyNEConfig
-from repro.core.variants import _deepwalk_round
+from repro.core.glodyne import GloDyNEConfig, StepTrace
 from repro.graph.static import Graph
+from repro.parallel import DEFAULT_CHUNK_STARTS
+from repro.pipeline.context import StepContext
+from repro.pipeline.stages import (
+    SelectionStage,
+    StagePipeline,
+    TrainStage,
+    WalkCorpusStage,
+)
 from repro.sgns.model import SGNSModel
 
 Node = Hashable
@@ -37,6 +49,53 @@ def orthogonal_procrustes_align(
         raise ValueError("aligned matrices must share a shape")
     u, _, vt = np.linalg.svd(source.T @ target)
     return u @ vt
+
+
+class AlignPoolStage:
+    """tNE's method-specific stage: Procrustes alignment + temporal pooling.
+
+    Registers the freshly trained static embedding onto the pooled
+    history over the common nodes, then exponentially pools
+    (``F^t = decay·F^{t-1} + (1-decay)·Z^t_aligned``). Writes the step's
+    ``embeddings`` output and advances the engine's pooled state.
+    """
+
+    name = "align"
+
+    def __init__(self, engine: "TNE") -> None:
+        self.engine = engine
+
+    def run(self, context: StepContext) -> None:
+        """Align the step's embedding onto the pooled history and pool."""
+        engine = self.engine
+        nodes = list(context.snapshot.nodes())
+        current = context.model.embedding_matrix(nodes)
+        current_map = dict(zip(nodes, current))
+
+        # Orthogonal registration onto the pooled history (common nodes).
+        common = [node for node in nodes if node in engine.pooled]
+        if common and len(common) >= engine.config.dim // 4 + 2:
+            source = np.stack([current_map[node] for node in common])
+            target = np.stack([engine.pooled[node] for node in common])
+            rotation = orthogonal_procrustes_align(source, target)
+            current = current @ rotation
+            current_map = dict(zip(nodes, current))
+
+        # Temporal pooling.
+        result: EmbeddingMap = {}
+        for node in nodes:
+            aligned = current_map[node]
+            if node in engine.pooled and engine.decay > 0:
+                result[node] = (
+                    engine.decay * engine.pooled[node]
+                    + (1.0 - engine.decay) * aligned
+                )
+            else:
+                result[node] = aligned.copy()
+
+        engine.pooled = {node: vec.copy() for node, vec in result.items()}
+        context.nodes = nodes
+        context.embeddings = result
 
 
 class TNE(DynamicEmbeddingMethod):
@@ -57,6 +116,9 @@ class TNE(DynamicEmbeddingMethod):
         seed: int | None = None,
         workers: int = 1,
         backend: str = "auto",
+        chunk_starts: int = DEFAULT_CHUNK_STARTS,
+        negative_prefetch: int | None = None,
+        incremental_partition: bool = False,
     ) -> None:
         """``decay`` is the weight of history in the temporal pooling:
         ``F^t = decay * F^{t-1} + (1 - decay) * Z^t_aligned``.
@@ -64,7 +126,13 @@ class TNE(DynamicEmbeddingMethod):
         The default 0.6 is history-heavy, mirroring the original's
         LSTM-over-all-history design (and its published profile: strong
         smoothness, degraded per-step freshness — tNE trails static
-        retraining on GR in the paper's Table 1)."""
+        retraining on GR in the paper's Table 1).
+
+        The engine knobs (``workers``, ``backend``, ``chunk_starts``,
+        ``negative_prefetch``) thread straight into the shared DeepWalk
+        stages; ``incremental_partition`` is accepted for CLI uniformity
+        but inert — tNE never partitions.
+        """
         if not (0.0 <= decay < 1.0):
             raise ValueError("decay must lie in [0, 1)")
         self.config = GloDyNEConfig(
@@ -76,48 +144,44 @@ class TNE(DynamicEmbeddingMethod):
             epochs=epochs,
             workers=workers,
             backend=backend,
+            chunk_starts=chunk_starts,
+            negative_prefetch=negative_prefetch,
         )
         self.decay = float(decay)
         self._seed = seed
+        # The shared DeepWalk stages plus tNE's one custom stage — the
+        # whole method as a stage configuration.
+        self._pipeline = StagePipeline([
+            SelectionStage(all_nodes=True),
+            WalkCorpusStage(fused=False),
+            TrainStage(),
+            AlignPoolStage(self),
+        ])
         self.reset()
 
     def reset(self) -> None:
+        """Drop pooled history and restart from the construction seed."""
         self.rng = np.random.default_rng(self._seed)
         self.previous: Graph | None = None
         self.pooled: EmbeddingMap = {}
         self.time_step = 0
+        self.last_trace: StepTrace | None = None
 
     def update(self, snapshot: Graph) -> EmbeddingMap:
+        """Embed the next snapshot: fresh DeepWalk, align, pool."""
         self.check_deletions(self.previous, snapshot)
-        nodes = list(snapshot.nodes())
 
-        # Static embedding of this snapshot from scratch.
-        model = SGNSModel(self.config.dim, rng=self.rng)
-        _deepwalk_round(model, snapshot, self.config, self.rng)
-        current = model.embedding_matrix(nodes)
-        current_map = dict(zip(nodes, current))
-
-        # Orthogonal registration onto the pooled history (common nodes).
-        common = [node for node in nodes if node in self.pooled]
-        if common and len(common) >= self.config.dim // 4 + 2:
-            source = np.stack([current_map[node] for node in common])
-            target = np.stack([self.pooled[node] for node in common])
-            rotation = orthogonal_procrustes_align(source, target)
-            current = current @ rotation
-            current_map = dict(zip(nodes, current))
-
-        # Temporal pooling.
-        result: EmbeddingMap = {}
-        for node in nodes:
-            aligned = current_map[node]
-            if node in self.pooled and self.decay > 0:
-                result[node] = (
-                    self.decay * self.pooled[node] + (1.0 - self.decay) * aligned
-                )
-            else:
-                result[node] = aligned.copy()
-
-        self.pooled = {node: vec.copy() for node, vec in result.items()}
+        # Static embedding of this snapshot from scratch; alignment and
+        # pooling run as the pipeline's last stage.
+        context = StepContext(
+            config=self.config,
+            rng=self.rng,
+            model=SGNSModel(self.config.dim, rng=self.rng),
+            snapshot=snapshot,
+            time_step=self.time_step,
+        )
+        self._pipeline.run(context)
+        self.last_trace = context.trace
         self.previous = snapshot.copy()
         self.time_step += 1
-        return result
+        return context.embeddings

@@ -58,7 +58,8 @@ def validate_result(doc) -> list[str]:
           "host": {"python", "platform", "cpu_count", "numpy"},
           "git": {"sha", "branch", "dirty"}, # nullable (no repo / no git)
           "summary": str,                    # human-readable rendering
-          "caveats": [str, ...]              # optional; see below
+          "caveats": [str, ...],             # optional; see below
+          "stage_seconds": {str: number}     # optional; see below
         }
 
     ``caveats`` is a list of non-empty strings qualifying the numbers —
@@ -69,6 +70,12 @@ def validate_result(doc) -> list[str]:
     document the orchestrator emits carries the key (possibly empty);
     it stays optional in validation so documents recorded before it
     existed still verify.
+
+    ``stage_seconds`` is an optional ``{stage name: seconds}`` mapping —
+    the pipeline runner's per-stage wall-clock telemetry (see
+    ``StepTrace.stage_seconds``), summed over whatever the bench timed.
+    Optional for the same reason as ``caveats``: documents recorded
+    before the stage pipeline existed still verify.
     """
     problems: list[str] = []
     if not isinstance(doc, dict):
@@ -132,6 +139,19 @@ def validate_result(doc) -> list[str]:
                 check(
                     isinstance(caveat, str) and caveat.strip() != "",
                     f"caveats[{i}]: non-empty string required",
+                )
+
+    if "stage_seconds" in doc:
+        stages = doc["stage_seconds"]
+        if check(isinstance(stages, dict), "stage_seconds: object required"):
+            for key, value in stages.items():
+                if not isinstance(key, str) or key == "":
+                    problems.append(
+                        f"stage_seconds: non-empty string key required, got {key!r}"
+                    )
+                check(
+                    _is_number(value) and value >= 0,
+                    f"stage_seconds[{key!r}]: non-negative number required",
                 )
 
     git = doc.get("git")

@@ -39,6 +39,7 @@ from repro import (
 from repro.base import DynamicEmbeddingMethod
 from repro.datasets import list_datasets, load_dataset
 from repro.experiments import render_table, run_method
+from repro.pipeline import EngineSpec, add_engine_flags, engine_spec_from_args
 from repro.tasks import (
     graph_reconstruction_over_time,
     link_prediction_over_time,
@@ -61,21 +62,25 @@ PROFILES = {
 }
 
 
-def _builders(
-    profile: dict, workers: int = 1, incremental_partition: bool = False,
-    backend: str = "auto",
-) -> dict:
+def _builders(profile: dict, engine: EngineSpec | None = None) -> dict:
+    """Per-method constructors for one profile and one engine spec.
+
+    The engine knobs (workers, kernel backend, chunk sizing, prefetch,
+    incremental partition maintenance) come from the single
+    :class:`~repro.pipeline.EngineSpec` — every Skip-Gram-walk method
+    takes the same ``engine.kwargs()`` dict, so a new engine knob is one
+    new ``EngineSpec`` field plus the constructor parameter that consumes
+    it. The dense baselines have no parallel hot path and ignore the
+    spec entirely.
+    """
+    engine = engine if engine is not None else EngineSpec()
     walk = profile["walk"]
     iters = profile["bcgd_iterations"]
     dyngem = profile["dyngem"]
-    # Only the Skip-Gram-walk methods have a parallel hot path; the dense
-    # baselines ignore --workers / --backend. Incremental Step 1 partition
-    # maintenance only exists for GloDyNE (the only partitioning method).
-    walk_par = dict(walk, workers=workers, backend=backend)
+    walk_par = dict(walk, **engine.kwargs())
     return {
         "glodyne": lambda dim, seed: GloDyNE(
-            dim=dim, alpha=0.1, seed=seed,
-            incremental_partition=incremental_partition, **walk_par
+            dim=dim, alpha=0.1, seed=seed, **walk_par
         ),
         "sgns-static": lambda dim, seed: SGNSStatic(
             dim=dim, seed=seed, **walk_par
@@ -101,17 +106,28 @@ def _builders(
 
 METHOD_NAMES = sorted(_builders(PROFILES["quick"]))
 
+#: Flag respellings for subcommands where a canonical engine flag is
+#: taken: the serving commands already use ``--backend``/``--index`` for
+#: the serving *index*, so the kernel backend surfaces there as
+#: ``--kernel-backend``.
+ENGINE_FLAG_RENAMES: dict[str, dict[str, str]] = {
+    "serve": {"backend": "--kernel-backend"},
+    "serve-http": {"backend": "--kernel-backend"},
+}
+
+#: ``{subcommand: {EngineSpec field: flag}}`` actually registered by the
+#: last :func:`make_parser` call — the spec↔CLI drift gate in
+#: ``tests/test_pipeline_spec.py`` checks it both ways.
+ENGINE_FLAGS_BY_COMMAND: dict[str, dict[str, str]] = {}
+
 
 def build_method(
-    name: str, dim: int, seed: int, profile: str = "quick", workers: int = 1,
-    incremental_partition: bool = False, backend: str = "auto",
+    name: str, dim: int, seed: int, profile: str = "quick",
+    engine: EngineSpec | None = None,
 ) -> DynamicEmbeddingMethod:
+    """Construct one method by CLI name, profile preset and engine spec."""
     try:
-        builders = _builders(
-            PROFILES[profile], workers=workers,
-            incremental_partition=incremental_partition,
-            backend=backend,
-        )
+        builders = _builders(PROFILES[profile], engine=engine)
     except KeyError:
         raise SystemExit(
             f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
@@ -156,9 +172,8 @@ def cmd_embed(args: argparse.Namespace) -> int:
         snapshots=args.snapshots,
     )
     method = build_method(
-        args.method, args.dim, args.seed, args.profile, workers=args.workers,
-        incremental_partition=args.incremental_partition,
-        backend=args.backend,
+        args.method, args.dim, args.seed, args.profile,
+        engine=engine_spec_from_args(args),
     )
     started = time.perf_counter()
     result = run_method(method, network)
@@ -176,6 +191,12 @@ def cmd_embed(args: argparse.Namespace) -> int:
             f"per step: {np.mean([t.num_selected for t in traces]):.0f} "
             f"selected nodes, {np.mean([t.num_pairs for t in traces]):,.0f} "
             "training pairs (mean)"
+        )
+    stages = result.stage_seconds
+    if stages:
+        print(
+            "stage seconds: "
+            + ", ".join(f"{name} {secs:.2f}" for name, secs in stages.items())
         )
     if args.out:
         final = result.embeddings[-1]
@@ -195,9 +216,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         snapshots=args.snapshots,
     )
     method = build_method(
-        args.method, args.dim, args.seed, args.profile, workers=args.workers,
-        incremental_partition=args.incremental_partition,
-        backend=args.backend,
+        args.method, args.dim, args.seed, args.profile,
+        engine=engine_spec_from_args(args),
     )
     result = run_method(method, network)
     if not result.ok:
@@ -290,8 +310,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid flush policy: {error}") from None
     engine = StreamingGloDyNE(
         seed=args.seed, policy=policy, dim=args.dim, alpha=0.1,
-        workers=args.workers, backend=args.backend,
-        incremental_partition=args.incremental_partition, **walk,
+        **engine_spec_from_args(args).kwargs(), **walk,
     )
     started = time.perf_counter()
     results = engine.ingest_many(events)
@@ -363,8 +382,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = StreamingGloDyNE(
         seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
         publish_to=store, dim=args.dim, alpha=0.1,
-        workers=args.workers,
-        incremental_partition=args.incremental_partition, **walk,
+        **engine_spec_from_args(args, ENGINE_FLAG_RENAMES["serve"]).kwargs(),
+        **walk,
     )
     started = time.perf_counter()
     engine.ingest_many(events)
@@ -531,8 +550,9 @@ def _http_services(args: argparse.Namespace) -> dict:
         engine = StreamingGloDyNE(
             seed=args.seed, policy=FlushPolicy(max_events=args.flush_events),
             publish_to=store, dim=args.dim, alpha=0.1,
-            workers=args.workers,
-            incremental_partition=args.incremental_partition,
+            **engine_spec_from_args(
+                args, ENGINE_FLAG_RENAMES["serve-http"]
+            ).kwargs(),
             **PROFILES[args.profile]["walk"],
         )
         engine.ingest_many(network_to_events(network))
@@ -678,7 +698,20 @@ def make_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list simulated datasets")
 
-    def common(p: argparse.ArgumentParser) -> None:
+    def engine_flags(p: argparse.ArgumentParser, command: str) -> None:
+        """Generate the engine-knob flags for one subcommand.
+
+        One :func:`~repro.pipeline.add_engine_flags` call per subcommand
+        — the flags, help text and defaults all come from
+        :class:`~repro.pipeline.EngineSpec` field metadata, so an engine
+        knob added there appears on every one of these subcommands with
+        no CLI edit.
+        """
+        ENGINE_FLAGS_BY_COMMAND[command] = add_engine_flags(
+            p, ENGINE_FLAG_RENAMES.get(command)
+        )
+
+    def common(p: argparse.ArgumentParser, command: str) -> None:
         p.add_argument("--dataset", default="elec-sim")
         p.add_argument("--method", default="glodyne")
         p.add_argument("--dim", type=int, default=64)
@@ -690,29 +723,14 @@ def make_parser() -> argparse.ArgumentParser:
             "--profile", default="quick", choices=sorted(PROFILES),
             help="hyper-parameter preset (paper = §5.1.2 settings)",
         )
-        p.add_argument(
-            "--workers", type=int, default=1,
-            help="walk-generation worker processes (1 = serial, "
-            "bit-identical to the pre-parallel path)",
-        )
-        p.add_argument(
-            "--incremental-partition", action="store_true",
-            help="maintain Step 1's partition incrementally across "
-            "snapshots instead of rebuilding it per step (GloDyNE only)",
-        )
-        p.add_argument(
-            "--backend", default="auto", choices=["auto", "python", "numba"],
-            help="SGNS/walk kernel backend: auto uses numba when "
-            "installed, falling back to the bit-identical pure-python "
-            "kernels (Skip-Gram-walk methods only)",
-        )
+        engine_flags(p, command)
 
     embed = sub.add_parser("embed", help="embed a dynamic network")
-    common(embed)
+    common(embed, "embed")
     embed.add_argument("--out", default=None, help="write final Z^T as .npz")
 
     evaluate = sub.add_parser("evaluate", help="embed + run downstream tasks")
-    common(evaluate)
+    common(evaluate, "evaluate")
     evaluate.add_argument(
         "--task", default="gr,lp", help="comma list from {gr,lp,nc}"
     )
@@ -738,19 +756,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--profile", default="quick", choices=sorted(PROFILES),
         help="hyper-parameter preset for the underlying GloDyNE model",
     )
-    stream.add_argument(
-        "--workers", type=int, default=1,
-        help="walk-generation worker processes for each flush",
-    )
-    stream.add_argument(
-        "--incremental-partition", action="store_true",
-        help="maintain Step 1's partition incrementally across flushes",
-    )
-    stream.add_argument(
-        "--backend", default="auto", choices=["auto", "python", "numba"],
-        help="SGNS/walk kernel backend for each flush (auto = numba when "
-        "installed, else the bit-identical pure-python kernels)",
-    )
+    engine_flags(stream, "stream")
     stream.add_argument(
         "--flush-events", type=int, default=400,
         help="flush after this many events (None-able via 0)",
@@ -777,10 +783,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--profile", default="quick", choices=sorted(PROFILES),
         help="hyper-parameter preset for the underlying GloDyNE model",
     )
-    serve.add_argument(
-        "--workers", type=int, default=1,
-        help="walk-generation worker processes for each flush",
-    )
+    engine_flags(serve, "serve")
     serve.add_argument(
         "--flush-events", type=int, default=400,
         help="publish a new store version after this many events",
@@ -788,12 +791,6 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--store", default="store.npz",
         help="output path for the versioned store (.npz)",
-    )
-    serve.add_argument(
-        "--incremental-partition", action="store_true",
-        help="run Step 1's incremental partitioner each flush and publish "
-        "its cells as version metadata (feeds the partition-aware IVF "
-        "serving index)",
     )
     serve.add_argument(
         "--index", default=None, choices=["lsh", "exact", "ivf"],
@@ -876,13 +873,8 @@ def make_parser() -> argparse.ArgumentParser:
     serve_http.add_argument(
         "--profile", default="quick", choices=sorted(PROFILES),
     )
-    serve_http.add_argument("--workers", type=int, default=1)
+    engine_flags(serve_http, "serve-http")
     serve_http.add_argument("--flush-events", type=int, default=400)
-    serve_http.add_argument(
-        "--incremental-partition", action="store_true",
-        help="with no --store: publish Step 1 partition cells per flush "
-        "(feeds the partition-aware ivf backend)",
-    )
     serve_http.add_argument(
         "--store-dir", default=None, metavar="DIR",
         help="tier every served store: spill cold versions to mmap files "

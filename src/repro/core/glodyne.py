@@ -17,27 +17,43 @@ Online stage (t >= 1), four steps per snapshot:
 The class implements the streaming
 :class:`repro.base.DynamicEmbeddingMethod` interface; ``fit`` consumes a
 whole :class:`repro.graph.dynamic.DynamicNetwork`.
+
+Since the stage-pipeline refactor the loop body lives in
+:mod:`repro.pipeline.stages` — this class is a thin stage configuration
+(``offline_pipeline`` / ``online_pipeline``) plus the persistent state
+the stages read through the per-step
+:class:`~repro.pipeline.context.StepContext` (the warm SGNS model, the
+reservoir, the incremental partitioner, the RNG stream). The streaming
+engine, the SGNS variants, and tNE configure the same stages; outputs
+are bit-identical to the pre-pipeline implementation (golden-tested).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable
 
 import numpy as np
 
 from repro.base import DynamicEmbeddingMethod, EmbeddingMap
 from repro.core.reservoir import Reservoir
-from repro.core.selection import SelectionContext, get_strategy
+from repro.core.selection import get_strategy
 from repro.graph.csr import CSRAdjacency
-from repro.graph.diff import diff_snapshots, weighted_node_changes
 from repro.graph.static import Graph
-from repro.parallel import DEFAULT_CHUNK_STARTS, generate_corpus
+from repro.parallel import DEFAULT_CHUNK_STARTS
 from repro.partition.incremental import IncrementalPartitioner
+from repro.pipeline.context import StepContext
+from repro.pipeline.stages import (
+    offline_pipeline,
+    online_pipeline,
+    partition_cells_for,
+)
+from repro.pipeline.trace import StepTrace
 from repro.sgns import kernels
 from repro.sgns.model import SGNSModel
-from repro.sgns.trainer import TrainConfig, train_on_corpus
-from repro.walks.corpus import build_pair_corpus
+from repro.sgns.trainer import TrainConfig
+
+__all__ = ["GloDyNE", "GloDyNEConfig", "StepTrace"]
 
 Node = Hashable
 
@@ -149,17 +165,6 @@ class GloDyNEConfig:
         )
 
 
-@dataclass
-class StepTrace:
-    """Diagnostics captured for one ``update`` call (used by benches/tests)."""
-
-    time_step: int
-    num_nodes: int
-    num_selected: int
-    num_pairs: int
-    selected_nodes: list[Node] = field(default_factory=list)
-
-
 class GloDyNE(DynamicEmbeddingMethod):
     """Global-topology-preserving dynamic network embedding (Algorithm 1)."""
 
@@ -199,6 +204,11 @@ class GloDyNE(DynamicEmbeddingMethod):
         self._seed = seed
         self._strategy = get_strategy(self.config.strategy)
         self.publish_to = publish_to
+        # The stage graphs are stateless across steps (all per-step state
+        # lives on the StepContext), so one pipeline object per mode
+        # serves every update.
+        self._offline_pipeline = offline_pipeline()
+        self._online_pipeline = online_pipeline()
         self.reset()
 
     # ------------------------------------------------------------------
@@ -284,38 +294,36 @@ class GloDyNE(DynamicEmbeddingMethod):
         """
         if snapshot.number_of_nodes() == 0:
             raise ValueError("cannot embed an empty snapshot")
-        self.last_partition = None  # set by _online_stage when Step 1 ran
-        if self.previous is None:
-            trace = self._offline_stage(snapshot, csr=csr)
-        else:
-            trace = self._online_stage(
-                snapshot, changes=changes, csr=csr, touched=touched
-            )
-        self.last_trace = trace
+        context = StepContext(
+            config=self.config,
+            rng=self.rng,
+            model=self.model,
+            snapshot=snapshot,
+            time_step=self.time_step,
+            previous=self.previous,
+            reservoir=self.reservoir,
+            partitioner=self.partitioner,
+            strategy=self._strategy,
+            csr=csr,
+            changes=changes,
+            touched=touched,
+            publish_to=self.publish_to,
+        )
+        pipeline = (
+            self._offline_pipeline
+            if self.previous is None
+            else self._online_pipeline
+        )
+        pipeline.run(context)
+        self.last_trace = context.trace
+        self.last_partition = context.partition
         # Must be a frozen copy, not an alias: Eq. (3) scoring reads the
         # *previous* snapshot's degrees next step, and streaming callers
         # keep mutating the snapshot object they passed in.
         self.previous = snapshot.copy()
         self.time_step += 1
-        nodes = list(snapshot.nodes())
-        matrix = self.model.embedding_matrix(nodes)
-        embeddings = dict(zip(nodes, matrix))
-        self.last_embedding = (nodes, matrix)
-        if self.publish_to is not None:
-            metadata = {
-                "source": "snapshot",
-                "num_selected": trace.num_selected,
-                "num_pairs": trace.num_pairs,
-            }
-            cells = self.last_partition_cells
-            if cells is not None:
-                metadata["partition_cells"] = cells
-            self.publish_to.publish(
-                (nodes, matrix),
-                time_step=trace.time_step,
-                metadata=metadata,
-            )
-        return embeddings
+        self.last_embedding = (context.nodes, context.matrix)
+        return context.embeddings
 
     @property
     def last_partition_cells(self) -> list[int] | None:
@@ -328,143 +336,6 @@ class GloDyNE(DynamicEmbeddingMethod):
         partition-aware serving index (:class:`repro.serving.index.
         IVFIndex`) adopts as its coarse-quantizer cell layout.
         """
-        if self.last_partition is None or self.last_embedding is None:
+        if self.last_embedding is None:
             return None
-        nodes, _ = self.last_embedding
-        assignment = self.last_partition.assignment
-        cells: list[int] = []
-        for node in nodes:
-            cell = assignment.get(node)
-            if cell is None:
-                return None
-            cells.append(int(cell))
-        return cells
-
-    # ------------------------------------------------------------------
-    def _offline_stage(
-        self, snapshot: Graph, csr: CSRAdjacency | None = None
-    ) -> StepTrace:
-        """Algorithm 1 lines 1-5: full DeepWalk round over all nodes."""
-        if csr is None:
-            csr = CSRAdjacency.from_graph(snapshot)
-        start_indices = np.arange(csr.num_nodes)
-        return self._walk_and_train(snapshot, csr, start_indices)
-
-    def _online_stage(
-        self,
-        snapshot: Graph,
-        changes: dict[Node, float] | None = None,
-        csr: CSRAdjacency | None = None,
-        touched: set[Node] | None = None,
-    ) -> StepTrace:
-        """Algorithm 1 lines 6-18: partition, select, walk, update."""
-        cfg = self.config
-        assert self.previous is not None
-
-        # ONE CSR per step: built here (or handed in by a streaming
-        # caller) and shared by Step 1's partitioner and Step 3's walk
-        # engine. partition_graph used to re-freeze the snapshot
-        # internally, doubling the per-step CSR cost.
-        if csr is None:
-            csr = CSRAdjacency.from_graph(snapshot)
-
-        # Line 9-10: edge stream + reservoir accumulation. The weighted
-        # variant (footnote 3) kicks in automatically on weighted graphs.
-        # A streaming caller hands in incrementally accumulated changes
-        # instead, skipping the full-graph diff.
-        if changes is None:
-            use_weighted = cfg.weighted_changes
-            if use_weighted is None:
-                use_weighted = not (
-                    snapshot.is_unweighted() and self.previous.is_unweighted()
-                )
-            if use_weighted:
-                changes = weighted_node_changes(self.previous, snapshot)
-            else:
-                changes = diff_snapshots(self.previous, snapshot).node_changes
-        self.reservoir.accumulate(changes)
-        self.reservoir.prune(snapshot.node_set())
-
-        # Lines 7-13: K cells, one representative each (strategy S4; the
-        # other strategies replace partitioning for the Table 5 ablation).
-        count = max(1, round(cfg.alpha * snapshot.number_of_nodes()))
-        partition = None
-        if self.partitioner is not None and cfg.strategy in (
-            "s4",
-            "s4-uniform",
-        ):
-            if touched is None:
-                touched = set(changes)
-            partition = self.partitioner.partition(
-                snapshot, count, csr=csr, touched=touched
-            )
-        self.last_partition = partition
-        context = SelectionContext(
-            snapshot=snapshot,
-            previous=self.previous,
-            reservoir=self.reservoir,
-            rng=self.rng,
-            csr=csr,
-            partition=partition,
-            partition_eps=cfg.partition_eps,
-        )
-        selected = self._strategy(context, count)
-
-        # Line 14: evict captured nodes from the reservoir.
-        self.reservoir.evict(selected)
-
-        # Lines 15-17: walks from the selected nodes, incremental training.
-        start_indices = np.fromiter(
-            (csr.index_of[node] for node in selected),
-            dtype=np.int64,
-            count=len(selected),
-        )
-        return self._walk_and_train(snapshot, csr, start_indices)
-
-    def _walk_and_train(
-        self,
-        snapshot: Graph,
-        csr: CSRAdjacency,
-        start_indices: np.ndarray,
-    ) -> StepTrace:
-        cfg = self.config
-        if cfg.walk_p == 1.0 and cfg.walk_q == 1.0:
-            # Fused walk→corpus: chunks stream into the corpus builder as
-            # workers produce them, so the full walk matrix never exists
-            # in this process at workers>=2. Bit-identical to the old
-            # generate_walks + build_pair_corpus two-phase path (and it
-            # must run *before* ensure_nodes — both draw from self.rng,
-            # and the legacy draw order is walks, then row init, then
-            # training).
-            corpus = generate_corpus(
-                csr, start_indices, cfg.num_walks, cfg.walk_length,
-                cfg.window_size, self.rng,
-                workers=cfg.workers, chunk_starts=cfg.chunk_starts,
-                backend=cfg.backend, fused=True,
-            )
-        else:
-            from repro.walks.biased import simulate_biased_walks
-
-            walks = simulate_biased_walks(
-                csr, start_indices, cfg.num_walks, cfg.walk_length,
-                self.rng, p=cfg.walk_p, q=cfg.walk_q,
-            )
-            corpus = build_pair_corpus(walks, cfg.window_size, csr.num_nodes)
-
-        # The model vocabulary is global across time; register every node
-        # of the snapshot (walks may visit any of them).
-        self.model.ensure_nodes(csr.nodes)
-        row_of = self.model.vocab.indices(csr.nodes)
-        train_on_corpus(
-            self.model, corpus, row_of, self.rng, config=cfg.train_config()
-        )
-        # selected_nodes is derived here, once, from the start indices that
-        # actually drove the walks — callers must not rebuild it afterwards
-        # (the regression test pins trace fields to the real selection).
-        return StepTrace(
-            time_step=self.time_step,
-            num_nodes=snapshot.number_of_nodes(),
-            num_selected=int(start_indices.size),
-            num_pairs=corpus.num_pairs,
-            selected_nodes=[csr.nodes[i] for i in start_indices],
-        )
+        return partition_cells_for(self.last_embedding[0], self.last_partition)

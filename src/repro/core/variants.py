@@ -20,13 +20,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.base import DynamicEmbeddingMethod, EmbeddingMap
-from repro.core.glodyne import GloDyNEConfig
-from repro.graph.csr import CSRAdjacency
+from repro.core.glodyne import GloDyNEConfig, StepTrace
 from repro.graph.static import Graph
-from repro.parallel import generate_walks
+from repro.pipeline.context import StepContext
+from repro.pipeline.stages import deepwalk_pipeline
 from repro.sgns.model import SGNSModel
-from repro.sgns.trainer import train_on_corpus
-from repro.walks.corpus import build_pair_corpus
+
+#: The variants' whole online loop is this stage configuration — the
+#: two-phase DeepWalk round (select every node, walk, train) shared with
+#: tNE. One pipeline object serves every round; per-round state lives on
+#: the StepContext.
+_DEEPWALK = deepwalk_pipeline()
 
 
 def _deepwalk_round(
@@ -34,28 +38,26 @@ def _deepwalk_round(
     snapshot: Graph,
     config: GloDyNEConfig,
     rng: np.random.Generator,
-) -> None:
+    time_step: int = 0,
+) -> StepTrace:
     """One full DeepWalk training round (walks from every node).
 
     Honours ``config.workers`` and ``config.backend``: the variants share
     GloDyNE's parallel walk engine (serial and bit-identical at
-    workers=1) and its kernel backends.
+    workers=1) and its kernel backends. Returns the round's
+    :class:`~repro.pipeline.trace.StepTrace` (per-stage timings
+    included) so retrain-style engines expose the same diagnostics as
+    GloDyNE.
     """
-    csr = CSRAdjacency.from_graph(snapshot)
-    walks = generate_walks(
-        csr,
-        np.arange(csr.num_nodes),
-        config.num_walks,
-        config.walk_length,
-        rng,
-        workers=config.workers,
-        chunk_starts=config.chunk_starts,
-        backend=config.backend,
+    context = StepContext(
+        config=config,
+        rng=rng,
+        model=model,
+        snapshot=snapshot,
+        time_step=time_step,
     )
-    corpus = build_pair_corpus(walks, config.window_size, csr.num_nodes)
-    model.ensure_nodes(csr.nodes)
-    row_of = model.vocab.indices(csr.nodes)
-    train_on_corpus(model, corpus, row_of, rng, config=config.train_config())
+    _DEEPWALK.run(context)
+    return context.trace
 
 
 class _VariantBase(DynamicEmbeddingMethod):
@@ -77,6 +79,10 @@ class _VariantBase(DynamicEmbeddingMethod):
         self.rng = np.random.default_rng(self._seed)
         self.model: SGNSModel | None = None
         self.time_step = 0
+        # Diagnostics of the latest update's DeepWalk round (None when
+        # the step trained nothing — SGNS-static after t=0). Same shape
+        # as GloDyNE's, so run_method surfaces stage timings uniformly.
+        self.last_trace: StepTrace | None = None
 
     def _emit(self, snapshot: Graph) -> EmbeddingMap:
         """Embeddings for the snapshot's nodes, random for unknown nodes."""
@@ -102,7 +108,12 @@ class SGNSStatic(_VariantBase):
     def update(self, snapshot: Graph) -> EmbeddingMap:
         if self.model is None:
             self.model = SGNSModel(self.config.dim, rng=self.rng)
-            _deepwalk_round(self.model, snapshot, self.config, self.rng)
+            self.last_trace = _deepwalk_round(
+                self.model, snapshot, self.config, self.rng,
+                time_step=self.time_step,
+            )
+        else:
+            self.last_trace = None
         self.time_step += 1
         return self._emit(snapshot)
 
@@ -114,7 +125,10 @@ class SGNSRetrain(_VariantBase):
 
     def update(self, snapshot: Graph) -> EmbeddingMap:
         self.model = SGNSModel(self.config.dim, rng=self.rng)
-        _deepwalk_round(self.model, snapshot, self.config, self.rng)
+        self.last_trace = _deepwalk_round(
+            self.model, snapshot, self.config, self.rng,
+            time_step=self.time_step,
+        )
         self.time_step += 1
         return self._emit(snapshot)
 
@@ -127,6 +141,9 @@ class SGNSIncrement(_VariantBase):
     def update(self, snapshot: Graph) -> EmbeddingMap:
         if self.model is None:
             self.model = SGNSModel(self.config.dim, rng=self.rng)
-        _deepwalk_round(self.model, snapshot, self.config, self.rng)
+        self.last_trace = _deepwalk_round(
+            self.model, snapshot, self.config, self.rng,
+            time_step=self.time_step,
+        )
         self.time_step += 1
         return self._emit(snapshot)

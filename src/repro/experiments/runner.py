@@ -45,6 +45,21 @@ class RunResult:
         """Wall-clock time over all time steps (Table 4 cell)."""
         return float(sum(self.step_seconds))
 
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall-clock summed over all steps.
+
+        Aggregated from each step trace's
+        :attr:`~repro.pipeline.trace.StepTrace.stage_seconds` (the
+        pipeline runner's per-stage timings); empty for methods whose
+        steps produced no traces.
+        """
+        totals: dict[str, float] = {}
+        for trace in self.step_traces:
+            for stage, seconds in getattr(trace, "stage_seconds", {}).items():
+                totals[stage] = totals.get(stage, 0.0) + float(seconds)
+        return totals
+
 
 def run_method(
     method: DynamicEmbeddingMethod,

@@ -1,0 +1,75 @@
+"""``repro.pipeline`` — the explicit stage pipeline behind every engine.
+
+The paper's four-step online loop (Step 1 partition → Step 2 selection →
+Step 3 walks/corpus → Step 4 SGNS train → publish) is implemented once,
+as first-class :class:`~repro.pipeline.stages.Stage` objects running
+over a shared :class:`~repro.pipeline.context.StepContext`. The four
+engines — snapshot :class:`~repro.core.glodyne.GloDyNE`, streaming
+:class:`~repro.streaming.StreamingGloDyNE`, the SGNS variants, and
+:class:`~repro.baselines.TNE` — are thin stage configurations of this
+one pipeline ("one pipeline, four engines"), and a new method is a new
+stage or pipeline literal, not a parallel reimplementation.
+
+Configuration is declarative: the layered
+:class:`~repro.pipeline.spec.RunSpec` tree is the single source of
+truth for run hyper-parameters, and the engine knobs' CLI flags are
+generated from :class:`~repro.pipeline.spec.EngineSpec` field metadata.
+"""
+
+from repro.pipeline.context import StepContext
+from repro.pipeline.spec import (
+    EngineSpec,
+    PartitionSpec,
+    RunSpec,
+    TrainSpec,
+    WalkSpec,
+    add_engine_flags,
+    engine_cli_fields,
+    engine_dest,
+    engine_flag,
+    engine_spec_from_args,
+)
+from repro.pipeline.stages import (
+    ChangeScoreStage,
+    PartitionStage,
+    PublishStage,
+    SelectionStage,
+    Stage,
+    StagePipeline,
+    TrainStage,
+    WalkCorpusStage,
+    deepwalk_pipeline,
+    offline_pipeline,
+    online_pipeline,
+    partition_cells_for,
+    publish_version,
+)
+from repro.pipeline.trace import StepTrace
+
+__all__ = [
+    "ChangeScoreStage",
+    "EngineSpec",
+    "PartitionSpec",
+    "PartitionStage",
+    "PublishStage",
+    "RunSpec",
+    "SelectionStage",
+    "Stage",
+    "StagePipeline",
+    "StepContext",
+    "StepTrace",
+    "TrainSpec",
+    "TrainStage",
+    "WalkCorpusStage",
+    "WalkSpec",
+    "add_engine_flags",
+    "deepwalk_pipeline",
+    "engine_cli_fields",
+    "engine_dest",
+    "engine_flag",
+    "engine_spec_from_args",
+    "offline_pipeline",
+    "online_pipeline",
+    "partition_cells_for",
+    "publish_version",
+]

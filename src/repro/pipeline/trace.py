@@ -1,0 +1,37 @@
+"""Per-step diagnostics emitted by the stage pipeline.
+
+:class:`StepTrace` predates the pipeline (it has always been the golden
+currency of the determinism tests — embeddings *and* traces must stay
+bit-identical across refactors), so its comparable fields are frozen in
+meaning. The pipeline adds ``stage_seconds``, a wall-clock mapping the
+runner fills per stage; it is excluded from equality because timings are
+telemetry, not behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+Node = Hashable
+
+
+@dataclass
+class StepTrace:
+    """Diagnostics captured for one ``update`` call (used by benches/tests).
+
+    ``stage_seconds`` maps stage name (``"changes"``, ``"partition"``,
+    ``"select"``, ``"walk"``, ``"train"``, ``"publish"``) to the wall-
+    clock seconds that stage took; it is recorded by
+    :class:`~repro.pipeline.stages.StagePipeline` and deliberately
+    excluded from ``==`` so trace goldens compare behaviour only.
+    """
+
+    time_step: int
+    num_nodes: int
+    num_selected: int
+    num_pairs: int
+    selected_nodes: list[Node] = field(default_factory=list)
+    stage_seconds: dict[str, float] = field(
+        default_factory=dict, compare=False, repr=False
+    )

@@ -46,6 +46,7 @@ from typing import Hashable, Iterable
 from repro.base import EmbeddingMap
 from repro.core.glodyne import GloDyNE, StepTrace
 from repro.graph.dynamic import EdgeEvent, TimedEdge, coerce_event
+from repro.pipeline.stages import publish_version
 from repro.streaming.state import IncrementalGraphState
 
 Node = Hashable
@@ -291,24 +292,23 @@ class StreamingGloDyNE:
         self.num_flushes += 1
         if self.publish_to is not None:
             # The model's aligned (nodes, matrix) pair skips the store's
-            # per-node dict re-stacking on the serving hot path.
-            metadata = {
-                "source": "stream",
-                "trigger": trigger,
-                "num_events": window_events,
-                "num_selected": result.trace.num_selected,
-                "flush_seconds": result.seconds,
-            }
-            cells = self.model.last_partition_cells
-            if cells is not None:
-                # Step 1's cells, row-aligned with the published matrix —
-                # a partition-aware serving index reuses them as its
-                # coarse quantizer (see EmbeddingService.refresh).
-                metadata["partition_cells"] = cells
-            self.publish_to.publish(
-                self.model.last_embedding,
+            # per-node dict re-stacking on the serving hot path; the
+            # shared publish helper attaches Step 1's partition cells
+            # exactly as snapshot mode's PublishStage does.
+            nodes, matrix = self.model.last_embedding
+            publish_version(
+                self.publish_to,
+                nodes,
+                matrix,
                 time_step=result.time_step,
-                metadata=metadata,
+                metadata={
+                    "source": "stream",
+                    "trigger": trigger,
+                    "num_events": window_events,
+                    "num_selected": result.trace.num_selected,
+                    "flush_seconds": result.seconds,
+                },
+                partition=self.model.last_partition,
             )
         return result
 

@@ -1,0 +1,140 @@
+"""Bit-identity goldens for the stage-pipeline refactor.
+
+The fixtures under ``tests/goldens/`` were recorded by running
+``tools/record_pipeline_goldens.py`` at the last pre-pipeline commit —
+they are the monolithic engines' actual outputs. These tests replay the
+identical configurations through the stage pipeline and compare
+embeddings, node sets and step traces **exactly** (``np.array_equal``,
+no tolerance): the refactor's contract is that extracting the online
+loop into ``repro.pipeline`` changed no behaviour for any engine, at
+workers ∈ {1, 2} and both kernel backends.
+
+The recorder module itself is imported (from ``tools/``) so the replay
+can never drift from the recording procedure.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "goldens"
+
+
+def _load_recorder():
+    """Import ``tools/record_pipeline_goldens.py`` as a module."""
+    path = REPO_ROOT / "tools" / "record_pipeline_goldens.py"
+    spec = importlib.util.spec_from_file_location(
+        "record_pipeline_goldens", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("record_pipeline_goldens", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+recorder = _load_recorder()
+
+
+@pytest.fixture(scope="module")
+def network():
+    """The golden snapshot sequence (shared by every snapshot case)."""
+    from repro.datasets import load_dataset
+
+    spec = recorder.DATASET
+    return load_dataset(
+        spec["name"], scale=spec["scale"], seed=spec["seed"],
+        snapshots=spec["snapshots"],
+    )
+
+
+def _assert_matches_golden(arrays: dict, golden) -> None:
+    """Replay arrays must exactly reproduce every recorded golden array.
+
+    Arrays the replay produces *beyond* the golden set are allowed: the
+    pipeline gave the variants and tNE step traces the monoliths never
+    had, so those keys are new functionality, not drift.
+    """
+    for name in golden.files:
+        assert name in arrays, f"replay lost golden array {name!r}"
+        recorded, replayed = golden[name], arrays[name]
+        if recorded.dtype == object:
+            assert list(recorded) == list(replayed), f"{name} differs"
+        else:
+            assert recorded.shape == replayed.shape, f"{name} shape differs"
+            assert np.array_equal(recorded, replayed), f"{name} differs"
+
+
+@pytest.mark.parametrize(
+    "case,key,engine_kwargs",
+    recorder.CASES,
+    ids=[case for case, _, _ in recorder.CASES],
+)
+def test_snapshot_engine_bit_identical(case, key, engine_kwargs, network):
+    """GloDyNE grid / variants / tNE reproduce the pre-pipeline outputs."""
+    golden = np.load(GOLDEN_DIR / f"{case}.npz", allow_pickle=True)
+    method = recorder.build_method(key, engine_kwargs)
+    arrays = recorder.run_case(method, network)
+    _assert_matches_golden(arrays, golden)
+
+
+def test_streaming_flush_bit_identical():
+    """The streaming engine's flush-per-window run matches its golden.
+
+    Exercises the streaming-specific pipeline entry points: accumulated
+    window changes handed to ``ChangeScoreStage`` via the context, the
+    incremental CSR, and the shared ``publish_version`` path.
+    """
+    from repro.datasets import interaction_stream
+    from repro.streaming import StreamingGloDyNE, split_stream_at_cutoffs
+
+    golden = np.load(GOLDEN_DIR / "streaming_flush.npz", allow_pickle=True)
+    steps = int(golden["num_steps"][0])
+    events = interaction_stream(
+        num_nodes=60, num_steps=steps, num_communities=3,
+        events_per_step=30, seed=11,
+    )
+    engine = StreamingGloDyNE(seed=recorder.SEED, **recorder.MODEL_KWARGS)
+    arrays: dict[str, np.ndarray] = {}
+    cutoffs = [float(t) for t in range(steps)]
+    for i, window in enumerate(split_stream_at_cutoffs(events, cutoffs)):
+        engine.ingest_many(window)
+        result = engine.flush()
+        nodes = sorted(result.embeddings, key=repr)
+        arrays[f"step{i}_nodes"] = np.array(
+            [json.dumps(n) for n in nodes], dtype=object
+        )
+        arrays[f"step{i}_matrix"] = np.stack(
+            [result.embeddings[n] for n in nodes]
+        ).astype(np.float64)
+        trace = result.trace
+        arrays[f"step{i}_trace"] = np.array(
+            [trace.time_step, trace.num_nodes, trace.num_selected,
+             trace.num_pairs],
+            dtype=np.int64,
+        )
+        arrays[f"step{i}_selected"] = np.array(
+            [json.dumps(n) for n in trace.selected_nodes], dtype=object
+        )
+    arrays["num_steps"] = np.array([steps])
+    _assert_matches_golden(arrays, golden)
+
+
+def test_goldens_cover_every_engine():
+    """The fixture set spans all four engines and both worker counts."""
+    recorded = {path.stem for path in GOLDEN_DIR.glob("*.npz")}
+    assert {case for case, _, _ in recorder.CASES} <= recorded
+    assert "streaming_flush" in recorded
+    keys = {key for _, key, _ in recorder.CASES}
+    assert {"glodyne", "sgns-static", "sgns-retrain", "sgns-increment",
+            "tne"} <= keys
+    workers = {kw.get("workers") for _, _, kw in recorder.CASES}
+    assert {1, 2} <= workers
+    backends = {kw.get("backend") for _, _, kw in recorder.CASES}
+    assert {"python", "auto"} <= backends

@@ -1,0 +1,165 @@
+"""Record the stage-pipeline bit-identity goldens (tests/goldens/).
+
+The stage-pipeline refactor's contract is that embeddings and step
+traces stay bit-identical to the pre-pipeline implementations for every
+engine. The fixtures under ``tests/goldens/`` were recorded by running
+this script at the last pre-pipeline commit; ``tests/
+test_pipeline_goldens.py`` replays the same configurations against the
+pipeline and compares exactly.
+
+Re-record (only when a deliberate behaviour change is being made)::
+
+    PYTHONPATH=src python tools/record_pipeline_goldens.py
+
+Each case writes one ``.npz`` holding, per step, the sorted node ids
+(JSON column) and the float64 embedding matrix in that order, plus the
+trace tuples ``(time_step, num_nodes, num_selected, num_pairs)`` and
+the JSON-encoded selected-node lists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "goldens"
+
+#: Small-but-not-trivial hyper-parameters shared by every golden case.
+MODEL_KWARGS = dict(
+    dim=16, alpha=0.2, num_walks=3, walk_length=10, window_size=3, epochs=2
+)
+
+DATASET = dict(name="elec-sim", scale=0.25, seed=7, snapshots=4)
+SEED = 3
+
+#: (case name, method key, engine kwargs beyond MODEL_KWARGS).
+CASES = [
+    ("glodyne_w1_python", "glodyne", dict(workers=1, backend="python")),
+    ("glodyne_w2_python", "glodyne", dict(workers=2, backend="python")),
+    ("glodyne_w1_auto", "glodyne", dict(workers=1, backend="auto")),
+    ("glodyne_w2_auto", "glodyne", dict(workers=2, backend="auto")),
+    ("glodyne_incremental", "glodyne",
+     dict(workers=1, backend="python", incremental_partition=True)),
+    ("sgns_static", "sgns-static", dict(workers=1, backend="python")),
+    ("sgns_retrain", "sgns-retrain", dict(workers=1, backend="python")),
+    ("sgns_increment", "sgns-increment", dict(workers=1, backend="python")),
+    ("tne", "tne", dict(workers=1, backend="python")),
+]
+
+
+def build_method(key: str, engine_kwargs: dict):
+    """Fresh engine instance for one golden case."""
+    from repro import (
+        TNE,
+        GloDyNE,
+        SGNSIncrement,
+        SGNSRetrain,
+        SGNSStatic,
+    )
+
+    if key == "glodyne":
+        return GloDyNE(seed=SEED, **MODEL_KWARGS, **engine_kwargs)
+    if key == "tne":
+        kwargs = {
+            k: v for k, v in MODEL_KWARGS.items() if k not in ("alpha",)
+        }
+        return TNE(seed=SEED, **kwargs, **engine_kwargs)
+    variant = {
+        "sgns-static": SGNSStatic,
+        "sgns-retrain": SGNSRetrain,
+        "sgns-increment": SGNSIncrement,
+    }[key]
+    return variant(seed=SEED, **MODEL_KWARGS, **engine_kwargs)
+
+
+def run_case(method, network) -> dict[str, np.ndarray]:
+    """Run one engine over the network and flatten outputs for ``np.savez``."""
+    arrays: dict[str, np.ndarray] = {}
+    for i, snapshot in enumerate(network):
+        embeddings = method.update(snapshot)
+        nodes = sorted(embeddings, key=repr)
+        arrays[f"step{i}_nodes"] = np.array(
+            [json.dumps(n) for n in nodes], dtype=object
+        )
+        arrays[f"step{i}_matrix"] = np.stack(
+            [embeddings[n] for n in nodes]
+        ).astype(np.float64)
+        trace = getattr(method, "last_trace", None)
+        if trace is not None:
+            arrays[f"step{i}_trace"] = np.array(
+                [trace.time_step, trace.num_nodes, trace.num_selected,
+                 trace.num_pairs],
+                dtype=np.int64,
+            )
+            arrays[f"step{i}_selected"] = np.array(
+                [json.dumps(n) for n in trace.selected_nodes], dtype=object
+            )
+    arrays["num_steps"] = np.array([network.num_snapshots])
+    return arrays
+
+
+def record_snapshot_cases() -> None:
+    """The snapshot-mode engines: GloDyNE grid, the variants, TNE."""
+    from repro.datasets import load_dataset
+
+    network = load_dataset(
+        DATASET["name"], scale=DATASET["scale"], seed=DATASET["seed"],
+        snapshots=DATASET["snapshots"],
+    )
+    for case, key, engine_kwargs in CASES:
+        method = build_method(key, engine_kwargs)
+        arrays = run_case(method, network)
+        path = GOLDEN_DIR / f"{case}.npz"
+        np.savez(path, **arrays)
+        print(f"recorded {path.name}: {len(arrays)} arrays")
+
+
+def record_streaming_case() -> None:
+    """Flush-per-snapshot streaming over a deterministic event stream."""
+    from repro.datasets import interaction_stream
+    from repro.streaming import StreamingGloDyNE, split_stream_at_cutoffs
+
+    steps = 4
+    events = interaction_stream(
+        num_nodes=60, num_steps=steps, num_communities=3,
+        events_per_step=30, seed=11,
+    )
+    cutoffs = [float(t) for t in range(steps)]
+    engine = StreamingGloDyNE(seed=SEED, **MODEL_KWARGS)
+    arrays: dict[str, np.ndarray] = {}
+    for i, window in enumerate(split_stream_at_cutoffs(events, cutoffs)):
+        engine.ingest_many(window)
+        result = engine.flush()
+        nodes = sorted(result.embeddings, key=repr)
+        arrays[f"step{i}_nodes"] = np.array(
+            [json.dumps(n) for n in nodes], dtype=object
+        )
+        arrays[f"step{i}_matrix"] = np.stack(
+            [result.embeddings[n] for n in nodes]
+        ).astype(np.float64)
+        trace = result.trace
+        arrays[f"step{i}_trace"] = np.array(
+            [trace.time_step, trace.num_nodes, trace.num_selected,
+             trace.num_pairs],
+            dtype=np.int64,
+        )
+        arrays[f"step{i}_selected"] = np.array(
+            [json.dumps(n) for n in trace.selected_nodes], dtype=object
+        )
+    arrays["num_steps"] = np.array([steps])
+    path = GOLDEN_DIR / "streaming_flush.npz"
+    np.savez(path, **arrays)
+    print(f"recorded {path.name}: {len(arrays)} arrays")
+
+
+def main() -> None:
+    """Record every golden case into ``tests/goldens/``."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    record_snapshot_cases()
+    record_streaming_case()
+
+
+if __name__ == "__main__":
+    main()
